@@ -1,0 +1,242 @@
+package capred_test
+
+// One benchmark per table/figure of the paper's evaluation. Each runs the
+// corresponding experiment end to end (all 45 traces) and logs the figure
+// table it regenerates, so
+//
+//	go test -bench=. -benchmem
+//
+// both times the harness and prints every reproduced artefact. The event
+// budget trades precision for wall-clock; pass -bench with cmd/capsim
+// -events 30000000 for the paper's full 30M-instruction traces.
+
+import (
+	"fmt"
+	"testing"
+
+	"capred"
+)
+
+// benchEvents is the per-trace instruction budget used by the benchmark
+// harness; rates converge within a few points of the large-budget values.
+const benchEvents = 150_000
+
+// timingEvents is the budget for the (slower) timing-model figures.
+const timingEvents = 60_000
+
+func benchCfg(events int64) capred.ExperimentConfig {
+	return capred.ExperimentConfig{EventsPerTrace: events}
+}
+
+type tabler interface{ String() string }
+
+func runExperiment(b *testing.B, f func() tabler) {
+	b.Helper()
+	var t tabler
+	for i := 0; i < b.N; i++ {
+		t = f()
+	}
+	b.Log("\n" + t.String())
+}
+
+// BenchmarkFig5 regenerates Figure 5: prediction rate and accuracy of the
+// enhanced stride, CAP and hybrid predictors per suite.
+func BenchmarkFig5(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.Fig5(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkFig6 regenerates Figure 6: hybrid prediction rate as a
+// function of LB entries and associativity.
+func BenchmarkFig6(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.Fig6(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkFig7 regenerates Figure 7: per-trace speedup of the enhanced
+// stride and hybrid predictors over no address prediction.
+func BenchmarkFig7(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.Fig7(benchCfg(timingEvents)).Table() })
+}
+
+// BenchmarkFig8 regenerates Figure 8: the hybrid selector's state
+// distribution and correct-selection rate.
+func BenchmarkFig8(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.Fig8(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkFig9 regenerates Figure 9: correct predictions as a function
+// of history length, with and without global correlation.
+func BenchmarkFig9(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.Fig9(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkFig10 regenerates Figure 10: the influence of LT tags and
+// control-flow indications on the CAP predictor.
+func BenchmarkFig10(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.Fig10(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkFig11 regenerates Figure 11: prediction rate and accuracy as a
+// function of the prediction gap.
+func BenchmarkFig11(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.Fig11(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkFig12 regenerates Figure 12: per-suite speedup for an
+// immediate update versus a prediction gap of 8.
+func BenchmarkFig12(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.Fig12(benchCfg(timingEvents)).Table() })
+}
+
+// BenchmarkLTUpdatePolicy regenerates the §4.3 update-policy comparison.
+func BenchmarkLTUpdatePolicy(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.RunUpdatePolicy(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkLTSize regenerates the §4.2 LT-size sensitivity table.
+func BenchmarkLTSize(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.RunLTSize(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkBaselines regenerates the §1 predictor-family ladder.
+func BenchmarkBaselines(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.RunBaselines(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkControlBased regenerates the §3.6 control-based comparison.
+func BenchmarkControlBased(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.RunControlBased(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkAblations runs the DESIGN.md ablation table.
+func BenchmarkAblations(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.RunAblations(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkProfileAssist runs the §6 future-work profile-feedback table.
+func BenchmarkProfileAssist(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.RunProfileAssist(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkAddressVsValue runs the §1 address-vs-value comparison.
+func BenchmarkAddressVsValue(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.RunAddressVsValue(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkPrefetch runs the §1.1 prefetching-vs-prediction comparison.
+func BenchmarkPrefetch(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.RunPrefetch(benchCfg(timingEvents)).Table() })
+}
+
+// BenchmarkClassCoverage runs the §2 per-class coverage analysis.
+func BenchmarkClassCoverage(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.RunClassCoverage(benchCfg(benchEvents)).Table() })
+}
+
+// BenchmarkWrongPath runs the §5.4 speculative-control-flow comparison.
+func BenchmarkWrongPath(b *testing.B) {
+	runExperiment(b, func() tabler { return capred.RunWrongPath(benchCfg(benchEvents)).Table() })
+}
+
+// Micro-benchmarks: per-prediction cost of each predictor, for users who
+// embed the predictors rather than the harness.
+
+func benchPredictor(b *testing.B, p capred.Predictor) {
+	b.Helper()
+	spec, ok := capred.TraceByName("INT_gcc")
+	if !ok {
+		b.Fatal("INT_gcc missing")
+	}
+	// Materialise a fixed load stream once.
+	src := capred.Limit(spec.Open(), 200_000)
+	type access struct {
+		ref  capred.LoadRef
+		addr uint32
+	}
+	var loads []access
+	var ghr capred.GHR
+	var path capred.PathHist
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case capred.KindBranch:
+			ghr.Update(ev.Taken)
+		case capred.KindCall:
+			path.Push(ev.IP)
+		case capred.KindLoad:
+			loads = append(loads, access{
+				ref:  capred.LoadRef{IP: ev.IP, Offset: ev.Offset, GHR: ghr.Value(), Path: path.Value()},
+				addr: ev.Addr,
+			})
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := loads[i%len(loads)]
+		pr := p.Predict(a.ref)
+		p.Resolve(a.ref, pr, a.addr)
+	}
+	b.ReportMetric(float64(len(loads)), "loads/trace")
+}
+
+// BenchmarkPredictLast measures the last-address predictor's per-load cost.
+func BenchmarkPredictLast(b *testing.B) {
+	benchPredictor(b, capred.NewLast(capred.DefaultLastConfig()))
+}
+
+// BenchmarkPredictStride measures the enhanced stride predictor's per-load cost.
+func BenchmarkPredictStride(b *testing.B) {
+	benchPredictor(b, capred.NewStride(capred.DefaultStrideConfig()))
+}
+
+// BenchmarkPredictCAP measures the CAP predictor's per-load cost.
+func BenchmarkPredictCAP(b *testing.B) {
+	benchPredictor(b, capred.NewCAP(capred.DefaultCAPConfig()))
+}
+
+// BenchmarkPredictHybrid measures the hybrid predictor's per-load cost.
+func BenchmarkPredictHybrid(b *testing.B) {
+	benchPredictor(b, capred.NewHybrid(capred.DefaultHybridConfig()))
+}
+
+// BenchmarkTraceGeneration measures the synthetic workload generator.
+func BenchmarkTraceGeneration(b *testing.B) {
+	spec, _ := capred.TraceByName("W95_cdw")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src := capred.Limit(spec.Open(), 100_000)
+		n := 0
+		for {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != 100_000 {
+			b.Fatalf("generated %d events", n)
+		}
+	}
+}
+
+// BenchmarkTimingModel measures the out-of-order model's throughput.
+func BenchmarkTimingModel(b *testing.B) {
+	spec, _ := capred.TraceByName("GAM_duk")
+	for i := 0; i < b.N; i++ {
+		r := capred.RunMachine(capred.Limit(spec.Open(), 100_000), nil, 0, capred.DefaultMachineConfig())
+		if r.Instructions != 100_000 {
+			b.Fatal("short run")
+		}
+	}
+}
+
+// Example of the quickstart flow, kept compiling as documentation.
+func Example() {
+	p := capred.NewHybrid(capred.DefaultHybridConfig())
+	spec, _ := capred.TraceByName("INT_xli")
+	c := capred.RunTrace(capred.Limit(spec.Open(), 10_000), p, 0)
+	fmt.Println(c.Loads > 0)
+	// Output: true
+}

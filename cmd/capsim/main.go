@@ -1,0 +1,109 @@
+// Command capsim runs the paper's experiments and prints their tables.
+//
+// Usage:
+//
+//	capsim -experiment fig5 [-events N] [-parallel N]
+//	capsim -experiment all
+//	capsim -list
+//
+// Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 update-policy
+// lt-size baselines control ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"capred"
+)
+
+// tabler is any experiment result that renders a figure table.
+type tabler interface{ String() string }
+
+var experiments = map[string]struct {
+	desc string
+	run  func(capred.ExperimentConfig) tabler
+}{
+	"fig5": {"prediction rate & accuracy of stride, CAP, hybrid per suite",
+		func(c capred.ExperimentConfig) tabler { return capred.Fig5(c).Table() }},
+	"fig6": {"hybrid prediction rate vs LB entries/associativity",
+		func(c capred.ExperimentConfig) tabler { return capred.Fig6(c).Table() }},
+	"fig7": {"per-trace speedup over no address prediction (timing model)",
+		func(c capred.ExperimentConfig) tabler { return capred.Fig7(c).Table() }},
+	"fig8": {"hybrid selector state distribution and correct-selection rate",
+		func(c capred.ExperimentConfig) tabler { return capred.Fig8(c).Table() }},
+	"fig9": {"correct predictions vs history length, ± global correlation",
+		func(c capred.ExperimentConfig) tabler { return capred.Fig9(c).Table() }},
+	"fig10": {"influence of LT tags and path info on CAP",
+		func(c capred.ExperimentConfig) tabler { return capred.Fig10(c).Table() }},
+	"fig11": {"influence of the prediction gap on rate and accuracy",
+		func(c capred.ExperimentConfig) tabler { return capred.Fig11(c).Table() }},
+	"fig12": {"per-suite speedup, immediate vs prediction gap 8",
+		func(c capred.ExperimentConfig) tabler { return capred.Fig12(c).Table() }},
+	"update-policy": {"§4.3 LT update policies",
+		func(c capred.ExperimentConfig) tabler { return capred.RunUpdatePolicy(c).Table() }},
+	"lt-size": {"§4.2 hybrid rate vs LT entries",
+		func(c capred.ExperimentConfig) tabler { return capred.RunLTSize(c).Table() }},
+	"baselines": {"§1 predictor family ladder",
+		func(c capred.ExperimentConfig) tabler { return capred.RunBaselines(c).Table() }},
+	"control": {"§3.6 control-based predictors vs CAP",
+		func(c capred.ExperimentConfig) tabler { return capred.RunControlBased(c).Table() }},
+	"ablations": {"design-choice ablations beyond the paper's figures",
+		func(c capred.ExperimentConfig) tabler { return capred.RunAblations(c).Table() }},
+	"profile-assist": {"§6 future work: profile-guided load classification",
+		func(c capred.ExperimentConfig) tabler { return capred.RunProfileAssist(c).Table() }},
+	"addr-vs-value": {"§1: address vs load-value predictability",
+		func(c capred.ExperimentConfig) tabler { return capred.RunAddressVsValue(c).Table() }},
+	"prefetch": {"§1.1: data prefetching vs address prediction",
+		func(c capred.ExperimentConfig) tabler { return capred.RunPrefetch(c).Table() }},
+	"classes": {"§2: per-pattern-class coverage of each predictor",
+		func(c capred.ExperimentConfig) tabler { return capred.RunClassCoverage(c).Table() }},
+	"wrong-path": {"§5.4: wrong-path predictions with and without squash recovery",
+		func(c capred.ExperimentConfig) tabler { return capred.RunWrongPath(c).Table() }},
+}
+
+func names() []string {
+	out := make([]string, 0, len(experiments))
+	for n := range experiments {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "", "experiment to run (or 'all')")
+		events   = flag.Int64("events", 400_000, "instructions per trace")
+		parallel = flag.Int("parallel", 0, "concurrent trace simulations (0 = NumCPU)")
+		list     = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range names() {
+			fmt.Printf("%-14s %s\n", n, experiments[n].desc)
+		}
+		return
+	}
+	cfg := capred.ExperimentConfig{EventsPerTrace: *events, Parallelism: *parallel}
+
+	switch {
+	case *exp == "all":
+		for _, n := range names() {
+			fmt.Println(experiments[n].run(cfg))
+		}
+	case *exp != "":
+		e, ok := experiments[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "capsim: unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Println(e.run(cfg))
+	default:
+		fmt.Fprintln(os.Stderr, "capsim: -experiment required; use -list to enumerate")
+		os.Exit(2)
+	}
+}

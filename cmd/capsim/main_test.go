@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"capred"
+)
+
+// TestEveryExperimentRuns drives each registered experiment end to end at
+// a tiny budget: the registry, the drivers and the table renderers must
+// all hold together.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	cfg := capred.ExperimentConfig{EventsPerTrace: 4000}
+	for _, name := range names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			out := experiments[name].run(cfg).String()
+			if len(out) == 0 {
+				t.Fatal("empty table")
+			}
+			if !strings.Contains(out, "\n") {
+				t.Fatalf("table has no rows:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRegistryDescriptions(t *testing.T) {
+	for _, name := range names() {
+		if experiments[name].desc == "" {
+			t.Errorf("experiment %s has no description", name)
+		}
+	}
+}

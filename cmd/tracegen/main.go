@@ -1,0 +1,70 @@
+// Command tracegen writes one of the 45 synthetic traces to a binary
+// trace file readable by cmd/traceinfo and capred.NewTraceReader.
+//
+// Usage:
+//
+//	tracegen -trace INT_xli -events 1000000 -o int_xli.capt
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"capred"
+)
+
+func main() {
+	var (
+		name   = flag.String("trace", "", "trace name, e.g. INT_xli")
+		events = flag.Int64("events", 1_000_000, "instructions to generate")
+		out    = flag.String("o", "", "output file (default <trace>.capt)")
+		list   = flag.Bool("list", false, "list trace names")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range capred.Traces() {
+			fmt.Println(s.Name)
+		}
+		return
+	}
+	spec, ok := capred.TraceByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown trace %q; use -list\n", *name)
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = spec.Name + ".capt"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	w := capred.NewTraceWriter(f)
+	src := capred.Limit(spec.Open(), *events)
+	var n int64
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Emit(ev); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		n++
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d events of %s to %s\n", n, spec.Name, path)
+}

@@ -1,0 +1,96 @@
+// Command traceinfo summarises a binary trace file: event counts, static
+// load footprint, per-load pattern classification and, optionally, the
+// hottest static loads.
+//
+// Usage:
+//
+//	traceinfo -i int_xli.capt [-top 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"capred"
+)
+
+func main() {
+	var (
+		in  = flag.String("i", "", "input trace file")
+		top = flag.Int("top", 0, "also list the N hottest static loads")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "traceinfo: -i required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	stats, err := capred.CollectStats(capred.NewTraceReader(f))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(stats)
+
+	if *top > 0 {
+		if _, err := f.Seek(0, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+			os.Exit(1)
+		}
+		ips, counts, err := topLoads(f, *top)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("top %d static loads:\n", len(ips))
+		for i, ip := range ips {
+			fmt.Printf("  %#010x  %d\n", ip, counts[i])
+		}
+	}
+}
+
+func topLoads(f *os.File, n int) ([]uint32, []int64, error) {
+	src := capred.NewTraceReader(f)
+	counts := map[uint32]int64{}
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if ev.Kind == capred.KindLoad {
+			counts[ev.IP]++
+		}
+	}
+	if err := src.Err(); err != nil {
+		return nil, nil, err
+	}
+	var ips []uint32
+	for ip := range counts {
+		ips = append(ips, ip)
+	}
+	// Selection of the top n by count (n is small).
+	for i := 0; i < len(ips) && i < n; i++ {
+		best := i
+		for j := i + 1; j < len(ips); j++ {
+			if counts[ips[j]] > counts[ips[best]] {
+				best = j
+			}
+		}
+		ips[i], ips[best] = ips[best], ips[i]
+	}
+	if len(ips) > n {
+		ips = ips[:n]
+	}
+	out := make([]int64, len(ips))
+	for i, ip := range ips {
+		out[i] = counts[ip]
+	}
+	return ips, out, nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"capred"
+)
+
+// writeTempTrace materialises a small trace file for the tool tests.
+func writeTempTrace(t *testing.T) string {
+	t.Helper()
+	spec, ok := capred.TraceByName("INT_go")
+	if !ok {
+		t.Fatal("INT_go missing")
+	}
+	path := filepath.Join(t.TempDir(), "t.capt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := capred.NewTraceWriter(f)
+	src := capred.Limit(spec.Open(), 20_000)
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Emit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTopLoads(t *testing.T) {
+	path := writeTempTrace(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ips, counts, err := topLoads(f, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ips) == 0 || len(ips) != len(counts) {
+		t.Fatalf("topLoads returned %d ips, %d counts", len(ips), len(counts))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Errorf("counts not descending: %v", counts)
+		}
+	}
+}
+
+func TestStatsRoundTripThroughFile(t *testing.T) {
+	path := writeTempTrace(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stats, err := capred.CollectStats(capred.NewTraceReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total != 20_000 {
+		t.Errorf("Total = %d, want 20000", stats.Total)
+	}
+	if stats.LoadIPs == 0 {
+		t.Error("no static loads recorded")
+	}
+}

@@ -1,0 +1,52 @@
+// Linked-list example — §2.1 of the paper.
+//
+// A pointer-chasing loop (p = p->next) produces an address sequence like
+// 18-88-48-28 that repeats every traversal: completely unpredictable for
+// a stride predictor, trivially predictable for a context-based one. The
+// data-field loads of the same nodes differ only by a constant offset, so
+// with the base-address scheme (§3.3, "global correlation") they share
+// the CAP's link-table entries with the next-pointer load.
+//
+// This example builds exactly that program shape and compares predictors,
+// then shows what turning global correlation off costs.
+package main
+
+import (
+	"fmt"
+
+	"capred"
+)
+
+func run(p capred.Predictor) capred.Counters {
+	g := capred.NewGenerator(7)
+	// One 12-node linked list with two data fields per node, traversed
+	// repeatedly (shuffled heap layout), plus a long strided array so the
+	// stride predictor has something to be good at.
+	g.AddShare(capred.NewLinkedList(g, 12, 2), 60)
+	g.AddShare(capred.NewArrayWalk(g, 4000, 8, 8), 40)
+	return capred.RunTrace(capred.Limit(g, 300_000), p, 0)
+}
+
+func main() {
+	fmt.Println("workload: 12-node linked list (2 data fields/node) + long array")
+	fmt.Printf("%-22s  %-10s  %-9s\n", "predictor", "pred rate", "accuracy")
+
+	for _, p := range []capred.Predictor{
+		capred.NewStride(capred.DefaultStrideConfig()),
+		capred.NewCAP(capred.DefaultCAPConfig()),
+		capred.NewHybrid(capred.DefaultHybridConfig()),
+	} {
+		c := run(p)
+		fmt.Printf("%-22s  %8.1f%%  %8.2f%%\n", p.Name(), c.PredRate()*100, c.Accuracy()*100)
+	}
+
+	// Global correlation ablation: the same CAP without base addresses.
+	cc := capred.DefaultCAPConfig()
+	cc.GlobalCorrelation = false
+	c := run(capred.NewCAP(cc))
+	fmt.Printf("%-22s  %8.1f%%  %8.2f%%\n", "cap (no correlation)", c.PredRate()*100, c.Accuracy()*100)
+
+	fmt.Println("\nStride cannot follow the pointer chase; CAP predicts all three")
+	fmt.Println("loads per node, and sharing links across the fields (global")
+	fmt.Println("correlation) trains faster than recording each field separately.")
+}

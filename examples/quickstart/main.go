@@ -1,0 +1,36 @@
+// Quickstart: build the paper's hybrid CAP/stride predictor, stream one
+// of the 45 synthetic traces through it in immediate-update mode (§4),
+// and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"capred"
+)
+
+func main() {
+	spec, ok := capred.TraceByName("INT_xli")
+	if !ok {
+		log.Fatal("trace INT_xli missing")
+	}
+
+	predictors := []capred.Predictor{
+		capred.NewLast(capred.DefaultLastConfig()),
+		capred.NewStride(capred.DefaultStrideConfig()),
+		capred.NewCAP(capred.DefaultCAPConfig()),
+		capred.NewHybrid(capred.DefaultHybridConfig()),
+	}
+
+	fmt.Println("trace INT_xli (xlisp-like mix), 400k instructions, immediate update")
+	fmt.Printf("%-8s  %-10s  %-9s  %-12s\n", "pred", "pred rate", "accuracy", "correct/loads")
+	for _, p := range predictors {
+		c := capred.RunTrace(capred.Limit(spec.Open(), 400_000), p, 0)
+		fmt.Printf("%-8s  %8.1f%%  %8.2f%%  %11.1f%%\n",
+			p.Name(), c.PredRate()*100, c.Accuracy()*100, c.CorrectSpecRate()*100)
+	}
+	fmt.Println("\nThe paper's ladder (§1, §4.2): last ≈ 40% of loads, the enhanced")
+	fmt.Println("stride predictor ≈ 53%, CAP ≈ 61%, and the hybrid ≈ 67% at ≈ 99%")
+	fmt.Println("accuracy. The same ordering holds here.")
+}

@@ -1,0 +1,65 @@
+// Value-prediction comparison — the §1 positioning of the paper.
+//
+// "Load-value prediction may be used as an alternate option to reduce
+// load-to-use latency. However, its lower predictability makes this
+// option less attractive." This example measures exactly that on one
+// trace: the hybrid address predictor against last-value, stride-value,
+// context (FCM) and hybrid value predictors over the same loads, with
+// matched table budgets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"capred"
+)
+
+func main() {
+	spec, ok := capred.TraceByName("INT_go")
+	if !ok {
+		log.Fatal("trace INT_go missing")
+	}
+
+	// Address side.
+	apred := capred.NewHybrid(capred.DefaultHybridConfig())
+	addr := capred.RunTrace(capred.Limit(spec.Open(), 400_000), apred, 0)
+
+	// Value side: drive each value predictor over the same load stream.
+	vcfg := capred.DefaultValueConfig()
+	vpreds := []capred.ValuePredictor{
+		capred.NewLastValue(vcfg),
+		capred.NewStrideValue(vcfg),
+		capred.NewContextValue(vcfg),
+		capred.NewHybridValue(vcfg),
+	}
+	loads := int64(0)
+	correct := make([]int64, len(vpreds))
+	src := capred.Limit(spec.Open(), 400_000)
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if ev.Kind != capred.KindLoad {
+			continue
+		}
+		loads++
+		for i, vp := range vpreds {
+			p := vp.Predict(ev.IP)
+			if p.Speculate && p.Val == ev.Val {
+				correct[i]++
+			}
+			vp.Resolve(ev.IP, p, ev.Val)
+		}
+	}
+
+	fmt.Println("trace INT_go: correct speculations out of all loads")
+	fmt.Printf("%-16s  %6.1f%%   (address prediction)\n",
+		"hybrid address", addr.CorrectSpecRate()*100)
+	for i, vp := range vpreds {
+		fmt.Printf("%-16s  %6.1f%%\n", vp.Name(), 100*float64(correct[i])/float64(loads))
+	}
+	fmt.Println("\nAddresses repeat even when data does not: the pointer structure")
+	fmt.Println("of a program is far more stable than the values it computes (§1).")
+}

@@ -1,0 +1,3 @@
+module capred
+
+go 1.22

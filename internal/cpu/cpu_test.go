@@ -1,0 +1,295 @@
+package cpu
+
+import (
+	"testing"
+
+	"capred/internal/predictor"
+	"capred/internal/prefetch"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// aluTrace returns n independent ALU ops.
+func aluTrace(n int) trace.Source {
+	evs := make([]trace.Event, n)
+	for i := range evs {
+		evs[i] = trace.Event{Kind: trace.KindALU, IP: uint32(4 * i)}
+	}
+	return trace.NewSliceSource(evs)
+}
+
+// chainTrace returns n ALU ops where each depends on the previous.
+func chainTrace(n int) trace.Source {
+	evs := make([]trace.Event, n)
+	for i := range evs {
+		evs[i] = trace.Event{Kind: trace.KindALU, IP: uint32(4 * i)}
+		if i > 0 {
+			evs[i].Src1 = 1
+		}
+	}
+	return trace.NewSliceSource(evs)
+}
+
+func TestIndependentALUBoundedByWidth(t *testing.T) {
+	const n = 8000
+	r := Run(aluTrace(n), nil, 0, DefaultConfig())
+	if r.Instructions != n {
+		t.Fatalf("retired %d, want %d", r.Instructions, n)
+	}
+	// 8-wide fetch, 10 FUs: IPC should approach 8.
+	if ipc := r.IPC(); ipc < 6 {
+		t.Errorf("independent ALU IPC = %.2f, want near the fetch width", ipc)
+	}
+}
+
+func TestDependentChainSerialises(t *testing.T) {
+	const n = 8000
+	r := Run(chainTrace(n), nil, 0, DefaultConfig())
+	// A single dependence chain of unit-latency ops: ~1 IPC.
+	if ipc := r.IPC(); ipc > 1.2 {
+		t.Errorf("chained ALU IPC = %.2f, want about 1", ipc)
+	}
+}
+
+func TestFULimitBinds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FUs = 2
+	cfg.FetchWidth = 8
+	r := Run(aluTrace(8000), nil, 0, cfg)
+	if ipc := r.IPC(); ipc > 2.2 {
+		t.Errorf("IPC = %.2f with 2 FUs, want ≤ ~2", ipc)
+	}
+}
+
+func TestBranchMispredictionsCostCycles(t *testing.T) {
+	// Alternating taken/not-taken confuses the 2-bit counters less than
+	// random; compare random outcomes vs all-taken.
+	mk := func(rndTaken bool) trace.Source {
+		evs := make([]trace.Event, 6000)
+		x := uint32(12345)
+		for i := range evs {
+			taken := true
+			if rndTaken {
+				x = x*1664525 + 1013904223
+				taken = x>>16&1 != 0 // high LCG bit: long period
+			}
+			evs[i] = trace.Event{Kind: trace.KindBranch, IP: 0x100, Taken: taken}
+		}
+		return trace.NewSliceSource(evs)
+	}
+	steady := Run(mk(false), nil, 0, DefaultConfig())
+	random := Run(mk(true), nil, 0, DefaultConfig())
+	if random.Cycles <= steady.Cycles {
+		t.Errorf("random branches (%d cycles) should cost more than steady (%d)",
+			random.Cycles, steady.Cycles)
+	}
+	if steady.BranchMispreds > random.BranchMispreds {
+		t.Error("steady branches should mispredict less")
+	}
+}
+
+// pointerChase builds a trace of loads where each load's address comes
+// from the previous one (a linked-list walk), repeated over a small ring
+// of addresses so a context predictor can learn it.
+func pointerChase(n int) []trace.Event {
+	addrs := []uint32{0x1010, 0x8058, 0x4024, 0x20c8, 0x60e4, 0x70a8}
+	evs := make([]trace.Event, 0, 2*n)
+	for i := 0; i < n; i++ {
+		ev := trace.Event{
+			Kind: trace.KindLoad, IP: 0x100,
+			Addr: addrs[i%len(addrs)] + 8, Offset: 8,
+		}
+		if i > 0 {
+			ev.Src1 = 2 // previous load (one ALU in between)
+		}
+		evs = append(evs, ev)
+		evs = append(evs, trace.Event{Kind: trace.KindALU, IP: 0x200, Src1: 1})
+	}
+	return evs
+}
+
+func TestAddressPredictionSpeedsUpPointerChase(t *testing.T) {
+	evs := pointerChase(6000)
+	base := Run(trace.NewSliceSource(evs), nil, 0, DefaultConfig())
+	pred := Run(trace.NewSliceSource(evs),
+		predictor.NewHybrid(predictor.DefaultHybridConfig()), 0, DefaultConfig())
+	if pred.Cycles >= base.Cycles {
+		t.Fatalf("prediction did not help: base=%d pred=%d cycles", base.Cycles, pred.Cycles)
+	}
+	speedup := float64(base.Cycles) / float64(pred.Cycles)
+	if speedup < 1.2 {
+		t.Errorf("pointer-chase speedup = %.2f, want substantial", speedup)
+	}
+	if pred.CorrectSpec == 0 {
+		t.Error("no correct speculative accesses recorded")
+	}
+}
+
+func TestPredictionHelpsChainsMoreThanArrays(t *testing.T) {
+	// §2: address prediction is the enabler for parallel execution of
+	// recursive data structures, while strided code already pipelines.
+	// The speedup on a dependent chain must exceed that on an array walk.
+	arr := make([]trace.Event, 0, 12000)
+	for i := 0; i < 6000; i++ {
+		arr = append(arr, trace.Event{
+			Kind: trace.KindLoad, IP: 0x100, Addr: uint32(0x100000 + 8*(i%512)),
+		})
+		arr = append(arr, trace.Event{Kind: trace.KindALU, IP: 0x200, Src1: 1})
+	}
+	speedup := func(evs []trace.Event) float64 {
+		base := Run(trace.NewSliceSource(evs), nil, 0, DefaultConfig())
+		pred := Run(trace.NewSliceSource(evs),
+			predictor.NewHybrid(predictor.DefaultHybridConfig()), 0, DefaultConfig())
+		return float64(base.Cycles) / float64(pred.Cycles)
+	}
+	chase := speedup(pointerChase(6000))
+	array := speedup(arr)
+	if chase <= array {
+		t.Errorf("chain speedup (%.2f) should exceed array speedup (%.2f)", chase, array)
+	}
+}
+
+func TestMispredictionPenaltyHurts(t *testing.T) {
+	// A predictor that speculates wrongly on random addresses must not
+	// beat the no-prediction baseline... construct random loads and a
+	// hostile always-speculate predictor.
+	evs := make([]trace.Event, 0, 8000)
+	x := uint32(7)
+	for i := 0; i < 4000; i++ {
+		x = x*1664525 + 1013904223
+		evs = append(evs, trace.Event{Kind: trace.KindLoad, IP: 0x100, Addr: x &^ 3})
+		evs = append(evs, trace.Event{Kind: trace.KindALU, Src1: 1})
+	}
+	base := Run(trace.NewSliceSource(evs), nil, 0, DefaultConfig())
+	hostile := Run(trace.NewSliceSource(evs), alwaysWrong{}, 0, DefaultConfig())
+	if hostile.Cycles <= base.Cycles {
+		t.Errorf("wrong speculation should cost cycles: base=%d hostile=%d",
+			base.Cycles, hostile.Cycles)
+	}
+	if hostile.MispredSpec == 0 {
+		t.Error("hostile predictor should record mispredictions")
+	}
+}
+
+// alwaysWrong speculates a fixed wrong address for every load.
+type alwaysWrong struct{}
+
+func (alwaysWrong) Name() string { return "always-wrong" }
+func (alwaysWrong) Predict(predictor.LoadRef) predictor.Prediction {
+	return predictor.Prediction{Addr: 0xDEAD0000, Predicted: true, Speculate: true}
+}
+func (alwaysWrong) Resolve(predictor.LoadRef, predictor.Prediction, uint32) {}
+
+func TestWindowLimitBinds(t *testing.T) {
+	// A long-latency load at the head of a full window stalls fetch: a
+	// tiny window must be slower than the default on miss-heavy code.
+	evs := make([]trace.Event, 0, 20000)
+	x := uint32(3)
+	for i := 0; i < 5000; i++ {
+		x = x*1664525 + 1013904223
+		evs = append(evs, trace.Event{Kind: trace.KindLoad, IP: 0x100, Addr: x &^ 3})
+		evs = append(evs, trace.Event{Kind: trace.KindALU}, trace.Event{Kind: trace.KindALU}, trace.Event{Kind: trace.KindALU})
+	}
+	small := DefaultConfig()
+	small.Window = 16
+	big := Run(trace.NewSliceSource(evs), nil, 0, DefaultConfig())
+	tiny := Run(trace.NewSliceSource(evs), nil, 0, small)
+	if tiny.Cycles <= big.Cycles {
+		t.Errorf("16-entry window (%d cycles) should be slower than 128 (%d)",
+			tiny.Cycles, big.Cycles)
+	}
+}
+
+func TestRunOnRealWorkload(t *testing.T) {
+	spec, ok := workload.ByName("INT_xli")
+	if !ok {
+		t.Fatal("INT_xli missing")
+	}
+	src := trace.NewLimit(spec.Open(), 60_000)
+	base := Run(src, nil, 0, DefaultConfig())
+	if base.Instructions != 60_000 {
+		t.Fatalf("instructions = %d", base.Instructions)
+	}
+	if base.IPC() < 0.3 || base.IPC() > 8 {
+		t.Errorf("baseline IPC = %.2f, implausible", base.IPC())
+	}
+	src2 := trace.NewLimit(spec.Open(), 60_000)
+	pred := Run(src2, predictor.NewHybrid(predictor.DefaultHybridConfig()), 0, DefaultConfig())
+	if pred.Cycles >= base.Cycles {
+		t.Errorf("hybrid prediction should speed up INT_xli: base=%d pred=%d",
+			base.Cycles, pred.Cycles)
+	}
+	if base.L1HitRate <= 0 || base.L1HitRate > 1 {
+		t.Errorf("L1 hit rate = %v", base.L1HitRate)
+	}
+}
+
+func TestResultIPCZeroCycles(t *testing.T) {
+	var r Result
+	if r.IPC() != 0 {
+		t.Error("IPC of empty result should be 0")
+	}
+}
+
+func TestPrefetcherRaisesHitRate(t *testing.T) {
+	spec, _ := workload.ByName("MM_aud")
+	base := Run(trace.NewLimit(spec.Open(), 60_000), nil, 0, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Prefetcher = prefetch.NewRPT(prefetch.DefaultRPTConfig())
+	pf := Run(trace.NewLimit(spec.Open(), 60_000), nil, 0, cfg)
+	if !(pf.L1HitRate > base.L1HitRate) {
+		t.Errorf("prefetching did not raise L1 hit rate: %.3f vs %.3f",
+			pf.L1HitRate, base.L1HitRate)
+	}
+	if pf.Cycles >= base.Cycles {
+		t.Errorf("prefetching did not save cycles on streaming MM: %d vs %d",
+			pf.Cycles, base.Cycles)
+	}
+}
+
+func TestRingI64(t *testing.T) {
+	r := newRing(8)
+	for i := int64(0); i < 20; i++ {
+		r.set(i, i*10)
+	}
+	// Recent entries are retrievable; negative indices read as zero.
+	if r.get(19) != 190 || r.get(13) != 130 {
+		t.Error("ring recent reads wrong")
+	}
+	if r.get(-1) != 0 {
+		t.Error("negative index should read 0")
+	}
+}
+
+func TestResourceReserveRespectsLimit(t *testing.T) {
+	r := newResource(2, 64)
+	c1 := r.reserve(10)
+	c2 := r.reserve(10)
+	c3 := r.reserve(10)
+	if c1 != 10 || c2 != 10 {
+		t.Errorf("first two reservations at 10: got %d, %d", c1, c2)
+	}
+	if c3 != 11 {
+		t.Errorf("third reservation should spill to 11, got %d", c3)
+	}
+	// Earlier cycles can still be reserved if within the ring window.
+	if c := r.reserve(5); c != 5 {
+		t.Errorf("backfill reservation = %d, want 5", c)
+	}
+}
+
+func TestTournamentLearnsLoopPattern(t *testing.T) {
+	// Period-8 pattern TTTTTTTN: the local component must learn it.
+	bp := newTournament(12, 10)
+	misses := 0
+	for i := 0; i < 4000; i++ {
+		taken := i%8 != 7
+		if bp.predict(0x40) != taken && i > 1000 {
+			misses++
+		}
+		bp.update(0x40, taken)
+	}
+	if misses > 60 {
+		t.Errorf("tournament mispredicted %d/3000 on a period-8 loop", misses)
+	}
+}

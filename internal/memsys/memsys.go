@@ -1,0 +1,194 @@
+// Package memsys models the memory hierarchy of the paper's baseline
+// processor (§4.1): a 32KB L1 data cache, a 1MB L2, and main memory, with
+// set-associative, write-back, LRU caches. The timing model uses it to
+// derive per-access load-to-use latencies.
+package memsys
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int // total capacity
+	LineBytes int // line size (power of two)
+	Ways      int // associativity (power of two)
+	HitCycles int // access latency on a hit
+}
+
+// Cache is a set-associative, write-back, true-LRU cache model. It tracks
+// hits and misses; data values are not modelled, only presence.
+type Cache struct {
+	cfg     CacheConfig
+	sets    int
+	lineLow uint
+	setMask uint32
+	lines   []cacheLine
+
+	Hits   int64
+	Misses int64
+}
+
+type cacheLine struct {
+	valid bool
+	dirty bool
+	tag   uint32
+	age   uint32
+}
+
+// NewCache builds a cache. Size, line size and ways must describe a
+// power-of-two set count.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.LineBytes <= 0 || cfg.Ways <= 0 {
+		panic("memsys: cache geometry must be positive")
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("memsys: set count must be a positive power of two")
+	}
+	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("memsys: line size must be a power of two")
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		lineLow: log2(uint(cfg.LineBytes)),
+		setMask: uint32(sets - 1),
+		lines:   make([]cacheLine, lines),
+	}
+}
+
+func log2(n uint) uint {
+	var l uint
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+func (c *Cache) set(addr uint32) int {
+	return int((addr >> c.lineLow) & c.setMask)
+}
+
+func (c *Cache) tag(addr uint32) uint32 {
+	return addr >> (c.lineLow + log2(uint(c.sets)))
+}
+
+// Access looks up addr, filling on miss. It returns whether the access hit
+// and, on miss, whether a dirty victim was evicted (write-back traffic).
+func (c *Cache) Access(addr uint32, write bool) (hit, writeback bool) {
+	base := c.set(addr) * c.cfg.Ways
+	tag := c.tag(addr)
+	victim := base
+	for i := base; i < base+c.cfg.Ways; i++ {
+		l := &c.lines[i]
+		if l.valid && l.tag == tag {
+			c.touch(base, i)
+			if write {
+				l.dirty = true
+			}
+			c.Hits++
+			return true, false
+		}
+		if !l.valid {
+			victim = i
+		} else if c.lines[victim].valid && l.age > c.lines[victim].age {
+			victim = i
+		}
+	}
+	c.Misses++
+	l := &c.lines[victim]
+	writeback = l.valid && l.dirty
+	l.valid, l.dirty, l.tag = true, write, tag
+	c.touch(base, victim)
+	return false, writeback
+}
+
+// Contains reports whether addr is resident without perturbing LRU or
+// statistics.
+func (c *Cache) Contains(addr uint32) bool {
+	base := c.set(addr) * c.cfg.Ways
+	tag := c.tag(addr)
+	for i := base; i < base+c.cfg.Ways; i++ {
+		l := &c.lines[i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) touch(base, i int) {
+	for j := base; j < base+c.cfg.Ways; j++ {
+		if c.lines[j].valid {
+			c.lines[j].age++
+		}
+	}
+	c.lines[i].age = 0
+}
+
+// HitRate returns hits / accesses.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// HierarchyConfig describes the two-level hierarchy plus memory latency.
+type HierarchyConfig struct {
+	L1, L2    CacheConfig
+	MemCycles int
+}
+
+// DefaultHierarchyConfig mirrors §4.1: 32KB L1, 1MB L2, with latencies in
+// line with the paper's era scaled to its 3-cycle load-to-use discussion.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1:        CacheConfig{SizeBytes: 32 << 10, LineBytes: 32, Ways: 4, HitCycles: 4},
+		L2:        CacheConfig{SizeBytes: 1 << 20, LineBytes: 32, Ways: 8, HitCycles: 8},
+		MemCycles: 30,
+	}
+}
+
+// Hierarchy is the two-level data-cache hierarchy.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	L1  *Cache
+	L2  *Cache
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{cfg: cfg, L1: NewCache(cfg.L1), L2: NewCache(cfg.L2)}
+}
+
+// Access performs a load or store and returns its total latency in cycles.
+func (h *Hierarchy) Access(addr uint32, write bool) int {
+	lat := h.cfg.L1.HitCycles
+	hit, _ := h.L1.Access(addr, write)
+	if hit {
+		return lat
+	}
+	lat += h.cfg.L2.HitCycles
+	hit, _ = h.L2.Access(addr, write)
+	if hit {
+		return lat
+	}
+	return lat + h.cfg.MemCycles
+}
+
+// L1HitCycles exposes the L1 latency (the minimum load-to-use latency the
+// paper's address prediction hides).
+func (h *Hierarchy) L1HitCycles() int { return h.cfg.L1.HitCycles }
+
+// Prefetch brings addr's line into the hierarchy without counting it as
+// demand traffic in either level's hit statistics.
+func (h *Hierarchy) Prefetch(addr uint32) {
+	h1, m1 := h.L1.Hits, h.L1.Misses
+	h2, m2 := h.L2.Hits, h.L2.Misses
+	if hit, _ := h.L1.Access(addr, false); !hit {
+		h.L2.Access(addr, false)
+	}
+	h.L1.Hits, h.L1.Misses = h1, m1
+	h.L2.Hits, h.L2.Misses = h2, m2
+}

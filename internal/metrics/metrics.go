@@ -1,0 +1,127 @@
+// Package metrics accumulates the prediction statistics reported in the
+// paper's evaluation: prediction rate (speculative accesses out of all
+// dynamic loads), accuracy (correct predictions out of speculative
+// accesses), misprediction rate, correct-speculative rate, and the hybrid
+// selector statistics of Fig. 8.
+package metrics
+
+import (
+	"fmt"
+
+	"capred/internal/predictor"
+)
+
+// Counters aggregates per-load prediction outcomes.
+type Counters struct {
+	Loads       int64 // dynamic loads observed
+	Predicted   int64 // loads for which an address was produced
+	Correct     int64 // correct among Predicted (speculated or not)
+	Speculated  int64 // loads for which a speculative access was launched
+	SpecCorrect int64 // correct among Speculated
+	Mispred     int64 // wrong among Speculated
+
+	// Hybrid selector statistics (Fig. 8), collected over loads where
+	// both components were confident.
+	DualConfident int64
+	SelStates     [4]int64
+	MisSelected   int64 // mispredictions the other component had right
+}
+
+// Record tallies one resolved load.
+func (c *Counters) Record(p predictor.Prediction, actual uint32) {
+	c.Loads++
+	if p.Predicted {
+		c.Predicted++
+		if p.Addr == actual {
+			c.Correct++
+		}
+	}
+	if p.Speculate {
+		c.Speculated++
+		if p.Addr == actual {
+			c.SpecCorrect++
+		} else {
+			c.Mispred++
+		}
+	}
+	if p.Stride.Confident && p.CAP.Confident {
+		c.DualConfident++
+		if int(p.SelState) < len(c.SelStates) {
+			c.SelStates[p.SelState]++
+		}
+		if p.Speculate && p.Addr != actual {
+			other := p.Stride
+			if p.Selected == predictor.CompStride {
+				other = p.CAP
+			}
+			if other.Addr == actual {
+				c.MisSelected++
+			}
+		}
+	}
+}
+
+// Merge adds other into c.
+func (c *Counters) Merge(other Counters) {
+	c.Loads += other.Loads
+	c.Predicted += other.Predicted
+	c.Correct += other.Correct
+	c.Speculated += other.Speculated
+	c.SpecCorrect += other.SpecCorrect
+	c.Mispred += other.Mispred
+	c.DualConfident += other.DualConfident
+	for i := range c.SelStates {
+		c.SelStates[i] += other.SelStates[i]
+	}
+	c.MisSelected += other.MisSelected
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// PredRate is the paper's prediction-rate metric: speculative accesses out
+// of all dynamic loads.
+func (c Counters) PredRate() float64 { return ratio(c.Speculated, c.Loads) }
+
+// Accuracy is the correct-prediction rate out of all speculative accesses.
+func (c Counters) Accuracy() float64 { return ratio(c.SpecCorrect, c.Speculated) }
+
+// MispredRate is 1 − Accuracy: wrong speculative accesses out of all
+// speculative accesses.
+func (c Counters) MispredRate() float64 { return ratio(c.Mispred, c.Speculated) }
+
+// CorrectSpecRate is the Fig. 9/11 metric: correct speculative accesses
+// out of all dynamic loads.
+func (c Counters) CorrectSpecRate() float64 { return ratio(c.SpecCorrect, c.Loads) }
+
+// MispredOfLoads is the share of all dynamic loads that suffered a wrong
+// speculative access.
+func (c Counters) MispredOfLoads() float64 { return ratio(c.Mispred, c.Loads) }
+
+// SelStateShare returns the fraction of dual-confident loads predicted in
+// the given selector state.
+func (c Counters) SelStateShare(state uint8) float64 {
+	if int(state) >= len(c.SelStates) {
+		return 0
+	}
+	return ratio(c.SelStates[state], c.DualConfident)
+}
+
+// CorrectSelectionRate is 1 − (mis-selections / dual-confident loads): the
+// Fig. 8 selection-quality metric.
+func (c Counters) CorrectSelectionRate() float64 {
+	if c.DualConfident == 0 {
+		return 1
+	}
+	return 1 - ratio(c.MisSelected, c.DualConfident)
+}
+
+// String renders a one-line summary.
+func (c Counters) String() string {
+	return fmt.Sprintf("loads=%d pred-rate=%.1f%% accuracy=%.2f%% correct-spec=%.1f%%",
+		c.Loads, c.PredRate()*100, c.Accuracy()*100, c.CorrectSpecRate()*100)
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"capred/internal/predictor"
+)
+
+func TestCountersBasicRates(t *testing.T) {
+	var c Counters
+	// 1: correct speculated.
+	c.Record(predictor.Prediction{Addr: 10, Predicted: true, Speculate: true}, 10)
+	// 2: wrong speculated.
+	c.Record(predictor.Prediction{Addr: 10, Predicted: true, Speculate: true}, 11)
+	// 3: correct, not speculated.
+	c.Record(predictor.Prediction{Addr: 20, Predicted: true}, 20)
+	// 4: no prediction.
+	c.Record(predictor.Prediction{}, 30)
+
+	if c.Loads != 4 || c.Predicted != 3 || c.Correct != 2 ||
+		c.Speculated != 2 || c.SpecCorrect != 1 || c.Mispred != 1 {
+		t.Fatalf("counters wrong: %+v", c)
+	}
+	if c.PredRate() != 0.5 {
+		t.Errorf("PredRate = %v, want 0.5", c.PredRate())
+	}
+	if c.Accuracy() != 0.5 {
+		t.Errorf("Accuracy = %v, want 0.5", c.Accuracy())
+	}
+	if c.MispredRate() != 0.5 {
+		t.Errorf("MispredRate = %v, want 0.5", c.MispredRate())
+	}
+	if c.CorrectSpecRate() != 0.25 {
+		t.Errorf("CorrectSpecRate = %v, want 0.25", c.CorrectSpecRate())
+	}
+	if c.MispredOfLoads() != 0.25 {
+		t.Errorf("MispredOfLoads = %v, want 0.25", c.MispredOfLoads())
+	}
+}
+
+func TestCountersEmptyRates(t *testing.T) {
+	var c Counters
+	if c.PredRate() != 0 || c.Accuracy() != 0 || c.CorrectSpecRate() != 0 {
+		t.Error("empty counters must report zero rates")
+	}
+	if c.CorrectSelectionRate() != 1 {
+		t.Error("empty selection rate should be 1 (no mis-selections)")
+	}
+}
+
+func TestCountersSelectorStats(t *testing.T) {
+	var c Counters
+	dual := predictor.Prediction{
+		Addr: 10, Predicted: true, Speculate: true,
+		Selected: predictor.CompCAP,
+		SelState: predictor.SelStrongCAP,
+		Stride:   predictor.ComponentPrediction{Addr: 99, Predicted: true, Confident: true},
+		CAP:      predictor.ComponentPrediction{Addr: 10, Predicted: true, Confident: true},
+	}
+	c.Record(dual, 10) // correct, CAP selected
+	if c.DualConfident != 1 || c.SelStates[predictor.SelStrongCAP] != 1 {
+		t.Fatalf("selector stats wrong: %+v", c)
+	}
+	if c.SelStateShare(predictor.SelStrongCAP) != 1 {
+		t.Error("SelStateShare wrong")
+	}
+
+	// Mis-selection: selected CAP, wrong, stride had it right.
+	miss := dual
+	miss.Addr = 50
+	miss.CAP.Addr = 50
+	miss.Stride.Addr = 77
+	c.Record(miss, 77)
+	if c.MisSelected != 1 {
+		t.Fatalf("MisSelected = %d, want 1", c.MisSelected)
+	}
+	if got := c.CorrectSelectionRate(); got != 0.5 {
+		t.Errorf("CorrectSelectionRate = %v, want 0.5", got)
+	}
+
+	// Both wrong: not a mis-selection.
+	bothWrong := dual
+	bothWrong.Addr = 1
+	bothWrong.CAP.Addr = 1
+	bothWrong.Stride.Addr = 2
+	c.Record(bothWrong, 3)
+	if c.MisSelected != 1 {
+		t.Error("both-wrong must not count as mis-selection")
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	var a, b Counters
+	a.Record(predictor.Prediction{Addr: 1, Predicted: true, Speculate: true}, 1)
+	b.Record(predictor.Prediction{Addr: 2, Predicted: true, Speculate: true}, 3)
+	b.Record(predictor.Prediction{}, 9)
+	a.Merge(b)
+	if a.Loads != 3 || a.Speculated != 2 || a.SpecCorrect != 1 || a.Mispred != 1 {
+		t.Errorf("merge wrong: %+v", a)
+	}
+}
+
+func TestCountersString(t *testing.T) {
+	var c Counters
+	c.Record(predictor.Prediction{Addr: 1, Predicted: true, Speculate: true}, 1)
+	if !strings.Contains(c.String(), "loads=1") {
+		t.Errorf("String() = %q", c.String())
+	}
+}
+
+func TestSelStateShareOutOfRange(t *testing.T) {
+	var c Counters
+	if c.SelStateShare(200) != 0 {
+		t.Error("out-of-range selector state must report 0")
+	}
+}

@@ -1,0 +1,195 @@
+package pipeline
+
+import (
+	"testing"
+
+	"capred/internal/predictor"
+)
+
+// recorder is a fake predictor that logs the order of operations.
+type recorder struct {
+	ops []string
+	ids map[predictor.LoadRef]int
+}
+
+func newRecorder() *recorder {
+	return &recorder{ids: make(map[predictor.LoadRef]int)}
+}
+
+func (r *recorder) Name() string { return "recorder" }
+
+func (r *recorder) Predict(ref predictor.LoadRef) predictor.Prediction {
+	r.ops = append(r.ops, "P"+string(rune('0'+ref.IP)))
+	return predictor.Prediction{Addr: ref.IP * 10, Predicted: true}
+}
+
+func (r *recorder) Resolve(ref predictor.LoadRef, p predictor.Prediction, actual uint32) {
+	r.ops = append(r.ops, "R"+string(rune('0'+ref.IP)))
+	if p.Addr != ref.IP*10 {
+		panic("resolution got the wrong prediction")
+	}
+	if actual != ref.IP*100 {
+		panic("resolution got the wrong actual address")
+	}
+}
+
+func TestGapZeroIsImmediate(t *testing.T) {
+	r := newRecorder()
+	g := New(r, 0)
+	for ip := uint32(1); ip <= 3; ip++ {
+		g.Process(predictor.LoadRef{IP: ip}, ip*100)
+	}
+	g.Drain()
+	want := "P1R1P2R2P3R3"
+	got := ""
+	for _, op := range r.ops {
+		got += op
+	}
+	if got != want {
+		t.Errorf("immediate order = %s, want %s", got, want)
+	}
+}
+
+func TestGapDefersResolutionByDepth(t *testing.T) {
+	r := newRecorder()
+	g := New(r, 2)
+	for ip := uint32(1); ip <= 4; ip++ {
+		g.Process(predictor.LoadRef{IP: ip}, ip*100)
+	}
+	g.Drain()
+	// With depth 2: P1 P2, then each new prediction first retires the
+	// oldest: R1 P3, R2 P4, drain R3 R4.
+	want := "P1P2R1P3R2P4R3R4"
+	got := ""
+	for _, op := range r.ops {
+		got += op
+	}
+	if got != want {
+		t.Errorf("gapped order = %s, want %s", got, want)
+	}
+}
+
+func TestGapPendingAndDrain(t *testing.T) {
+	g := New(newRecorder(), 3)
+	for ip := uint32(1); ip <= 2; ip++ {
+		g.Process(predictor.LoadRef{IP: ip}, ip*100)
+	}
+	if g.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", g.Pending())
+	}
+	g.Drain()
+	if g.Pending() != 0 {
+		t.Errorf("Pending after Drain = %d, want 0", g.Pending())
+	}
+	// Drain on empty is a no-op.
+	g.Drain()
+}
+
+func TestGapDepthAccessor(t *testing.T) {
+	if New(newRecorder(), 5).Depth() != 5 {
+		t.Error("Depth() wrong")
+	}
+}
+
+func TestGapNegativeDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative depth")
+		}
+	}()
+	New(newRecorder(), -1)
+}
+
+func TestGapLongRunRingBuffer(t *testing.T) {
+	// Exercise ring-buffer wrap-around with many loads.
+	r := newRecorder()
+	g := New(r, 4)
+	const n = 100
+	for i := 0; i < n; i++ {
+		g.Process(predictor.LoadRef{IP: uint32(i % 8)}, uint32(i%8)*100)
+	}
+	g.Drain()
+	var preds, ress int
+	for _, op := range r.ops {
+		if op[0] == 'P' {
+			preds++
+		} else {
+			ress++
+		}
+	}
+	if preds != n || ress != n {
+		t.Errorf("got %d predictions, %d resolutions, want %d each", preds, ress, n)
+	}
+}
+
+// squashRecorder counts squashes.
+type squashRecorder struct {
+	recorder
+	squashed []uint32
+}
+
+func (s *squashRecorder) Squash(ref predictor.LoadRef, p predictor.Prediction) {
+	s.squashed = append(s.squashed, ref.IP)
+}
+
+func TestGapSquashNewest(t *testing.T) {
+	r := &squashRecorder{recorder: *newRecorder()}
+	g := New(r, 4)
+	for ip := uint32(1); ip <= 4; ip++ {
+		g.Process(predictor.LoadRef{IP: ip}, ip*100)
+	}
+	// Flush the two youngest (wrong-path) predictions.
+	if n := g.SquashNewest(2); n != 2 {
+		t.Fatalf("squashed %d, want 2", n)
+	}
+	if g.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", g.Pending())
+	}
+	// Youngest-first order: IP 4 then IP 3.
+	if len(r.squashed) != 2 || r.squashed[0] != 4 || r.squashed[1] != 3 {
+		t.Errorf("squash order = %v, want [4 3]", r.squashed)
+	}
+	// Remaining predictions resolve normally and in order.
+	g.Drain()
+	got := ""
+	for _, op := range r.ops {
+		got += op
+	}
+	if got != "P1P2P3P4R1R2" {
+		t.Errorf("ops = %s", got)
+	}
+}
+
+func TestGapSquashMoreThanPending(t *testing.T) {
+	r := &squashRecorder{recorder: *newRecorder()}
+	g := New(r, 4)
+	g.Process(predictor.LoadRef{IP: 1}, 100)
+	if n := g.SquashNewest(10); n != 1 {
+		t.Errorf("squashed %d, want 1", n)
+	}
+	if g.Pending() != 0 {
+		t.Error("pending should be 0")
+	}
+}
+
+func TestGapSquashImmediateModeNoop(t *testing.T) {
+	g := New(newRecorder(), 0)
+	if n := g.SquashNewest(3); n != 0 {
+		t.Errorf("immediate-mode squash flushed %d", n)
+	}
+}
+
+func TestGapSquashNonSquasherDropsSilently(t *testing.T) {
+	r := newRecorder() // does not implement Squasher
+	g := New(r, 2)
+	g.Process(predictor.LoadRef{IP: 1}, 100)
+	if n := g.SquashNewest(1); n != 1 {
+		t.Errorf("flushed %d, want 1", n)
+	}
+	g.Drain()
+	for _, op := range r.ops {
+		if op == "R1" {
+			t.Error("squashed prediction must not resolve")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package predictor
+
+// cfInd implements the control-flow indications confidence mechanism of
+// §3.4: when a speculative access mispredicts, the n LSBs of the global
+// branch-history register are recorded; later predictions whose GHR
+// matches the recorded pattern are not allowed to speculate.
+//
+// The advanced variant (PathTable) keeps 2^n bits, one per path, each
+// recording the correctness of the last speculative access performed on
+// that path; a path must not have a recorded failure to speculate.
+type cfInd struct {
+	pattern uint8 // GHR LSBs recorded at the last misprediction
+	valid   bool
+	seen    uint16 // advanced: paths with a recorded outcome
+	ok      uint16 // advanced: paths whose last speculative access was correct
+}
+
+// CFConfig configures the control-flow indications mechanism. Bits of
+// zero disables it entirely.
+type CFConfig struct {
+	Bits  int  // n: GHR bits considered (1..4)
+	Table bool // use the advanced 2^n per-path variant
+}
+
+// NoCF returns a disabled control-flow indications configuration.
+func NoCF() CFConfig { return CFConfig{} }
+
+func (c CFConfig) enabled() bool { return c.Bits > 0 }
+
+func (c CFConfig) mask() uint32 { return 1<<uint(c.Bits) - 1 }
+
+// allow reports whether speculation is permitted under the current GHR.
+func (f *cfInd) allow(cfg CFConfig, ghr uint32) bool {
+	if !cfg.enabled() {
+		return true
+	}
+	p := ghr & cfg.mask()
+	if cfg.Table {
+		bit := uint16(1) << p
+		return f.seen&bit == 0 || f.ok&bit != 0
+	}
+	return !f.valid || uint8(p) != f.pattern
+}
+
+// record notes the outcome of a resolved prediction made under ghr. The
+// simple scheme only reacts to speculated mispredictions (it records the
+// path of the last misprediction); the table scheme tracks prediction
+// correctness per path for every verified prediction, so a blocked path
+// unblocks once predictions on it become correct again.
+func (f *cfInd) record(cfg CFConfig, ghr uint32, correct, speculated bool) {
+	if !cfg.enabled() {
+		return
+	}
+	p := ghr & cfg.mask()
+	if cfg.Table {
+		bit := uint16(1) << p
+		f.seen |= bit
+		if correct {
+			f.ok |= bit
+		} else {
+			f.ok &^= bit
+		}
+		return
+	}
+	if speculated && !correct {
+		f.pattern = uint8(p)
+		f.valid = true
+	}
+}

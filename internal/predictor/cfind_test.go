@@ -1,0 +1,98 @@
+package predictor
+
+import "testing"
+
+func TestCFDisabledAlwaysAllows(t *testing.T) {
+	var f cfInd
+	cfg := CFConfig{}
+	if !f.allow(cfg, 0b1111) {
+		t.Error("disabled CF must always allow")
+	}
+	f.record(cfg, 0b1111, false, true)
+	if !f.allow(cfg, 0b1111) {
+		t.Error("disabled CF must ignore records")
+	}
+}
+
+func TestCFSimpleBlocksLastMispredictionPath(t *testing.T) {
+	var f cfInd
+	cfg := CFConfig{Bits: 3}
+	if !f.allow(cfg, 0b101) {
+		t.Error("fresh CF must allow")
+	}
+	f.record(cfg, 0b101, false, true) // speculated misprediction
+	if f.allow(cfg, 0b101) {
+		t.Error("the misprediction path must be blocked")
+	}
+	if !f.allow(cfg, 0b011) {
+		t.Error("other paths must stay allowed")
+	}
+	// A new misprediction replaces the pattern.
+	f.record(cfg, 0b011, false, true)
+	if !f.allow(cfg, 0b101) {
+		t.Error("old pattern must be forgotten after a new misprediction")
+	}
+	if f.allow(cfg, 0b011) {
+		t.Error("new pattern must be blocked")
+	}
+}
+
+func TestCFSimpleIgnoresNonSpeculatedOutcomes(t *testing.T) {
+	var f cfInd
+	cfg := CFConfig{Bits: 2}
+	f.record(cfg, 0b01, false, false) // wrong but not speculated
+	if !f.allow(cfg, 0b01) {
+		t.Error("non-speculated mispredictions must not block the simple scheme")
+	}
+	f.record(cfg, 0b01, true, true) // correct speculated access
+	if !f.allow(cfg, 0b01) {
+		t.Error("correct accesses must not block")
+	}
+}
+
+func TestCFTablePerPathAccuracy(t *testing.T) {
+	var f cfInd
+	cfg := CFConfig{Bits: 2, Table: true}
+	// Unknown paths are allowed.
+	if !f.allow(cfg, 0b00) {
+		t.Error("unknown path must be allowed")
+	}
+	f.record(cfg, 0b00, false, true)
+	f.record(cfg, 0b01, true, true)
+	if f.allow(cfg, 0b00) {
+		t.Error("failed path must be blocked")
+	}
+	if !f.allow(cfg, 0b01) {
+		t.Error("successful path must be allowed")
+	}
+	if !f.allow(cfg, 0b10) {
+		t.Error("untouched path must be allowed")
+	}
+}
+
+func TestCFTableUnblocksWhenPredictionsRecover(t *testing.T) {
+	// The table variant tracks prediction correctness even while blocked,
+	// so a path recovers once the prediction stream is right again.
+	var f cfInd
+	cfg := CFConfig{Bits: 2, Table: true}
+	f.record(cfg, 0b10, false, true)
+	if f.allow(cfg, 0b10) {
+		t.Fatal("path should be blocked")
+	}
+	f.record(cfg, 0b10, true, false) // verified correct, not speculated
+	if !f.allow(cfg, 0b10) {
+		t.Error("path should unblock after a correct prediction")
+	}
+}
+
+func TestCFMaskLimitsPatternWidth(t *testing.T) {
+	var f cfInd
+	cfg := CFConfig{Bits: 2}
+	f.record(cfg, 0b1111, false, true) // only the low 2 bits matter
+	if f.allow(cfg, 0b0011) {
+		t.Error("patterns must compare on the low Bits only")
+	}
+	if !f.allow(cfg, 0b0001) {
+		t.Error("differing low bits must be allowed")
+	}
+}

@@ -1,0 +1,62 @@
+package predictor
+
+// LastConfig configures the last-address predictor used as the paper's
+// first baseline (§1: "last-address predictors surprisingly handle an
+// average of 40% of all load addresses").
+type LastConfig struct {
+	Entries       int   // total LB entries (power of two)
+	Ways          int   // associativity (power of two)
+	ConfMax       uint8 // saturating-counter ceiling
+	ConfThreshold uint8 // counter value required to speculate
+}
+
+// DefaultLastConfig mirrors the baseline table geometry of §4.2.
+func DefaultLastConfig() LastConfig {
+	return LastConfig{Entries: 4096, Ways: 2, ConfMax: 3, ConfThreshold: 2}
+}
+
+type lastEntry struct {
+	last uint32
+	have bool
+	conf uint8
+}
+
+// Last is the last-address predictor: it speculates that a static load's
+// next address equals its previous one.
+type Last struct {
+	cfg LastConfig
+	lb  *lbTable[lastEntry]
+}
+
+// NewLast builds a last-address predictor.
+func NewLast(cfg LastConfig) *Last {
+	return &Last{cfg: cfg, lb: newLBTable[lastEntry](cfg.Entries, cfg.Ways)}
+}
+
+// Name implements Predictor.
+func (l *Last) Name() string { return "last" }
+
+// Predict implements Predictor.
+func (l *Last) Predict(ref LoadRef) Prediction {
+	e := l.lb.lookup(ref.IP)
+	if e == nil || !e.have {
+		return Prediction{}
+	}
+	return Prediction{
+		Addr:      e.last,
+		Predicted: true,
+		Speculate: e.conf >= l.cfg.ConfThreshold,
+	}
+}
+
+// Resolve implements Predictor.
+func (l *Last) Resolve(ref LoadRef, p Prediction, actual uint32) {
+	e, _ := l.lb.insert(ref.IP)
+	if e.have && e.last == actual {
+		e.conf = satInc(e.conf, l.cfg.ConfMax)
+	} else {
+		e.conf = 0
+	}
+	e.last = actual
+	e.have = true
+}

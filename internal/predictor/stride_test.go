@@ -1,0 +1,134 @@
+package predictor
+
+import "testing"
+
+func strideSeq(ip uint32, base uint32, stride, n int) []access {
+	seq := make([]access, n)
+	for i := 0; i < n; i++ {
+		seq[i] = ld(ip, base+uint32(stride*i), 0)
+	}
+	return seq
+}
+
+func TestStridePredictsLinearTraversal(t *testing.T) {
+	p := NewStride(BasicStrideConfig())
+	r := run(p, strideSeq(0x100, 0x8000, 8, 50))
+	// Warm-up: occurrence 1 (alloc), 2 (stride learned), then confidence
+	// must build; from occurrence ~5 everything speculates correctly.
+	wantAtLeast(t, "specCorrect", r.specCorrect, 44)
+	wantZero(t, "mispred", r.mispred)
+}
+
+func TestStridePredictsConstant(t *testing.T) {
+	// A stride predictor with stride 0 subsumes the last-address scheme.
+	p := NewStride(BasicStrideConfig())
+	r := run(p, repeatSeq([]access{ld(0x40, 0x9000, 4)}, 20))
+	wantAtLeast(t, "specCorrect", r.specCorrect, 15)
+	wantZero(t, "mispred", r.mispred)
+}
+
+func TestStrideFailsOnLinkedList(t *testing.T) {
+	// The §2.1 pattern 18-88-48-28 is unpredictable by any stride scheme.
+	p := NewStride(BasicStrideConfig())
+	walk := listWalk(0x100, []uint32{0x10, 0x80, 0x40, 0x20}, 8)
+	r := run(p, repeatSeq(walk, 40))
+	if r.specCorrect > r.loads/10 {
+		t.Errorf("stride predicted %d/%d of a linked-list walk; should be near zero",
+			r.specCorrect, r.loads)
+	}
+}
+
+func TestStrideBreakResetsConfidence(t *testing.T) {
+	cfg := BasicStrideConfig()
+	p := NewStride(cfg)
+	seq := strideSeq(0x100, 0x1000, 4, 10)
+	run(p, seq)
+	// Break the stride; immediately after, prediction exists (new stride
+	// not yet confirmed -> old stride used) but speculation must stop.
+	p.Resolve(LoadRef{IP: 0x100}, p.Predict(LoadRef{IP: 0x100}), 0x9999)
+	pr := p.Predict(LoadRef{IP: 0x100})
+	if pr.Speculate {
+		t.Error("speculation should stop right after a stride break")
+	}
+}
+
+func TestStrideIntervalStopsSpeculationAtArrayEnd(t *testing.T) {
+	cfg := DefaultStrideConfig()
+	cfg.CF = CFConfig{} // isolate the interval mechanism
+	p := NewStride(cfg)
+
+	// Traverse a 10-element array repeatedly: address jumps back to the
+	// base at the end of each traversal.
+	traversal := strideSeq(0x200, 0x4000, 8, 10)
+	basic := NewStride(BasicStrideConfig())
+
+	rInterval := run(p, repeatSeq(traversal, 30))
+	rBasic := run(basic, repeatSeq(traversal, 30))
+
+	// The enhanced predictor trades mispredictions (at each wrap-around)
+	// for no-predictions once the interval is learned.
+	if rInterval.mispred >= rBasic.mispred {
+		t.Errorf("interval mechanism did not reduce mispredictions: %d (interval) vs %d (basic)",
+			rInterval.mispred, rBasic.mispred)
+	}
+	// It must still predict the body of each traversal.
+	wantAtLeast(t, "specCorrect", rInterval.specCorrect, rBasic.specCorrect*8/10)
+}
+
+func TestStrideControlFlowIndicationBlocksRepeatOffender(t *testing.T) {
+	cfg := BasicStrideConfig()
+	cfg.CF = CFConfig{Bits: 2}
+	p := NewStride(cfg)
+
+	ref := LoadRef{IP: 0x300, GHR: 0b01}
+	// Train a confident stride-0 prediction.
+	for i := 0; i < 5; i++ {
+		pr := p.Predict(ref)
+		p.Resolve(ref, pr, 0x7000)
+	}
+	pr := p.Predict(ref)
+	if !pr.Speculate {
+		t.Fatal("expected confident speculation after training")
+	}
+	// Mispredict under GHR 0b01.
+	p.Resolve(ref, pr, 0x7100)
+	// Rebuild confidence under a different GHR.
+	other := LoadRef{IP: 0x300, GHR: 0b10}
+	for i := 0; i < 5; i++ {
+		pr := p.Predict(other)
+		p.Resolve(other, pr, 0x7100)
+	}
+	// Now, on the offending path, speculation is blocked...
+	if got := p.Predict(ref); got.Speculate {
+		t.Error("speculation should be blocked on the path of the last misprediction")
+	}
+	// ...but allowed on the other path.
+	if got := p.Predict(other); !got.Speculate {
+		t.Error("speculation should be allowed on an unrelated path")
+	}
+}
+
+func TestStrideNames(t *testing.T) {
+	if NewStride(BasicStrideConfig()).Name() != "stride" {
+		t.Error("basic stride name")
+	}
+	if NewStride(DefaultStrideConfig()).Name() != "stride+" {
+		t.Error("enhanced stride name")
+	}
+}
+
+func TestStrideNegativeStride(t *testing.T) {
+	p := NewStride(BasicStrideConfig())
+	r := run(p, strideSeq(0x100, 0x8000, -16, 40))
+	wantAtLeast(t, "specCorrect", r.specCorrect, 34)
+	wantZero(t, "mispred", r.mispred)
+}
+
+func TestStrideAddressWraparound(t *testing.T) {
+	// Address arithmetic is modulo 2^32; near-top addresses must not
+	// break prediction.
+	p := NewStride(BasicStrideConfig())
+	r := run(p, strideSeq(0x100, 0xFFFF_FFF0, 8, 20))
+	wantAtLeast(t, "specCorrect", r.specCorrect, 14)
+	wantZero(t, "mispred", r.mispred)
+}

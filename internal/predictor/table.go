@@ -1,0 +1,100 @@
+package predictor
+
+// lbTable is a generic set-associative table indexed and tagged by static
+// instruction address, with true-LRU replacement inside each set. All the
+// load buffers in this package (last-address, stride, CAP, hybrid) are
+// instances of it.
+type lbTable[T any] struct {
+	sets    int
+	ways    int
+	setLow  uint // bits to shift IP before set selection
+	setMask uint32
+	slots   []lbSlot[T]
+}
+
+type lbSlot[T any] struct {
+	valid bool
+	tag   uint32
+	age   uint32 // lower is more recently used
+	val   T
+}
+
+// newLBTable builds a table with the given total entry count and
+// associativity; both must be powers of two with entries ≥ ways.
+func newLBTable[T any](entries, ways int) *lbTable[T] {
+	checkPow2("LB entries", entries)
+	checkPow2("LB ways", ways)
+	if ways > entries {
+		panic("predictor: LB ways exceed entries")
+	}
+	sets := entries / ways
+	return &lbTable[T]{
+		sets:    sets,
+		ways:    ways,
+		setLow:  2, // instructions are 4-byte aligned in our traces
+		setMask: uint32(sets - 1),
+		slots:   make([]lbSlot[T], entries),
+	}
+}
+
+func (t *lbTable[T]) set(ip uint32) int {
+	return int((ip >> t.setLow) & t.setMask)
+}
+
+func (t *lbTable[T]) tag(ip uint32) uint32 {
+	return ip >> (t.setLow + log2(t.sets))
+}
+
+// lookup returns the entry for ip, or nil on a miss. A hit refreshes LRU.
+func (t *lbTable[T]) lookup(ip uint32) *T {
+	base := t.set(ip) * t.ways
+	tag := t.tag(ip)
+	for i := base; i < base+t.ways; i++ {
+		s := &t.slots[i]
+		if s.valid && s.tag == tag {
+			t.touch(base, i)
+			return &s.val
+		}
+	}
+	return nil
+}
+
+// insert returns the entry for ip, allocating (and evicting the LRU way)
+// if absent. The second result is true when the entry already existed.
+func (t *lbTable[T]) insert(ip uint32) (*T, bool) {
+	base := t.set(ip) * t.ways
+	tag := t.tag(ip)
+	victim := base
+	for i := base; i < base+t.ways; i++ {
+		s := &t.slots[i]
+		if s.valid && s.tag == tag {
+			t.touch(base, i)
+			return &s.val, true
+		}
+		if !s.valid {
+			victim = i
+		} else if t.slots[victim].valid && s.age > t.slots[victim].age {
+			victim = i
+		}
+	}
+	s := &t.slots[victim]
+	var zero T
+	s.valid = true
+	s.tag = tag
+	s.val = zero
+	t.touch(base, victim)
+	return &s.val, false
+}
+
+// touch marks slot i most recently used within its set.
+func (t *lbTable[T]) touch(base, i int) {
+	for j := base; j < base+t.ways; j++ {
+		if t.slots[j].valid {
+			t.slots[j].age++
+		}
+	}
+	t.slots[i].age = 0
+}
+
+// entries returns the table capacity.
+func (t *lbTable[T]) entries() int { return t.sets * t.ways }

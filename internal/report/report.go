@@ -1,0 +1,83 @@
+// Package report renders experiment results as aligned plain-text tables,
+// one per paper figure, for the benchmark harness and cmd/capsim.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; cells beyond the header count are rejected.
+func (t *Table) Add(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Headers)))
+	}
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the number of data rows added so far.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Pct formats a ratio as a percentage with one decimal.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// Pct2 formats a ratio as a percentage with two decimals, used for
+// accuracy numbers where the paper reports 98.9%-style precision.
+func Pct2(x float64) string { return fmt.Sprintf("%.2f%%", x*100) }
+
+// Speedup formats a speedup factor ("1.21x").
+func Speedup(x float64) string { return fmt.Sprintf("%.2fx", x) }

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Title", "col1", "column2", "c3")
+	tb.Add("a", "bb", "ccc")
+	tb.Add("dddd", "e")
+	out := tb.String()
+
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: every data line must be at least as wide as the
+	// header prefix for its populated cells.
+	if !strings.Contains(lines[1], "col1") || !strings.Contains(lines[1], "column2") {
+		t.Errorf("header wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "a    ") {
+		t.Errorf("narrow cell not padded to column width: %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "dddd") {
+		t.Errorf("second row missing: %q", lines[4])
+	}
+}
+
+func TestTableColumnWidthGrowsWithCells(t *testing.T) {
+	tb := New("", "x")
+	tb.Add("wider-than-header")
+	out := tb.String()
+	if !strings.Contains(out, "wider-than-header") {
+		t.Error("cell truncated")
+	}
+	// Header line must be padded to the cell width.
+	lines := strings.Split(out, "\n")
+	if len(lines[0]) < len("wider-than-header") {
+		t.Errorf("header not padded: %q", lines[0])
+	}
+}
+
+func TestTableRejectsOverlongRow(t *testing.T) {
+	tb := New("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for too many cells")
+		}
+	}()
+	tb.Add("1", "2", "3")
+}
+
+func TestTableRows(t *testing.T) {
+	tb := New("t", "a")
+	if tb.Rows() != 0 {
+		t.Error("fresh table should have 0 rows")
+	}
+	tb.Add("x")
+	tb.Add("y")
+	if tb.Rows() != 2 {
+		t.Errorf("Rows() = %d, want 2", tb.Rows())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.675); got != "67.5%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct2(0.98912); got != "98.91%" {
+		t.Errorf("Pct2 = %q", got)
+	}
+	if got := Speedup(1.2345); got != "1.23x" {
+		t.Errorf("Speedup = %q", got)
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tb := New("", "h")
+	tb.Add("v")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("untitled table should not start with a blank line")
+	}
+}

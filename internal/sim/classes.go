@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"capred/internal/predictor"
+	"capred/internal/report"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// classOrder fixes the reporting order of profiled load classes.
+var classOrder = []predictor.LoadClass{
+	predictor.ClassConstant,
+	predictor.ClassStride,
+	predictor.ClassContext,
+	predictor.ClassIrregular,
+	predictor.ClassUnknown,
+}
+
+// ClassCoverageResult breaks each predictor's correct speculations down by
+// the profiled pattern class of the load — the quantitative version of the
+// paper's §2 analysis of which program behaviours each scheme captures.
+type ClassCoverageResult struct {
+	Predictors []string
+	// Share of dynamic loads in each class (same order as classOrder).
+	ClassShare map[predictor.LoadClass]float64
+	// Coverage[predictor][class] = correct speculations / loads of class.
+	Coverage []map[predictor.LoadClass]float64
+}
+
+// ClassCoverage profiles every trace to classify its static loads, then
+// measures per-class coverage of the last, enhanced-stride, CAP and
+// hybrid predictors.
+func ClassCoverage(cfg Config) ClassCoverageResult {
+	specs := workload.Traces()
+	factories := []Factory{
+		func() predictor.Predictor { return predictor.NewLast(predictor.DefaultLastConfig()) },
+		strideFactory,
+		capFactory,
+		hybridFactory,
+	}
+	names := []string{"last", "stride+", "cap", "hybrid"}
+
+	type tally struct {
+		loads   map[predictor.LoadClass]int64
+		correct []map[predictor.LoadClass]int64
+	}
+	tallies := make([]tally, len(specs))
+
+	parallelFor(cfg, len(specs), func(i int) {
+		spec := specs[i]
+
+		// Classification pass.
+		prof := predictor.NewProfiler()
+		src := trace.NewLimit(spec.Open(), cfg.EventsPerTrace)
+		for {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			if ev.Kind == trace.KindLoad {
+				prof.Observe(ev.IP, ev.Addr)
+			}
+		}
+		profile := prof.Profile()
+
+		t := tally{
+			loads:   make(map[predictor.LoadClass]int64),
+			correct: make([]map[predictor.LoadClass]int64, len(factories)),
+		}
+		preds := make([]predictor.Predictor, len(factories))
+		for v, f := range factories {
+			t.correct[v] = make(map[predictor.LoadClass]int64)
+			preds[v] = f()
+		}
+
+		var ghr predictor.GHR
+		var path predictor.PathHist
+		src = trace.NewLimit(spec.Open(), cfg.EventsPerTrace)
+		for {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			switch ev.Kind {
+			case trace.KindBranch:
+				ghr.Update(ev.Taken)
+			case trace.KindCall:
+				path.Push(ev.IP)
+			case trace.KindLoad:
+				class := profile.Class(ev.IP)
+				t.loads[class]++
+				ref := predictor.LoadRef{
+					IP: ev.IP, Offset: ev.Offset,
+					GHR: ghr.Value(), Path: path.Value(),
+				}
+				for v, p := range preds {
+					pr := p.Predict(ref)
+					if pr.Speculate && pr.Addr == ev.Addr {
+						t.correct[v][class]++
+					}
+					p.Resolve(ref, pr, ev.Addr)
+				}
+			}
+		}
+		tallies[i] = t
+	})
+
+	// Aggregate.
+	loads := make(map[predictor.LoadClass]int64)
+	correct := make([]map[predictor.LoadClass]int64, len(factories))
+	for v := range factories {
+		correct[v] = make(map[predictor.LoadClass]int64)
+	}
+	var total int64
+	for _, t := range tallies {
+		for c, n := range t.loads {
+			loads[c] += n
+			total += n
+		}
+		for v := range factories {
+			for c, n := range t.correct[v] {
+				correct[v][c] += n
+			}
+		}
+	}
+
+	out := ClassCoverageResult{
+		Predictors: names,
+		ClassShare: make(map[predictor.LoadClass]float64),
+		Coverage:   make([]map[predictor.LoadClass]float64, len(factories)),
+	}
+	for _, c := range classOrder {
+		if total > 0 {
+			out.ClassShare[c] = float64(loads[c]) / float64(total)
+		}
+	}
+	for v := range factories {
+		out.Coverage[v] = make(map[predictor.LoadClass]float64)
+		for _, c := range classOrder {
+			if loads[c] > 0 {
+				out.Coverage[v][c] = float64(correct[v][c]) / float64(loads[c])
+			}
+		}
+	}
+	return out
+}
+
+// Table renders the class-coverage matrix.
+func (r ClassCoverageResult) Table() *report.Table {
+	t := report.New("§2 analysis: per-class coverage (correct speculations / loads of class)",
+		"class", "share of loads", "last", "stride+", "cap", "hybrid")
+	for _, c := range classOrder {
+		row := []string{c.String(), report.Pct(r.ClassShare[c])}
+		for v := range r.Predictors {
+			row = append(row, report.Pct(r.Coverage[v][c]))
+		}
+		t.Add(row...)
+	}
+	return t
+}

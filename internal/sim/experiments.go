@@ -1,0 +1,523 @@
+package sim
+
+import (
+	"fmt"
+
+	"capred/internal/cpu"
+	"capred/internal/metrics"
+	"capred/internal/predictor"
+	"capred/internal/report"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// Standard factories.
+
+func strideFactory() predictor.Predictor {
+	return predictor.NewStride(predictor.DefaultStrideConfig())
+}
+
+func capFactory() predictor.Predictor {
+	return predictor.NewCAP(predictor.DefaultCAPConfig())
+}
+
+func hybridFactory() predictor.Predictor {
+	return predictor.NewHybrid(predictor.DefaultHybridConfig())
+}
+
+// suiteOrder returns suite names plus the aggregate row label.
+func suiteOrder() []string {
+	return append(workload.SuiteNames(), "Average")
+}
+
+func rowFor(suites map[string]metrics.Counters, avg metrics.Counters, name string) metrics.Counters {
+	if name == "Average" {
+		return avg
+	}
+	return suites[name]
+}
+
+// --- Figure 5: prediction performance of the different predictors ---
+
+// Fig5Result holds per-suite counters for the three predictors.
+type Fig5Result struct {
+	Stride map[string]metrics.Counters
+	CAP    map[string]metrics.Counters
+	Hybrid map[string]metrics.Counters
+	AvgS   metrics.Counters
+	AvgC   metrics.Counters
+	AvgH   metrics.Counters
+}
+
+// Fig5 reproduces Figure 5: prediction rate and accuracy of the enhanced
+// stride, stand-alone CAP, and hybrid predictors across the eight suites.
+func Fig5(cfg Config) Fig5Result {
+	var r Fig5Result
+	r.Stride, r.AvgS = runSuites(cfg, strideFactory, 0)
+	r.CAP, r.AvgC = runSuites(cfg, capFactory, 0)
+	r.Hybrid, r.AvgH = runSuites(cfg, hybridFactory, 0)
+	return r
+}
+
+// Table renders the Figure 5 rows.
+func (r Fig5Result) Table() *report.Table {
+	t := report.New("Figure 5: prediction performance of the different predictors",
+		"suite", "stride rate", "cap rate", "hybrid rate",
+		"stride acc", "cap acc", "hybrid acc")
+	for _, s := range suiteOrder() {
+		cs := rowFor(r.Stride, r.AvgS, s)
+		cc := rowFor(r.CAP, r.AvgC, s)
+		ch := rowFor(r.Hybrid, r.AvgH, s)
+		t.Add(s,
+			report.Pct(cs.PredRate()), report.Pct(cc.PredRate()), report.Pct(ch.PredRate()),
+			report.Pct2(cs.Accuracy()), report.Pct2(cc.Accuracy()), report.Pct2(ch.Accuracy()))
+	}
+	return t
+}
+
+// --- Figure 6: hybrid performance vs LB size and associativity ---
+
+// LBGeometry names one load-buffer configuration.
+type LBGeometry struct {
+	Entries int
+	Ways    int
+}
+
+func (g LBGeometry) String() string {
+	return fmt.Sprintf("%dK,%dway", g.Entries/1024, g.Ways)
+}
+
+// Fig6Geometries are the paper's five LB configurations.
+func Fig6Geometries() []LBGeometry {
+	return []LBGeometry{{2048, 2}, {4096, 1}, {4096, 2}, {4096, 4}, {8192, 2}}
+}
+
+// Fig6Result maps geometry → per-suite counters.
+type Fig6Result struct {
+	Geometries []LBGeometry
+	Suites     []map[string]metrics.Counters
+	Avgs       []metrics.Counters
+}
+
+// Fig6 reproduces Figure 6: hybrid prediction rate as a function of the
+// number of LB entries and associativity.
+func Fig6(cfg Config) Fig6Result {
+	r := Fig6Result{Geometries: Fig6Geometries()}
+	for _, g := range r.Geometries {
+		f := func() predictor.Predictor {
+			hc := predictor.DefaultHybridConfig()
+			hc.CAP.LBEntries = g.Entries
+			hc.CAP.LBWays = g.Ways
+			return predictor.NewHybrid(hc)
+		}
+		suites, avg := runSuites(cfg, f, 0)
+		r.Suites = append(r.Suites, suites)
+		r.Avgs = append(r.Avgs, avg)
+	}
+	return r
+}
+
+// Table renders the Figure 6 rows (prediction rate per geometry, accuracy
+// for the baseline 4K 2-way geometry, as in the paper).
+func (r Fig6Result) Table() *report.Table {
+	headers := []string{"suite"}
+	for _, g := range r.Geometries {
+		headers = append(headers, g.String())
+	}
+	headers = append(headers, "acc(4K,2way)")
+	t := report.New("Figure 6: hybrid prediction rate vs LB entries/associativity", headers...)
+	baseIdx := 2 // 4K 2-way
+	for _, s := range suiteOrder() {
+		row := []string{s}
+		for i := range r.Geometries {
+			c := rowFor(r.Suites[i], r.Avgs[i], s)
+			row = append(row, report.Pct(c.PredRate()))
+		}
+		c := rowFor(r.Suites[baseIdx], r.Avgs[baseIdx], s)
+		row = append(row, report.Pct2(c.Accuracy()))
+		t.Add(row...)
+	}
+	return t
+}
+
+// --- Figure 7: relative performance (speedup) per trace ---
+
+// Fig7Row is one trace's timing outcome.
+type Fig7Row struct {
+	Trace         string
+	Suite         string
+	BaseCycles    int64
+	StrideCycles  int64
+	HybridCycles  int64
+	StrideSpeedup float64
+	HybridSpeedup float64
+}
+
+// Fig7Result holds per-trace speedups plus the averages.
+type Fig7Result struct {
+	Rows      []Fig7Row
+	AvgStride float64
+	AvgHybrid float64
+}
+
+// Fig7 reproduces Figure 7: per-trace speedup of the enhanced stride and
+// hybrid predictors over no address prediction, on the OoO timing model.
+func Fig7(cfg Config) Fig7Result {
+	specs := workload.Traces()
+	rows := make([]Fig7Row, len(specs))
+	run := func(i int) {
+		spec := specs[i]
+		mcfg := cpu.DefaultConfig()
+		base := cpu.Run(trace.NewLimit(spec.Open(), cfg.EventsPerTrace), nil, 0, mcfg)
+		st := cpu.Run(trace.NewLimit(spec.Open(), cfg.EventsPerTrace), strideFactory(), 0, mcfg)
+		hy := cpu.Run(trace.NewLimit(spec.Open(), cfg.EventsPerTrace), hybridFactory(), 0, mcfg)
+		rows[i] = Fig7Row{
+			Trace: spec.Name, Suite: spec.Suite,
+			BaseCycles: base.Cycles, StrideCycles: st.Cycles, HybridCycles: hy.Cycles,
+			StrideSpeedup: float64(base.Cycles) / float64(st.Cycles),
+			HybridSpeedup: float64(base.Cycles) / float64(hy.Cycles),
+		}
+	}
+	parallelFor(cfg, len(specs), run)
+	var r Fig7Result
+	r.Rows = rows
+	var ss, hs float64
+	for _, row := range rows {
+		ss += row.StrideSpeedup
+		hs += row.HybridSpeedup
+	}
+	r.AvgStride = ss / float64(len(rows))
+	r.AvgHybrid = hs / float64(len(rows))
+	return r
+}
+
+// Table renders the Figure 7 rows.
+func (r Fig7Result) Table() *report.Table {
+	t := report.New("Figure 7: speedup over no address prediction, per trace",
+		"trace", "stride", "hybrid")
+	for _, row := range r.Rows {
+		t.Add(row.Trace, report.Speedup(row.StrideSpeedup), report.Speedup(row.HybridSpeedup))
+	}
+	t.Add("Average", report.Speedup(r.AvgStride), report.Speedup(r.AvgHybrid))
+	return t
+}
+
+// --- Figure 8: selector performance ---
+
+// Fig8Result holds per-suite hybrid counters (the selector statistics).
+type Fig8Result struct {
+	Suites map[string]metrics.Counters
+	Avg    metrics.Counters
+}
+
+// Fig8 reproduces Figure 8: the distribution of selector-counter states
+// over dual-confident loads and the correct-selection rate.
+func Fig8(cfg Config) Fig8Result {
+	suites, avg := runSuites(cfg, hybridFactory, 0)
+	return Fig8Result{Suites: suites, Avg: avg}
+}
+
+// Table renders the Figure 8 rows.
+func (r Fig8Result) Table() *report.Table {
+	t := report.New("Figure 8: selector performance",
+		"suite", "strong-stride", "weak-stride", "weak-cap", "strong-cap", "correct-sel")
+	for _, s := range suiteOrder() {
+		c := rowFor(r.Suites, r.Avg, s)
+		t.Add(s,
+			report.Pct(c.SelStateShare(predictor.SelStrongStride)),
+			report.Pct(c.SelStateShare(predictor.SelWeakStride)),
+			report.Pct(c.SelStateShare(predictor.SelWeakCAP)),
+			report.Pct(c.SelStateShare(predictor.SelStrongCAP)),
+			report.Pct2(c.CorrectSelectionRate()))
+	}
+	return t
+}
+
+// --- Figure 9: history length and global correlation ---
+
+// Fig9Lengths are the history lengths the paper sweeps.
+func Fig9Lengths() []int { return []int{1, 2, 3, 4, 6, 12} }
+
+// Fig9Result holds correct-speculative rates per history length, with and
+// without global correlation.
+type Fig9Result struct {
+	Lengths []int
+	With    []float64
+	Without []float64
+}
+
+// Fig9 reproduces Figure 9: correct predictions as a function of the
+// history length, isolating global correlation. No confidence mechanism
+// is used (every prediction is a speculative access).
+func Fig9(cfg Config) Fig9Result {
+	r := Fig9Result{Lengths: Fig9Lengths()}
+	for _, gc := range []bool{true, false} {
+		for _, hl := range r.Lengths {
+			f := func() predictor.Predictor {
+				cc := predictor.DefaultCAPConfig()
+				cc.HistoryLen = hl
+				cc.GlobalCorrelation = gc
+				cc.ConfThreshold = 0 // no confidence mechanism
+				cc.TagBits = 0
+				cc.CF = predictor.NoCF()
+				return predictor.NewCAP(cc)
+			}
+			_, avg := runSuites(cfg, f, 0)
+			if gc {
+				r.With = append(r.With, avg.CorrectSpecRate())
+			} else {
+				r.Without = append(r.Without, avg.CorrectSpecRate())
+			}
+		}
+	}
+	return r
+}
+
+// Table renders the Figure 9 series.
+func (r Fig9Result) Table() *report.Table {
+	t := report.New("Figure 9: correct predictions vs history length (stand-alone CAP, no confidence)",
+		"history length", "global correlation", "no global correlation")
+	for i, hl := range r.Lengths {
+		t.Add(fmt.Sprintf("%d", hl), report.Pct(r.With[i]), report.Pct(r.Without[i]))
+	}
+	return t
+}
+
+// BestLength returns the history length with the highest correct rate for
+// the given series.
+func (r Fig9Result) BestLength(with bool) int {
+	series := r.Without
+	if with {
+		series = r.With
+	}
+	best, bestV := r.Lengths[0], series[0]
+	for i, v := range series {
+		if v > bestV {
+			best, bestV = r.Lengths[i], v
+		}
+	}
+	return best
+}
+
+// --- Figure 10: LT tags and control-flow indications ---
+
+// Fig10Variant names one confidence configuration of the sweep.
+type Fig10Variant struct {
+	Name    string
+	TagBits int
+	Path    bool
+}
+
+// Fig10Variants are the paper's five configurations.
+func Fig10Variants() []Fig10Variant {
+	return []Fig10Variant{
+		{"no tag", 0, false},
+		{"4 bit tag", 4, false},
+		{"8 bit tag", 8, false},
+		{"4 bit tag + path", 4, true},
+		{"8 bit tag + path", 8, true},
+	}
+}
+
+// Fig10Result holds prediction and misprediction rates per variant.
+type Fig10Result struct {
+	Variants []Fig10Variant
+	Counters []metrics.Counters
+}
+
+// Fig10 reproduces Figure 10: the influence of LT tags (and control-flow
+// indications) on the stand-alone CAP predictor.
+func Fig10(cfg Config) Fig10Result {
+	r := Fig10Result{Variants: Fig10Variants()}
+	for _, v := range r.Variants {
+		v := v
+		f := func() predictor.Predictor {
+			cc := predictor.DefaultCAPConfig()
+			cc.TagBits = v.TagBits
+			if !v.Path {
+				cc.CF = predictor.NoCF()
+			}
+			return predictor.NewCAP(cc)
+		}
+		_, avg := runSuites(cfg, f, 0)
+		r.Counters = append(r.Counters, avg)
+	}
+	return r
+}
+
+// Table renders the Figure 10 rows.
+func (r Fig10Result) Table() *report.Table {
+	t := report.New("Figure 10: influence of LT tags on the CAP predictor",
+		"variant", "prediction rate", "misprediction rate")
+	for i, v := range r.Variants {
+		c := r.Counters[i]
+		t.Add(v.Name, report.Pct(c.PredRate()), report.Pct2(c.MispredRate()))
+	}
+	return t
+}
+
+// --- Figure 11: prediction gap ---
+
+// Fig11Gaps are the prediction gaps the paper sweeps (0 = immediate).
+func Fig11Gaps() []int { return []int{0, 4, 8, 12} }
+
+// Fig11Result holds stride and hybrid counters per gap.
+type Fig11Result struct {
+	Gaps   []int
+	Stride []metrics.Counters
+	Hybrid []metrics.Counters
+}
+
+// Fig11 reproduces Figure 11: the influence of the prediction gap on
+// prediction rate and accuracy for the enhanced stride and hybrid
+// predictors.
+func Fig11(cfg Config) Fig11Result {
+	r := Fig11Result{Gaps: Fig11Gaps()}
+	for _, gap := range r.Gaps {
+		gap := gap
+		spec := gap > 0
+		sf := func() predictor.Predictor {
+			sc := predictor.DefaultStrideConfig()
+			sc.Speculative = spec
+			return predictor.NewStride(sc)
+		}
+		hf := func() predictor.Predictor {
+			hc := predictor.DefaultHybridConfig()
+			hc.Speculative = spec
+			return predictor.NewHybrid(hc)
+		}
+		_, avgS := runSuites(cfg, sf, gap)
+		_, avgH := runSuites(cfg, hf, gap)
+		r.Stride = append(r.Stride, avgS)
+		r.Hybrid = append(r.Hybrid, avgH)
+	}
+	return r
+}
+
+// Table renders the Figure 11 rows.
+func (r Fig11Result) Table() *report.Table {
+	t := report.New("Figure 11: influence of the prediction gap",
+		"gap", "stride rate", "hybrid rate", "stride acc", "hybrid acc")
+	for i, gap := range r.Gaps {
+		name := "immediate"
+		if gap > 0 {
+			name = fmt.Sprintf("%d", gap)
+		}
+		t.Add(name,
+			report.Pct(r.Stride[i].PredRate()), report.Pct(r.Hybrid[i].PredRate()),
+			report.Pct2(r.Stride[i].Accuracy()), report.Pct2(r.Hybrid[i].Accuracy()))
+	}
+	return t
+}
+
+// --- Figure 12: speedup with a prediction gap of 8 ---
+
+// Fig12Row is one suite's speedups.
+type Fig12Row struct {
+	Suite                 string
+	StrideImm, StrideGap8 float64
+	HybridImm, HybridGap8 float64
+}
+
+// Fig12Result holds per-suite speedups immediate vs gap 8.
+type Fig12Result struct {
+	Rows []Fig12Row
+}
+
+// Fig12 reproduces Figure 12: relative performance of the predictors for
+// an immediate update and for a prediction gap of 8 cycles.
+func Fig12(cfg Config) Fig12Result {
+	suites := workload.SuiteNames()
+	rows := make([]Fig12Row, len(suites)+1)
+	var totals [5]float64 // base, strideImm, strideGap, hybridImm, hybridGap
+
+	for si, suite := range suites {
+		specs := workload.BySuite(suite)
+		var base, stImm, stGap, hyImm, hyGap int64
+		cycles := make([][5]int64, len(specs))
+		parallelFor(cfg, len(specs), func(i int) {
+			spec := specs[i]
+			mcfg := cpu.DefaultConfig()
+			run := func(f Factory, gap int) int64 {
+				var p predictor.Predictor
+				if f != nil {
+					p = f()
+				}
+				return cpu.Run(trace.NewLimit(spec.Open(), cfg.EventsPerTrace), p, gap, mcfg).Cycles
+			}
+			specStrideF := func() predictor.Predictor {
+				sc := predictor.DefaultStrideConfig()
+				sc.Speculative = true
+				return predictor.NewStride(sc)
+			}
+			specHybridF := func() predictor.Predictor {
+				hc := predictor.DefaultHybridConfig()
+				hc.Speculative = true
+				return predictor.NewHybrid(hc)
+			}
+			cycles[i] = [5]int64{
+				run(nil, 0),
+				run(strideFactory, 0),
+				run(specStrideF, 8),
+				run(hybridFactory, 0),
+				run(specHybridF, 8),
+			}
+		})
+		for _, c := range cycles {
+			base += c[0]
+			stImm += c[1]
+			stGap += c[2]
+			hyImm += c[3]
+			hyGap += c[4]
+		}
+		rows[si] = Fig12Row{
+			Suite:      suite,
+			StrideImm:  float64(base) / float64(stImm),
+			StrideGap8: float64(base) / float64(stGap),
+			HybridImm:  float64(base) / float64(hyImm),
+			HybridGap8: float64(base) / float64(hyGap),
+		}
+		totals[0] += float64(base)
+		totals[1] += float64(stImm)
+		totals[2] += float64(stGap)
+		totals[3] += float64(hyImm)
+		totals[4] += float64(hyGap)
+	}
+	rows[len(suites)] = Fig12Row{
+		Suite:      "Average",
+		StrideImm:  totals[0] / totals[1],
+		StrideGap8: totals[0] / totals[2],
+		HybridImm:  totals[0] / totals[3],
+		HybridGap8: totals[0] / totals[4],
+	}
+	return Fig12Result{Rows: rows}
+}
+
+// Table renders the Figure 12 rows.
+func (r Fig12Result) Table() *report.Table {
+	t := report.New("Figure 12: speedup, immediate update vs prediction gap 8",
+		"suite", "stride imm", "stride gap8", "hybrid imm", "hybrid gap8")
+	for _, row := range r.Rows {
+		t.Add(row.Suite,
+			report.Speedup(row.StrideImm), report.Speedup(row.StrideGap8),
+			report.Speedup(row.HybridImm), report.Speedup(row.HybridGap8))
+	}
+	return t
+}
+
+// parallelFor runs fn(i) for i in [0,n) with the config's worker bound.
+func parallelFor(cfg Config, n int, fn func(int)) {
+	sem := make(chan struct{}, cfg.workers())
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			sem <- struct{}{}
+			fn(i)
+			<-sem
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"capred/internal/cpu"
+	"capred/internal/prefetch"
+	"capred/internal/report"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// PrefetchResult compares data prefetching with address prediction and
+// with their combination ([Gonz97]: sharing stride structures for both)
+// on the timing model.
+type PrefetchResult struct {
+	Names     []string
+	Speedups  []float64 // over the no-prefetch, no-prediction baseline
+	L1HitRate []float64
+}
+
+// Prefetch runs the §1.1 positioning experiment: a Baer/Chen stride
+// prefetcher, the hybrid address predictor, and both together, against a
+// plain baseline, over all 45 traces.
+func Prefetch(cfg Config) PrefetchResult {
+	specs := workload.Traces()
+	const variants = 4
+
+	type row struct {
+		cycles [variants]int64
+		l1     [variants]float64
+	}
+	rows := make([]row, len(specs))
+
+	parallelFor(cfg, len(specs), func(i int) {
+		spec := specs[i]
+		run := func(v int) cpu.Result {
+			mcfg := cpu.DefaultConfig()
+			var p Factory
+			switch v {
+			case 1:
+				mcfg.Prefetcher = prefetch.NewRPT(prefetch.DefaultRPTConfig())
+			case 2:
+				p = hybridFactory
+			case 3:
+				mcfg.Prefetcher = prefetch.NewRPT(prefetch.DefaultRPTConfig())
+				p = hybridFactory
+			}
+			src := trace.NewLimit(spec.Open(), cfg.EventsPerTrace)
+			if p == nil {
+				return cpu.Run(src, nil, 0, mcfg)
+			}
+			return cpu.Run(src, p(), 0, mcfg)
+		}
+		for v := 0; v < variants; v++ {
+			r := run(v)
+			rows[i].cycles[v] = r.Cycles
+			rows[i].l1[v] = r.L1HitRate
+		}
+	})
+
+	var cycles [variants]int64
+	var l1 [variants]float64
+	for _, r := range rows {
+		for v := 0; v < variants; v++ {
+			cycles[v] += r.cycles[v]
+			l1[v] += r.l1[v] / float64(len(rows))
+		}
+	}
+	names := []string{
+		"baseline",
+		"stride prefetch (RPT)",
+		"hybrid address prediction",
+		"prefetch + address prediction",
+	}
+	out := PrefetchResult{}
+	for v := 0; v < variants; v++ {
+		out.Names = append(out.Names, names[v])
+		out.Speedups = append(out.Speedups, float64(cycles[0])/float64(cycles[v]))
+		out.L1HitRate = append(out.L1HitRate, l1[v])
+	}
+	return out
+}
+
+// Table renders the prefetch comparison.
+func (r PrefetchResult) Table() *report.Table {
+	t := report.New("§1.1: data prefetching vs address prediction (timing model)",
+		"configuration", "speedup", "avg L1 hit rate")
+	for i, n := range r.Names {
+		t.Add(n, report.Speedup(r.Speedups[i]), report.Pct(r.L1HitRate[i]))
+	}
+	return t
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"capred/internal/metrics"
+	"capred/internal/predictor"
+	"capred/internal/report"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// ProfileAssistResult compares the plain hybrid against a profile-assisted
+// hybrid (§6 future work: software-assisted load classification), at the
+// baseline table size and at a reduced one (the paper expects profile
+// feedback to "help reducing predictor size").
+type ProfileAssistResult struct {
+	Names    []string
+	Counters []metrics.Counters
+	// Classified is the total number of profiled static loads, and
+	// Irregular how many of them the profile filters out.
+	Classified int
+	Irregular  int
+}
+
+// ProfileAssist runs the profile-feedback experiment: each trace is
+// profiled on a training prefix, then simulated with and without the
+// resulting classification, at 4K- and 512-entry link tables.
+func ProfileAssist(cfg Config) ProfileAssistResult {
+	specs := workload.Traces()
+
+	type cell struct {
+		c          [4]metrics.Counters
+		classified int
+		irregular  int
+	}
+	cells := make([]cell, len(specs))
+
+	parallelFor(cfg, len(specs), func(i int) {
+		spec := specs[i]
+
+		// Training pass: profile the first half of the budget.
+		prof := predictor.NewProfiler()
+		src := trace.NewLimit(spec.Open(), cfg.EventsPerTrace/2)
+		for {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			if ev.Kind == trace.KindLoad {
+				prof.Observe(ev.IP, ev.Addr)
+			}
+		}
+		profile := prof.Profile()
+		cells[i].classified = profile.Len()
+		cells[i].irregular = profile.CountByClass()[predictor.ClassIrregular]
+
+		small := func() predictor.HybridConfig {
+			hc := predictor.DefaultHybridConfig()
+			hc.CAP.LTEntries = 512
+			hc.CAP.PFTableEntries = 2048
+			return hc
+		}
+		variants := []Factory{
+			hybridFactory,
+			func() predictor.Predictor {
+				return predictor.NewProfiled(hybridFactory(), profile)
+			},
+			func() predictor.Predictor { return predictor.NewHybrid(small()) },
+			func() predictor.Predictor {
+				return predictor.NewProfiled(predictor.NewHybrid(small()), profile)
+			},
+		}
+		for v, f := range variants {
+			src := trace.NewLimit(spec.Open(), cfg.EventsPerTrace)
+			cells[i].c[v] = RunTrace(src, f(), 0)
+		}
+	})
+
+	r := ProfileAssistResult{
+		Names: []string{
+			"hybrid 4K LT",
+			"hybrid 4K LT + profile",
+			"hybrid 512 LT",
+			"hybrid 512 LT + profile",
+		},
+	}
+	r.Counters = make([]metrics.Counters, 4)
+	for _, cell := range cells {
+		for v := range cell.c {
+			r.Counters[v].Merge(cell.c[v])
+		}
+		r.Classified += cell.classified
+		r.Irregular += cell.irregular
+	}
+	return r
+}
+
+// Table renders the profile-assist comparison.
+func (r ProfileAssistResult) Table() *report.Table {
+	t := report.New("§6 future work: profile-assisted hybrid (irregular loads filtered)",
+		"configuration", "prediction rate", "accuracy", "mispred of loads")
+	for i, n := range r.Names {
+		c := r.Counters[i]
+		t.Add(n, report.Pct(c.PredRate()), report.Pct2(c.Accuracy()), report.Pct2(c.MispredOfLoads()))
+	}
+	return t
+}

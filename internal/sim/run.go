@@ -1,0 +1,122 @@
+// Package sim wires workloads, predictors and metrics into the paper's
+// experiments: one driver function per evaluation figure/table (Fig. 5
+// through Fig. 12, the LT update-policy and LT size studies, the §1
+// baselines and the §3.6 control-based comparison).
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"capred/internal/metrics"
+	"capred/internal/pipeline"
+	"capred/internal/predictor"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// Config scales the experiments. The paper uses 30M instructions per
+// trace; rates converge much earlier, so the default keeps experiments
+// interactive while a higher budget sharpens the numbers.
+type Config struct {
+	// EventsPerTrace bounds each trace (instructions, all kinds).
+	EventsPerTrace int64
+	// Parallelism bounds concurrent trace simulations; 0 means NumCPU.
+	Parallelism int
+}
+
+// DefaultConfig returns the standard experiment scale.
+func DefaultConfig() Config {
+	return Config{EventsPerTrace: 400_000}
+}
+
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// Factory builds a fresh predictor instance for one trace run.
+type Factory func() predictor.Predictor
+
+// RunTrace drives one predictor over one event stream, maintaining the
+// global branch-history and call-path registers, and returns the
+// prediction counters. gapDepth 0 is the paper's immediate-update mode
+// (§4); a positive depth defers resolutions by that many dynamic loads
+// (§5) — the predictor must then be built in speculative mode.
+func RunTrace(src trace.Source, p predictor.Predictor, gapDepth int) metrics.Counters {
+	var (
+		c    metrics.Counters
+		ghr  predictor.GHR
+		path predictor.PathHist
+		gap  = pipeline.New(p, gapDepth)
+	)
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case trace.KindBranch:
+			ghr.Update(ev.Taken)
+		case trace.KindCall:
+			path.Push(ev.IP)
+		case trace.KindLoad:
+			ref := predictor.LoadRef{
+				IP:     ev.IP,
+				Offset: ev.Offset,
+				GHR:    ghr.Value(),
+				Path:   path.Value(),
+			}
+			pr := gap.Process(ref, ev.Addr)
+			c.Record(pr, ev.Addr)
+		}
+	}
+	gap.Drain()
+	return c
+}
+
+// traceRun pairs a trace with its counters.
+type traceRun struct {
+	Spec workload.TraceSpec
+	C    metrics.Counters
+}
+
+// runAll simulates every trace in specs with a fresh predictor from the
+// factory, in parallel, preserving spec order in the result.
+func runAll(cfg Config, specs []workload.TraceSpec, f Factory, gapDepth int) []traceRun {
+	out := make([]traceRun, len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.workers())
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec workload.TraceSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			src := trace.NewLimit(spec.Open(), cfg.EventsPerTrace)
+			out[i] = traceRun{Spec: spec, C: RunTrace(src, f(), gapDepth)}
+		}(i, spec)
+	}
+	wg.Wait()
+	return out
+}
+
+// bySuite groups trace runs into per-suite merged counters plus the
+// overall aggregate ("Average" in the paper's figures).
+func bySuite(runs []traceRun) (suites map[string]metrics.Counters, avg metrics.Counters) {
+	suites = make(map[string]metrics.Counters)
+	for _, r := range runs {
+		c := suites[r.Spec.Suite]
+		c.Merge(r.C)
+		suites[r.Spec.Suite] = c
+		avg.Merge(r.C)
+	}
+	return suites, avg
+}
+
+// runSuites is the common per-figure helper: every trace, one factory.
+func runSuites(cfg Config, f Factory, gapDepth int) (map[string]metrics.Counters, metrics.Counters) {
+	return bySuite(runAll(cfg, workload.Traces(), f, gapDepth))
+}

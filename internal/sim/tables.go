@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+
+	"capred/internal/metrics"
+	"capred/internal/predictor"
+	"capred/internal/report"
+)
+
+// --- §4.3: link-table update policy ---
+
+// UpdatePolicyResult holds hybrid counters per LT update policy.
+type UpdatePolicyResult struct {
+	Policies []predictor.UpdatePolicy
+	Counters []metrics.Counters
+}
+
+// UpdatePolicy reproduces the §4.3 study: the three LT update policies.
+// The paper finds "update always" slightly better on almost all traces.
+func UpdatePolicy(cfg Config) UpdatePolicyResult {
+	r := UpdatePolicyResult{Policies: []predictor.UpdatePolicy{
+		predictor.UpdateAlways,
+		predictor.UpdateUnlessStrideCorrect,
+		predictor.UpdateUnlessStrideSelected,
+	}}
+	for _, pol := range r.Policies {
+		pol := pol
+		f := func() predictor.Predictor {
+			hc := predictor.DefaultHybridConfig()
+			hc.UpdatePolicy = pol
+			return predictor.NewHybrid(hc)
+		}
+		_, avg := runSuites(cfg, f, 0)
+		r.Counters = append(r.Counters, avg)
+	}
+	return r
+}
+
+// Table renders the update-policy comparison.
+func (r UpdatePolicyResult) Table() *report.Table {
+	t := report.New("§4.3: LT update policy (hybrid, average over all traces)",
+		"policy", "prediction rate", "accuracy")
+	for i, pol := range r.Policies {
+		t.Add(pol.String(), report.Pct(r.Counters[i].PredRate()), report.Pct2(r.Counters[i].Accuracy()))
+	}
+	return t
+}
+
+// --- §4.2 text: LT size sweep ---
+
+// LTSizeResult holds hybrid counters per LT entry count.
+type LTSizeResult struct {
+	Sizes    []int
+	Counters []metrics.Counters
+}
+
+// LTSize reproduces the §4.2 sensitivity claim: the hybrid prediction rate
+// steadily increases from 1K-entry to 8K-entry link tables.
+func LTSize(cfg Config) LTSizeResult {
+	r := LTSizeResult{Sizes: []int{1024, 2048, 4096, 8192}}
+	for _, n := range r.Sizes {
+		n := n
+		f := func() predictor.Predictor {
+			hc := predictor.DefaultHybridConfig()
+			hc.CAP.LTEntries = n
+			return predictor.NewHybrid(hc)
+		}
+		_, avg := runSuites(cfg, f, 0)
+		r.Counters = append(r.Counters, avg)
+	}
+	return r
+}
+
+// Table renders the LT size sweep.
+func (r LTSizeResult) Table() *report.Table {
+	t := report.New("§4.2: hybrid prediction rate vs LT entries",
+		"LT entries", "prediction rate", "accuracy")
+	for i, n := range r.Sizes {
+		t.Add(fmt.Sprintf("%dK", n/1024),
+			report.Pct(r.Counters[i].PredRate()), report.Pct2(r.Counters[i].Accuracy()))
+	}
+	return t
+}
+
+// --- §1 text: baseline predictor comparison ---
+
+// BaselinesResult compares all predictor families on the same traces.
+type BaselinesResult struct {
+	Names    []string
+	Counters []metrics.Counters
+}
+
+// Baselines reproduces the §1 ladder: last-address predictors handle ≈40%
+// of loads, stride adds ≈13%, CAP and the hybrid sit above.
+func Baselines(cfg Config) BaselinesResult {
+	r := BaselinesResult{}
+	add := func(name string, f Factory) {
+		_, avg := runSuites(cfg, f, 0)
+		r.Names = append(r.Names, name)
+		r.Counters = append(r.Counters, avg)
+	}
+	add("last", func() predictor.Predictor { return predictor.NewLast(predictor.DefaultLastConfig()) })
+	add("stride", func() predictor.Predictor { return predictor.NewStride(predictor.BasicStrideConfig()) })
+	add("stride+", strideFactory)
+	add("cap", capFactory)
+	add("hybrid", hybridFactory)
+	return r
+}
+
+// Table renders the baseline ladder.
+func (r BaselinesResult) Table() *report.Table {
+	t := report.New("§1: predictor family ladder (average over all traces)",
+		"predictor", "prediction rate", "correct of loads", "accuracy")
+	for i, n := range r.Names {
+		c := r.Counters[i]
+		t.Add(n, report.Pct(c.PredRate()), report.Pct(c.CorrectSpecRate()), report.Pct2(c.Accuracy()))
+	}
+	return t
+}
+
+// --- §3.6: control-based address predictors ---
+
+// ControlBasedResult compares control-based predictors to CAP.
+type ControlBasedResult struct {
+	Names    []string
+	Counters []metrics.Counters
+}
+
+// ControlBased reproduces the §3.6 negative result: g-share-style and
+// call-path address predictors are no substitute for CAP.
+func ControlBased(cfg Config) ControlBasedResult {
+	r := ControlBasedResult{}
+	add := func(name string, f Factory) {
+		_, avg := runSuites(cfg, f, 0)
+		r.Names = append(r.Names, name)
+		r.Counters = append(r.Counters, avg)
+	}
+	add("gshare-addr", func() predictor.Predictor {
+		return predictor.NewControl(predictor.DefaultControlConfig(false))
+	})
+	add("path-addr", func() predictor.Predictor {
+		return predictor.NewControl(predictor.DefaultControlConfig(true))
+	})
+	add("cap", capFactory)
+	return r
+}
+
+// Table renders the control-based comparison.
+func (r ControlBasedResult) Table() *report.Table {
+	t := report.New("§3.6: control-based address predictors vs CAP",
+		"predictor", "prediction rate", "correct of loads", "accuracy")
+	for i, n := range r.Names {
+		c := r.Counters[i]
+		t.Add(n, report.Pct(c.PredRate()), report.Pct(c.CorrectSpecRate()), report.Pct2(c.Accuracy()))
+	}
+	return t
+}
+
+// --- Ablations beyond the paper's figures (DESIGN.md §6) ---
+
+// AblationsResult holds named configuration deltas of the CAP/hybrid.
+type AblationsResult struct {
+	Names    []string
+	Counters []metrics.Counters
+}
+
+// Ablations measures the design choices DESIGN.md calls out: PF bits
+// on/off/external, static vs dynamic selector, and shift(m) variations.
+func Ablations(cfg Config) AblationsResult {
+	r := AblationsResult{}
+	add := func(name string, f Factory) {
+		_, avg := runSuites(cfg, f, 0)
+		r.Names = append(r.Names, name)
+		r.Counters = append(r.Counters, avg)
+	}
+	add("hybrid (baseline)", hybridFactory)
+	add("hybrid, no PF bits", func() predictor.Predictor {
+		hc := predictor.DefaultHybridConfig()
+		hc.CAP.PFBits = 0
+		hc.CAP.PFTableEntries = 0
+		return predictor.NewHybrid(hc)
+	})
+	add("hybrid, in-LT PF bits", func() predictor.Predictor {
+		hc := predictor.DefaultHybridConfig()
+		hc.CAP.PFTableEntries = 0
+		return predictor.NewHybrid(hc)
+	})
+	add("hybrid, static selector=stride", func() predictor.Predictor {
+		hc := predictor.DefaultHybridConfig()
+		hc.StaticSelector = predictor.CompStride
+		return predictor.NewHybrid(hc)
+	})
+	add("hybrid, static selector=cap", func() predictor.Predictor {
+		hc := predictor.DefaultHybridConfig()
+		hc.StaticSelector = predictor.CompCAP
+		return predictor.NewHybrid(hc)
+	})
+	add("cap, history len 2", func() predictor.Predictor {
+		cc := predictor.DefaultCAPConfig()
+		cc.HistoryLen = 2
+		return predictor.NewCAP(cc)
+	})
+	add("cap, 2-way LT", func() predictor.Predictor {
+		cc := predictor.DefaultCAPConfig()
+		cc.LTWays = 2
+		return predictor.NewCAP(cc)
+	})
+	return r
+}
+
+// Table renders the ablation rows.
+func (r AblationsResult) Table() *report.Table {
+	t := report.New("Ablations (average over all traces)",
+		"configuration", "prediction rate", "accuracy", "mispred of loads")
+	for i, n := range r.Names {
+		c := r.Counters[i]
+		t.Add(n, report.Pct(c.PredRate()), report.Pct2(c.Accuracy()), report.Pct2(c.MispredOfLoads()))
+	}
+	return t
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"capred/internal/predictor"
+	"capred/internal/report"
+	"capred/internal/trace"
+	"capred/internal/valuepred"
+	"capred/internal/workload"
+)
+
+// valueCounters mirrors the metrics the figure tables use, for value
+// predictors.
+type valueCounters struct {
+	Loads       int64
+	Speculated  int64
+	SpecCorrect int64
+}
+
+func (c valueCounters) predRate() float64 {
+	if c.Loads == 0 {
+		return 0
+	}
+	return float64(c.Speculated) / float64(c.Loads)
+}
+
+func (c valueCounters) correctRate() float64 {
+	if c.Loads == 0 {
+		return 0
+	}
+	return float64(c.SpecCorrect) / float64(c.Loads)
+}
+
+func (c valueCounters) accuracy() float64 {
+	if c.Speculated == 0 {
+		return 0
+	}
+	return float64(c.SpecCorrect) / float64(c.Speculated)
+}
+
+// AddressVsValueResult compares address predictability with value
+// predictability over the same dynamic loads — the §1 claim that value
+// prediction's "lower predictability makes this option less attractive".
+type AddressVsValueResult struct {
+	Names    []string
+	Rates    []float64 // speculative accesses / loads
+	Corrects []float64 // correct speculations / loads
+	Accs     []float64
+}
+
+// AddressVsValue measures the last/stride/context/hybrid value predictors
+// ([Lipa96a], [Saze97], [Wang97]) against the paper's hybrid address
+// predictor on identical load streams.
+func AddressVsValue(cfg Config) AddressVsValueResult {
+	specs := workload.Traces()
+
+	type row struct {
+		addr addrTally
+		vals [4]valueCounters
+	}
+	rows := make([]row, len(specs))
+
+	parallelFor(cfg, len(specs), func(i int) {
+		spec := specs[i]
+		vcfg := valuepred.DefaultConfig()
+		vpreds := [4]valuepred.Predictor{
+			valuepred.NewLast(vcfg),
+			valuepred.NewStride(vcfg),
+			valuepred.NewContext(vcfg),
+			valuepred.NewHybrid(vcfg),
+		}
+		apred := hybridFactory()
+
+		var ghr predictor.GHR
+		var path predictor.PathHist
+		src := trace.NewLimit(spec.Open(), cfg.EventsPerTrace)
+		for {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			switch ev.Kind {
+			case trace.KindBranch:
+				ghr.Update(ev.Taken)
+			case trace.KindCall:
+				path.Push(ev.IP)
+			case trace.KindLoad:
+				ref := predictor.LoadRef{
+					IP: ev.IP, Offset: ev.Offset,
+					GHR: ghr.Value(), Path: path.Value(),
+				}
+				ap := apred.Predict(ref)
+				rows[i].addr.loads++
+				if ap.Speculate {
+					rows[i].addr.spec++
+					if ap.Addr == ev.Addr {
+						rows[i].addr.correct++
+					}
+				}
+				apred.Resolve(ref, ap, ev.Addr)
+
+				for v, vp := range vpreds {
+					p := vp.Predict(ev.IP)
+					rows[i].vals[v].Loads++
+					if p.Speculate {
+						rows[i].vals[v].Speculated++
+						if p.Val == ev.Val {
+							rows[i].vals[v].SpecCorrect++
+						}
+					}
+					vp.Resolve(ev.IP, p, ev.Val)
+				}
+			}
+		}
+	})
+
+	var addr addrTally
+	var vals [4]valueCounters
+	for _, r := range rows {
+		addr.loads += r.addr.loads
+		addr.spec += r.addr.spec
+		addr.correct += r.addr.correct
+		for v := range vals {
+			vals[v].Loads += r.vals[v].Loads
+			vals[v].Speculated += r.vals[v].Speculated
+			vals[v].SpecCorrect += r.vals[v].SpecCorrect
+		}
+	}
+
+	out := AddressVsValueResult{}
+	push := func(name string, rate, correct, acc float64) {
+		out.Names = append(out.Names, name)
+		out.Rates = append(out.Rates, rate)
+		out.Corrects = append(out.Corrects, correct)
+		out.Accs = append(out.Accs, acc)
+	}
+	push("hybrid address", addr.rate(), addr.correctRate(), addr.accuracy())
+	names := []string{"last-value", "stride-value", "context-value", "hybrid-value"}
+	for v, n := range names {
+		push(n, vals[v].predRate(), vals[v].correctRate(), vals[v].accuracy())
+	}
+	return out
+}
+
+// addrTally is a minimal address-side tally for this experiment.
+type addrTally struct {
+	loads, spec, correct int64
+}
+
+func (m addrTally) rate() float64 {
+	if m.loads == 0 {
+		return 0
+	}
+	return float64(m.spec) / float64(m.loads)
+}
+
+func (m addrTally) correctRate() float64 {
+	if m.loads == 0 {
+		return 0
+	}
+	return float64(m.correct) / float64(m.loads)
+}
+
+func (m addrTally) accuracy() float64 {
+	if m.spec == 0 {
+		return 0
+	}
+	return float64(m.correct) / float64(m.spec)
+}
+
+// Table renders the comparison.
+func (r AddressVsValueResult) Table() *report.Table {
+	t := report.New("§1: address vs value predictability (same loads, matched budgets)",
+		"predictor", "spec rate", "correct of loads", "accuracy")
+	for i, n := range r.Names {
+		t.Add(n, report.Pct(r.Rates[i]), report.Pct(r.Corrects[i]), report.Pct2(r.Accs[i]))
+	}
+	return t
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"capred/internal/metrics"
+	"capred/internal/pipeline"
+	"capred/internal/predictor"
+	"capred/internal/report"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// WrongPathMode selects how wrong-path predictions are handled.
+type WrongPathMode uint8
+
+// Wrong-path handling modes.
+const (
+	// WrongPathNone: no wrong-path loads are injected (the idealised
+	// model every §4 experiment uses).
+	WrongPathNone WrongPathMode = iota
+	// WrongPathSquash: wrong-path loads predict through the tables and
+	// are squashed on recovery — the §5.4 history-buffer discipline.
+	WrongPathSquash
+	// WrongPathDestructive: wrong-path loads resolve with their bogus
+	// addresses, destructively updating the tables — the hazard §5.4
+	// warns against.
+	WrongPathDestructive
+)
+
+// String names the mode.
+func (m WrongPathMode) String() string {
+	switch m {
+	case WrongPathNone:
+		return "no wrong path"
+	case WrongPathSquash:
+		return "wrong path + squash recovery"
+	case WrongPathDestructive:
+		return "wrong path, destructive updates"
+	default:
+		return "invalid"
+	}
+}
+
+// runTraceWrongPath drives a speculative-mode predictor with a prediction
+// gap, injecting a burst of wrong-path loads after every branch the
+// model's own predictor would have mispredicted. Wrong-path loads replay
+// recently seen static loads with perturbed addresses — what a front end
+// fetches down the wrong arm of a branch.
+func runTraceWrongPath(src trace.Source, p predictor.Predictor, gapDepth, burst int, mode WrongPathMode) metrics.Counters {
+	var (
+		c    metrics.Counters
+		ghr  predictor.GHR
+		path predictor.PathHist
+		gap  = pipeline.New(p, gapDepth)
+
+		// Small g-share deciding which branches are "mispredicted".
+		bp    = make([]uint8, 4096)
+		bhist uint32
+
+		// Ring of recent load refs to replay on the wrong path.
+		recent [16]predictor.LoadRef
+		rn     int
+	)
+	predictBr := func(ip uint32) bool { return bp[(ip>>2^bhist)&4095] >= 2 }
+	updateBr := func(ip uint32, taken bool) {
+		e := &bp[(ip>>2^bhist)&4095]
+		if taken {
+			if *e < 3 {
+				*e++
+			}
+		} else if *e > 0 {
+			*e--
+		}
+		bhist = bhist<<1 | b2u(taken)
+	}
+
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		switch ev.Kind {
+		case trace.KindBranch:
+			mispredicted := predictBr(ev.IP) != ev.Taken
+			updateBr(ev.IP, ev.Taken)
+			ghr.Update(ev.Taken)
+			if mispredicted && mode != WrongPathNone && rn > 0 {
+				// Fetch down the wrong path: replay recent loads with
+				// perturbed addresses, then recover.
+				injected := 0
+				for i := 0; i < burst; i++ {
+					ref := recent[(rn-1-i%rn+len(recent))%len(recent)]
+					ref.GHR = ghr.Value() ^ 1 // wrong-path history
+					pr := gap.Process(ref, ref.IP*2654435761|4)
+					injected++
+					if mode == WrongPathSquash {
+						// Recovery will flush these before resolution.
+						_ = pr
+					}
+				}
+				if mode == WrongPathSquash {
+					gap.SquashNewest(injected)
+				}
+				// In destructive mode the bogus actuals resolve through
+				// the normal gap flow, corrupting the tables.
+			}
+		case trace.KindCall:
+			path.Push(ev.IP)
+		case trace.KindLoad:
+			ref := predictor.LoadRef{
+				IP: ev.IP, Offset: ev.Offset,
+				GHR: ghr.Value(), Path: path.Value(),
+			}
+			recent[rn%len(recent)] = ref
+			rn++
+			if rn > len(recent) {
+				rn = len(recent)
+			}
+			pr := gap.Process(ref, ev.Addr)
+			c.Record(pr, ev.Addr)
+		}
+	}
+	gap.Drain()
+	return c
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WrongPathResult compares the three wrong-path disciplines.
+type WrongPathResult struct {
+	Modes    []WrongPathMode
+	Counters []metrics.Counters
+}
+
+// WrongPath runs the §5.4 speculative-control-flow experiment: the hybrid
+// predictor at a prediction gap of 8, with wrong-path load bursts after
+// every modelled branch misprediction, handled by squash recovery or
+// resolved destructively.
+func WrongPath(cfg Config) WrongPathResult {
+	modes := []WrongPathMode{WrongPathNone, WrongPathSquash, WrongPathDestructive}
+	specs := workload.Traces()
+
+	counters := make([][]metrics.Counters, len(modes))
+	for m := range modes {
+		counters[m] = make([]metrics.Counters, len(specs))
+	}
+	parallelFor(cfg, len(specs), func(i int) {
+		for m, mode := range modes {
+			hc := predictor.DefaultHybridConfig()
+			hc.Speculative = true
+			src := trace.NewLimit(specs[i].Open(), cfg.EventsPerTrace)
+			counters[m][i] = runTraceWrongPath(src, predictor.NewHybrid(hc), 8, 4, mode)
+		}
+	})
+
+	out := WrongPathResult{Modes: modes, Counters: make([]metrics.Counters, len(modes))}
+	for m := range modes {
+		for i := range specs {
+			out.Counters[m].Merge(counters[m][i])
+		}
+	}
+	return out
+}
+
+// Table renders the wrong-path comparison.
+func (r WrongPathResult) Table() *report.Table {
+	t := report.New("§5.4: speculative control flow (hybrid, gap 8, wrong-path bursts of 4)",
+		"discipline", "prediction rate", "accuracy", "correct of loads")
+	for m, mode := range r.Modes {
+		c := r.Counters[m]
+		t.Add(mode.String(), report.Pct(c.PredRate()), report.Pct2(c.Accuracy()),
+			report.Pct(c.CorrectSpecRate()))
+	}
+	return t
+}

@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format
+//
+//	magic   [4]byte  "CAPT"
+//	version uint8    currently 2
+//	events  ...      repeated until EOF
+//
+// Each event is a kind byte followed by varint-encoded fields. Only the
+// fields meaningful for the kind are stored, keeping files compact:
+//
+//	all kinds:     uvarint(IP)
+//	load:          uvarint(Addr) uvarint(Val) varint(Offset) uvarint(Src1) uvarint(Src2)
+//	store:         uvarint(Addr) varint(Offset) uvarint(Src1) uvarint(Src2)
+//	branch:        uvarint(Addr) byte(Taken) uvarint(Src1)
+//	call, return:  uvarint(Addr)
+//	alu:           uvarint(Src1) uvarint(Src2) byte(Lat)
+var (
+	magic = [4]byte{'C', 'A', 'P', 'T'}
+
+	// ErrBadMagic is returned when a trace file does not start with the
+	// expected magic bytes.
+	ErrBadMagic = errors.New("trace: bad magic, not a trace file")
+	// ErrBadVersion is returned for an unsupported format version.
+	ErrBadVersion = errors.New("trace: unsupported format version")
+)
+
+const formatVersion = 2
+
+// Writer encodes events to an io.Writer in the binary trace format.
+type Writer struct {
+	w      *bufio.Writer
+	buf    []byte
+	wrote  bool
+	closed bool
+}
+
+// NewWriter returns a Writer that writes the file header lazily on the
+// first Emit. Call Flush before closing the underlying writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 64)}
+}
+
+func (w *Writer) header() error {
+	if w.wrote {
+		return nil
+	}
+	w.wrote = true
+	if _, err := w.w.Write(magic[:]); err != nil {
+		return err
+	}
+	return w.w.WriteByte(formatVersion)
+}
+
+// Emit implements Sink.
+func (w *Writer) Emit(ev Event) error {
+	if w.closed {
+		return errors.New("trace: write after Close")
+	}
+	if !ev.Kind.Valid() {
+		return fmt.Errorf("trace: invalid event kind %d", ev.Kind)
+	}
+	if err := w.header(); err != nil {
+		return err
+	}
+	b := w.buf[:0]
+	b = append(b, byte(ev.Kind))
+	b = binary.AppendUvarint(b, uint64(ev.IP))
+	switch ev.Kind {
+	case KindLoad, KindStore:
+		b = binary.AppendUvarint(b, uint64(ev.Addr))
+		if ev.Kind == KindLoad {
+			b = binary.AppendUvarint(b, uint64(ev.Val))
+		}
+		b = binary.AppendVarint(b, int64(ev.Offset))
+		b = binary.AppendUvarint(b, uint64(ev.Src1))
+		b = binary.AppendUvarint(b, uint64(ev.Src2))
+	case KindBranch:
+		b = binary.AppendUvarint(b, uint64(ev.Addr))
+		if ev.Taken {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.AppendUvarint(b, uint64(ev.Src1))
+	case KindCall, KindReturn:
+		b = binary.AppendUvarint(b, uint64(ev.Addr))
+	case KindALU:
+		b = binary.AppendUvarint(b, uint64(ev.Src1))
+		b = binary.AppendUvarint(b, uint64(ev.Src2))
+		b = append(b, ev.Lat)
+	}
+	w.buf = b[:0]
+	_, err := w.w.Write(b)
+	return err
+}
+
+// Flush writes any buffered data (and the header, for an empty trace) to
+// the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Close flushes the writer and rejects any further Emit calls. It does
+// not close the underlying io.Writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.Flush()
+}
+
+// Reader decodes a binary trace file as a Source.
+type Reader struct {
+	r       *bufio.Reader
+	err     error
+	started bool
+}
+
+// NewReader returns a Source reading the binary trace format from r.
+// The header is validated on the first call to Next.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (r *Reader) start() error {
+	r.started = true
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrBadMagic
+		}
+		return err
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return ErrBadMagic
+	}
+	if hdr[4] != formatVersion {
+		return fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+	}
+	return nil
+}
+
+func (r *Reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = truncated(err)
+	}
+	return v
+}
+
+func (r *Reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.r)
+	if err != nil {
+		r.err = truncated(err)
+	}
+	return v
+}
+
+func (r *Reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	b, err := r.r.ReadByte()
+	if err != nil {
+		r.err = truncated(err)
+	}
+	return b
+}
+
+// truncated maps any EOF inside an event to an explicit corruption error:
+// clean EOF is only legal at an event boundary.
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return errors.New("trace: truncated event")
+	}
+	return err
+}
+
+// Next implements Source.
+func (r *Reader) Next() (Event, bool) {
+	if r.err != nil {
+		return Event{}, false
+	}
+	if !r.started {
+		if err := r.start(); err != nil {
+			r.err = err
+			return Event{}, false
+		}
+	}
+	kb, err := r.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			r.err = err
+		}
+		return Event{}, false
+	}
+	ev := Event{Kind: Kind(kb)}
+	if !ev.Kind.Valid() {
+		r.err = fmt.Errorf("trace: invalid event kind %d", kb)
+		return Event{}, false
+	}
+	ev.IP = uint32(r.uvarint())
+	switch ev.Kind {
+	case KindLoad, KindStore:
+		ev.Addr = uint32(r.uvarint())
+		if ev.Kind == KindLoad {
+			ev.Val = uint32(r.uvarint())
+		}
+		ev.Offset = int32(r.varint())
+		ev.Src1 = uint32(r.uvarint())
+		ev.Src2 = uint32(r.uvarint())
+	case KindBranch:
+		ev.Addr = uint32(r.uvarint())
+		ev.Taken = r.byte() != 0
+		ev.Src1 = uint32(r.uvarint())
+	case KindCall, KindReturn:
+		ev.Addr = uint32(r.uvarint())
+	case KindALU:
+		ev.Src1 = uint32(r.uvarint())
+		ev.Src2 = uint32(r.uvarint())
+		ev.Lat = r.byte()
+	}
+	if r.err != nil {
+		return Event{}, false
+	}
+	return ev, true
+}
+
+// Err implements Source.
+func (r *Reader) Err() error { return r.err }

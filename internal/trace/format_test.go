@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip encodes the events and decodes them back.
+func roundTrip(t *testing.T, evs []Event) []Event {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, ev := range evs {
+		if err := w.Emit(ev); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	r := NewReader(&buf)
+	var out []Event
+	for {
+		ev, ok := r.Next()
+		if !ok {
+			break
+		}
+		out = append(out, ev)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Reader.Err: %v", err)
+	}
+	return out
+}
+
+// canonical zeroes the fields that the format intentionally does not store
+// for the event's kind, so round-trip comparison is meaningful.
+func canonical(ev Event) Event {
+	c := Event{Kind: ev.Kind, IP: ev.IP}
+	switch ev.Kind {
+	case KindLoad, KindStore:
+		c.Addr, c.Offset, c.Src1, c.Src2 = ev.Addr, ev.Offset, ev.Src1, ev.Src2
+		if ev.Kind == KindLoad {
+			c.Val = ev.Val
+		}
+	case KindBranch:
+		c.Addr, c.Taken, c.Src1 = ev.Addr, ev.Taken, ev.Src1
+	case KindCall, KindReturn:
+		c.Addr = ev.Addr
+	case KindALU:
+		c.Src1, c.Src2, c.Lat = ev.Src1, ev.Src2, ev.Lat
+	}
+	return c
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	evs := []Event{
+		{Kind: KindLoad, IP: 0x400100, Addr: 0x8000_0010, Offset: -4, Src1: 3, Src2: 1},
+		{Kind: KindStore, IP: 0x400104, Addr: 0x8000_0020, Offset: 12},
+		{Kind: KindBranch, IP: 0x400108, Addr: 0x400100, Taken: true, Src1: 2},
+		{Kind: KindCall, IP: 0x40010c, Addr: 0x500000},
+		{Kind: KindReturn, IP: 0x500040, Addr: 0x400110},
+		{Kind: KindALU, IP: 0x400110, Src1: 1, Src2: 4, Lat: 3},
+	}
+	got := roundTrip(t, evs)
+	if len(got) != len(evs) {
+		t.Fatalf("round trip returned %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != canonical(evs[i]) {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], canonical(evs[i]))
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	got := roundTrip(t, nil)
+	if len(got) != 0 {
+		t.Fatalf("empty trace decoded to %d events", len(got))
+	}
+}
+
+// TestRoundTripProperty: every valid event survives encode/decode.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() Event {
+		return Event{
+			Kind:   Kind(rng.Intn(int(numKinds))),
+			IP:     rng.Uint32(),
+			Addr:   rng.Uint32(),
+			Val:    rng.Uint32(),
+			Offset: int32(rng.Uint32()),
+			Taken:  rng.Intn(2) == 0,
+			Src1:   rng.Uint32() % 1024,
+			Src2:   rng.Uint32() % 1024,
+			Lat:    uint8(rng.Intn(20)),
+		}
+	}
+	f := func(n uint8) bool {
+		evs := make([]Event, int(n)%64+1)
+		for i := range evs {
+			evs[i] = gen()
+		}
+		got := roundTrip(t, evs)
+		if len(got) != len(evs) {
+			return false
+		}
+		for i := range evs {
+			if got[i] != canonical(evs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOPE!...")))
+	if _, ok := r.Next(); ok {
+		t.Fatal("expected failure on bad magic")
+	}
+	if !errors.Is(r.Err(), ErrBadMagic) {
+		t.Errorf("got error %v, want ErrBadMagic", r.Err())
+	}
+}
+
+func TestReaderBadVersion(t *testing.T) {
+	data := append(append([]byte{}, magic[:]...), 0xFF)
+	r := NewReader(bytes.NewReader(data))
+	if _, ok := r.Next(); ok {
+		t.Fatal("expected failure on bad version")
+	}
+	if !errors.Is(r.Err(), ErrBadVersion) {
+		t.Errorf("got error %v, want ErrBadVersion", r.Err())
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Emit(Event{Kind: KindLoad, IP: 0x1234, Addr: 0xdeadbeef}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Chop the last byte so the event is cut mid-field.
+	r := NewReader(bytes.NewReader(data[:len(data)-1]))
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+	}
+	if r.Err() == nil {
+		t.Error("expected truncation error, got clean EOF")
+	}
+}
+
+func TestReaderEmptyInput(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, ok := r.Next(); ok {
+		t.Fatal("expected failure on empty input")
+	}
+	if !errors.Is(r.Err(), ErrBadMagic) {
+		t.Errorf("got error %v, want ErrBadMagic", r.Err())
+	}
+}
+
+func TestWriterRejectsInvalidKind(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Emit(Event{Kind: Kind(250)}); err == nil {
+		t.Error("expected error for invalid kind")
+	}
+}
+
+func TestHeaderWrittenForEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 5 {
+		t.Errorf("empty trace file is %d bytes, want 5 (magic+version)", buf.Len())
+	}
+	if !reflect.DeepEqual(buf.Bytes()[:4], magic[:]) {
+		t.Error("missing magic in empty trace file")
+	}
+}
+
+func TestWriterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Emit(Event{Kind: KindALU, IP: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Emit(Event{Kind: KindALU, IP: 8}); err == nil {
+		t.Error("Emit after Close must fail")
+	}
+	// Close is idempotent.
+	if err := w.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if buf.Len() <= 5 {
+		t.Error("event not flushed by Close")
+	}
+}

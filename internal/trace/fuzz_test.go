@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace reader: it must never
+// panic and must either produce valid events or report an error. The
+// seeds cover a valid file, truncations, and corrupted headers; `go test`
+// always runs the seed corpus.
+func FuzzReader(f *testing.F) {
+	// Seed: a valid two-event trace.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Emit(Event{Kind: KindLoad, IP: 0x400100, Addr: 0x8000, Val: 7, Offset: 8, Src1: 2})
+	_ = w.Emit(Event{Kind: KindBranch, IP: 0x400104, Addr: 0x400100, Taken: true})
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1]) // truncated event
+	f.Add(valid[:5])            // header only
+	f.Add([]byte("CAPT\x01"))   // old version
+	f.Add([]byte("XXXX\x02"))   // bad magic
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		n := 0
+		for {
+			ev, ok := r.Next()
+			if !ok {
+				break
+			}
+			if !ev.Kind.Valid() {
+				t.Fatalf("reader produced invalid kind %d", ev.Kind)
+			}
+			n++
+			if n > 1<<20 {
+				t.Fatal("unbounded event stream from bounded input")
+			}
+		}
+		// After the stream ends, Err is stable and Next stays false.
+		_ = r.Err()
+		if _, ok := r.Next(); ok {
+			t.Fatal("Next returned true after end of stream")
+		}
+	})
+}

@@ -1,0 +1,303 @@
+// Package valuepred implements load-value predictors — the alternative
+// technique the paper's introduction weighs against address prediction
+// ("load-value prediction may be used as an alternate option to reduce
+// load-to-use latency; however, its lower predictability makes this
+// option less attractive", §1). The designs follow the prior art the
+// paper cites: the last-value predictor of [Lipa96a], a stride value
+// predictor, the context (FCM) predictor of [Saze97], and the hybrid
+// stride+context scheme of [Wang97].
+//
+// The predictors mirror the address predictors' interface so the same
+// harness can measure value predictability of the same dynamic loads.
+package valuepred
+
+// Prediction is a value predictor's output for one dynamic load.
+type Prediction struct {
+	Val       uint32
+	Predicted bool
+	Speculate bool
+}
+
+// Correct reports whether the predicted value matched.
+func (p Prediction) Correct(actual uint32) bool {
+	return p.Predicted && p.Val == actual
+}
+
+// Predictor is a load-value predictor.
+type Predictor interface {
+	// Predict produces a value prediction for the static load at ip.
+	Predict(ip uint32) Prediction
+	// Resolve verifies a prediction against the loaded value and trains.
+	Resolve(ip uint32, p Prediction, actual uint32)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// Config sizes the value predictors to match the address predictors'
+// storage budget for a fair comparison.
+type Config struct {
+	Entries       int   // per-load table entries (direct-mapped)
+	VHTEntries    int   // value history table for the context predictor
+	HistoryLen    int   // values of history for the context predictor
+	ConfMax       uint8 // saturating confidence ceiling
+	ConfThreshold uint8
+}
+
+// DefaultConfig mirrors the address predictors' 4K-entry budget.
+func DefaultConfig() Config {
+	return Config{
+		Entries:       4096,
+		VHTEntries:    4096,
+		HistoryLen:    4,
+		ConfMax:       3,
+		ConfThreshold: 2,
+	}
+}
+
+func (c Config) index(ip uint32) int {
+	return int(ip>>2) & (c.Entries - 1)
+}
+
+// lastValue predicts the previously loaded value ([Lipa96a]).
+type lastValue struct {
+	cfg  Config
+	last []uint32
+	have []bool
+	conf []uint8
+}
+
+// NewLast builds a last-value predictor.
+func NewLast(cfg Config) Predictor {
+	checkPow2(cfg.Entries)
+	return &lastValue{
+		cfg:  cfg,
+		last: make([]uint32, cfg.Entries),
+		have: make([]bool, cfg.Entries),
+		conf: make([]uint8, cfg.Entries),
+	}
+}
+
+func (l *lastValue) Name() string { return "last-value" }
+
+func (l *lastValue) Predict(ip uint32) Prediction {
+	i := l.cfg.index(ip)
+	if !l.have[i] {
+		return Prediction{}
+	}
+	return Prediction{
+		Val:       l.last[i],
+		Predicted: true,
+		Speculate: l.conf[i] >= l.cfg.ConfThreshold,
+	}
+}
+
+func (l *lastValue) Resolve(ip uint32, p Prediction, actual uint32) {
+	i := l.cfg.index(ip)
+	if l.have[i] && l.last[i] == actual {
+		if l.conf[i] < l.cfg.ConfMax {
+			l.conf[i]++
+		}
+	} else {
+		l.conf[i] = 0
+	}
+	l.last[i] = actual
+	l.have[i] = true
+}
+
+// strideValue predicts last + learned delta (counters, induction values).
+type strideValue struct {
+	cfg    Config
+	last   []uint32
+	stride []int32
+	state  []uint8 // 0 none, 1 have-last, 2 have-stride
+	conf   []uint8
+}
+
+// NewStride builds a stride value predictor.
+func NewStride(cfg Config) Predictor {
+	checkPow2(cfg.Entries)
+	return &strideValue{
+		cfg:    cfg,
+		last:   make([]uint32, cfg.Entries),
+		stride: make([]int32, cfg.Entries),
+		state:  make([]uint8, cfg.Entries),
+		conf:   make([]uint8, cfg.Entries),
+	}
+}
+
+func (s *strideValue) Name() string { return "stride-value" }
+
+func (s *strideValue) Predict(ip uint32) Prediction {
+	i := s.cfg.index(ip)
+	if s.state[i] == 0 {
+		return Prediction{}
+	}
+	return Prediction{
+		Val:       s.last[i] + uint32(s.stride[i]),
+		Predicted: true,
+		Speculate: s.conf[i] >= s.cfg.ConfThreshold,
+	}
+}
+
+func (s *strideValue) Resolve(ip uint32, p Prediction, actual uint32) {
+	i := s.cfg.index(ip)
+	if p.Predicted {
+		if p.Val == actual {
+			if s.conf[i] < s.cfg.ConfMax {
+				s.conf[i]++
+			}
+		} else {
+			s.conf[i] = 0
+		}
+	}
+	if s.state[i] >= 1 {
+		delta := int32(actual - s.last[i])
+		if s.state[i] == 2 && delta == s.stride[i] {
+			// steady
+		} else {
+			s.stride[i] = delta
+			s.state[i] = 2
+		}
+	} else {
+		s.state[i] = 1
+	}
+	s.last[i] = actual
+}
+
+// contextValue is the FCM predictor of [Saze97]: a per-load history of
+// recent values, hashed to index a value history table.
+type contextValue struct {
+	cfg   Config
+	hist  []uint32
+	conf  []uint8
+	vht   []uint32
+	vhtOK []bool
+	shift uint
+	mask  uint32
+}
+
+// NewContext builds an FCM (context) value predictor.
+func NewContext(cfg Config) Predictor {
+	checkPow2(cfg.Entries)
+	checkPow2(cfg.VHTEntries)
+	bits := uint(0)
+	for n := cfg.VHTEntries; n > 1; n >>= 1 {
+		bits++
+	}
+	shift := (bits + uint(cfg.HistoryLen) - 1) / uint(cfg.HistoryLen)
+	if shift == 0 {
+		shift = 1
+	}
+	return &contextValue{
+		cfg:   cfg,
+		hist:  make([]uint32, cfg.Entries),
+		conf:  make([]uint8, cfg.Entries),
+		vht:   make([]uint32, cfg.VHTEntries),
+		vhtOK: make([]bool, cfg.VHTEntries),
+		shift: shift,
+		mask:  uint32(cfg.VHTEntries - 1),
+	}
+}
+
+func (c *contextValue) Name() string { return "context-value" }
+
+func (c *contextValue) fold(hist, val uint32) uint32 {
+	return (hist<<c.shift ^ val ^ val>>11) & c.mask
+}
+
+func (c *contextValue) Predict(ip uint32) Prediction {
+	i := c.cfg.index(ip)
+	h := c.hist[i]
+	if !c.vhtOK[h] {
+		return Prediction{}
+	}
+	return Prediction{
+		Val:       c.vht[h],
+		Predicted: true,
+		Speculate: c.conf[i] >= c.cfg.ConfThreshold,
+	}
+}
+
+func (c *contextValue) Resolve(ip uint32, p Prediction, actual uint32) {
+	i := c.cfg.index(ip)
+	if p.Predicted {
+		if p.Val == actual {
+			if c.conf[i] < c.cfg.ConfMax {
+				c.conf[i]++
+			}
+		} else {
+			c.conf[i] = 0
+		}
+	}
+	h := c.hist[i]
+	c.vht[h] = actual
+	c.vhtOK[h] = true
+	c.hist[i] = c.fold(h, actual)
+}
+
+// hybridValue combines stride and context components with a per-load
+// selector, after [Wang97].
+type hybridValue struct {
+	cfg     Config
+	stride  *strideValue
+	context *contextValue
+	sel     []uint8
+}
+
+// NewHybrid builds the hybrid stride+context value predictor.
+func NewHybrid(cfg Config) Predictor {
+	return &hybridValue{
+		cfg:     cfg,
+		stride:  NewStride(cfg).(*strideValue),
+		context: NewContext(cfg).(*contextValue),
+		sel:     make([]uint8, cfg.Entries),
+	}
+}
+
+func (h *hybridValue) Name() string { return "hybrid-value" }
+
+func (h *hybridValue) Predict(ip uint32) Prediction {
+	sp := h.stride.Predict(ip)
+	cp := h.context.Predict(ip)
+	switch {
+	case sp.Speculate && cp.Speculate:
+		if h.sel[h.cfg.index(ip)] >= 2 {
+			return cp
+		}
+		return sp
+	case cp.Speculate:
+		return cp
+	case sp.Speculate:
+		return sp
+	case cp.Predicted:
+		return cp
+	default:
+		return sp
+	}
+}
+
+func (h *hybridValue) Resolve(ip uint32, p Prediction, actual uint32) {
+	sp := h.stride.Predict(ip)
+	cp := h.context.Predict(ip)
+	i := h.cfg.index(ip)
+	if sp.Predicted && cp.Predicted {
+		switch {
+		case cp.Val == actual && sp.Val != actual:
+			if h.sel[i] < 3 {
+				h.sel[i]++
+			}
+		case sp.Val == actual && cp.Val != actual:
+			if h.sel[i] > 0 {
+				h.sel[i]--
+			}
+		}
+	}
+	h.stride.Resolve(ip, sp, actual)
+	h.context.Resolve(ip, cp, actual)
+}
+
+func checkPow2(n int) {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("valuepred: table sizes must be powers of two")
+	}
+}

@@ -1,0 +1,149 @@
+package valuepred
+
+import "testing"
+
+// drive runs a predictor over a value sequence for one static load.
+func drive(p Predictor, ip uint32, vals []uint32) (specCorrect, mispred int) {
+	for _, v := range vals {
+		pr := p.Predict(ip)
+		if pr.Speculate {
+			if pr.Val == v {
+				specCorrect++
+			} else {
+				mispred++
+			}
+		}
+		p.Resolve(ip, pr, v)
+	}
+	return
+}
+
+func constSeq(v uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestLastValueConstant(t *testing.T) {
+	p := NewLast(DefaultConfig())
+	c, m := drive(p, 0x100, constSeq(42, 30))
+	if c < 25 {
+		t.Errorf("specCorrect = %d, want most of 30", c)
+	}
+	if m != 0 {
+		t.Errorf("mispred = %d", m)
+	}
+}
+
+func TestLastValueFailsOnCounter(t *testing.T) {
+	p := NewLast(DefaultConfig())
+	vals := make([]uint32, 40)
+	for i := range vals {
+		vals[i] = uint32(i)
+	}
+	c, _ := drive(p, 0x100, vals)
+	if c != 0 {
+		t.Errorf("last-value predicted %d of a counter", c)
+	}
+}
+
+func TestStrideValueCounter(t *testing.T) {
+	p := NewStride(DefaultConfig())
+	vals := make([]uint32, 40)
+	for i := range vals {
+		vals[i] = uint32(7 + 3*i)
+	}
+	c, m := drive(p, 0x100, vals)
+	if c < 32 {
+		t.Errorf("specCorrect = %d, want most of 40", c)
+	}
+	if m != 0 {
+		t.Errorf("mispred = %d", m)
+	}
+}
+
+func TestContextValueRecurringSequence(t *testing.T) {
+	p := NewContext(DefaultConfig())
+	pattern := []uint32{10, 80, 40, 20}
+	var vals []uint32
+	for i := 0; i < 40; i++ {
+		vals = append(vals, pattern[i%4])
+	}
+	c, _ := drive(p, 0x100, vals)
+	if c < 28 {
+		t.Errorf("specCorrect = %d, want most of 40", c)
+	}
+}
+
+func TestContextValueFailsOnRandom(t *testing.T) {
+	p := NewContext(DefaultConfig())
+	x := uint32(9)
+	vals := make([]uint32, 200)
+	for i := range vals {
+		x = x*1664525 + 1013904223
+		vals[i] = x
+	}
+	c, _ := drive(p, 0x100, vals)
+	if c > 10 {
+		t.Errorf("context predicted %d of random values", c)
+	}
+}
+
+func TestHybridValueCoversBothPatterns(t *testing.T) {
+	p := NewHybrid(DefaultConfig())
+	// Counter on one load, recurring pattern on another.
+	counter := make([]uint32, 60)
+	for i := range counter {
+		counter[i] = uint32(4 * i)
+	}
+	c1, _ := drive(p, 0x100, counter)
+	pattern := []uint32{5, 6, 9, 5, 7}
+	var rec []uint32
+	for i := 0; i < 60; i++ {
+		rec = append(rec, pattern[i%len(pattern)])
+	}
+	c2, _ := drive(p, 0x200, rec)
+	if c1 < 45 {
+		t.Errorf("hybrid missed the counter: %d", c1)
+	}
+	if c2 < 45 {
+		t.Errorf("hybrid missed the recurring values: %d", c2)
+	}
+}
+
+func TestNames(t *testing.T) {
+	cfg := DefaultConfig()
+	for p, want := range map[Predictor]string{
+		NewLast(cfg):    "last-value",
+		NewStride(cfg):  "stride-value",
+		NewContext(cfg): "context-value",
+		NewHybrid(cfg):  "hybrid-value",
+	} {
+		if p.Name() != want {
+			t.Errorf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Entries = 1000
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewLast(cfg)
+}
+
+func TestPredictionCorrect(t *testing.T) {
+	p := Prediction{Val: 5, Predicted: true}
+	if !p.Correct(5) || p.Correct(6) {
+		t.Error("Correct misbehaves")
+	}
+	if (Prediction{}).Correct(0) {
+		t.Error("unpredicted cannot be correct")
+	}
+}

@@ -1,0 +1,530 @@
+package workload
+
+// This file implements the program behaviours whose load-address patterns
+// the paper analyses:
+//
+//	globalScalars   constant addresses (last-address predictable)
+//	stackFrame      stable frame-pointer-relative locals (constant-ish)
+//	arrayWalk       long strided traversals (stride predictable)
+//	shortLoop       short, repeatedly executed stride runs (§4.3's JAVA
+//	                inner loop: context predictable, stride-hostile)
+//	linkedList      §2.1 recursive data structures (context predictable)
+//	doubleList      §3.2 doubly linked list with alternating direction
+//	binaryTree      repeated search paths over a pointer tree
+//	callSites       §2.2 call-site-correlated function bodies
+//	hashTable       computed addresses over a recurring key set
+//	randomWalk      irregular pollution loads (unpredictable)
+
+// globalScalars models reads of global variables and read-only constants.
+type globalScalars struct {
+	ipBase uint32
+	addrs  []uint32
+	tick   int
+}
+
+func NewGlobalScalars(g *Generator, n int) Behavior {
+	b := &globalScalars{ipBase: g.ipBlock(4 * n), addrs: make([]uint32, n)}
+	for i := range b.addrs {
+		b.addrs[i] = g.heap.Alloc(8)
+	}
+	return b
+}
+
+func (b *globalScalars) step(g *Generator) {
+	var accum int64 = -1
+	for i, a := range b.addrs {
+		ip := b.ipBase + uint32(16*i)
+		// Value behaviour varies by variable: counters increment every
+		// read burst, flags flip irregularly, the rest are stable data.
+		var val uint32
+		switch i % 4 {
+		case 0:
+			val = uint32(b.tick) // counter
+		case 1:
+			val = stableVal(a) ^ uint32(b.tick)&^7 // occasionally rewritten
+		default:
+			val = stableVal(a)
+		}
+		ld := g.loadVal(ip, a, 0, -1, val)
+		accum = g.alu(ip+4, ld, accum, 1) // accumulate: sum += g_i
+		g.alu(ip+8, ld, -1, 1)
+	}
+	b.tick++
+	g.branch(b.ipBase+uint32(16*len(b.addrs)), b.ipBase, b.tick%8 != 0, -1)
+}
+
+// stackFrame models a leaf function reading locals and spilled arguments
+// at fixed frame-pointer offsets: the frame address is stable across calls
+// from a steady call depth, so the loads are constant per static IP.
+type stackFrame struct {
+	ipBase  uint32
+	frame   uint32
+	offsets []int32
+	tick    int
+}
+
+func NewStackFrame(g *Generator, locals int) Behavior {
+	b := &stackFrame{
+		ipBase:  g.ipBlock(8 * locals),
+		frame:   0xBFF0_0000 - uint32(g.rng.Intn(1<<14))*4,
+		offsets: make([]int32, locals),
+	}
+	for i := range b.offsets {
+		b.offsets[i] = int32(-4 * (i + 1))
+	}
+	return b
+}
+
+func (b *stackFrame) step(g *Generator) {
+	g.call(b.ipBase, b.ipBase+8)
+	b.tick++
+	var accum int64 = -1
+	for i, off := range b.offsets {
+		ip := b.ipBase + 8 + uint32(12*i)
+		// Locals and spilled arguments change between invocations.
+		val := stableVal(b.frame+uint32(off)) ^ uint32(b.tick*(i+1))
+		ld := g.loadVal(ip, b.frame+uint32(off), off, -1, val)
+		accum = g.alu(ip+4, ld, accum, 1)
+		g.alu(ip+8, ld, -1, 1)
+	}
+	g.ret(b.ipBase+4, b.ipBase+8+uint32(12*len(b.offsets)))
+}
+
+// arrayWalk linearly traverses a long array; the paper's MM suite is
+// dominated by this class. The cursor persists across bursts.
+type arrayWalk struct {
+	ipBase   uint32
+	base     uint32
+	elemSize uint32
+	length   int
+	perBurst int
+	pos      int
+	idxDep   int64
+	accumDep int64
+}
+
+func NewArrayWalk(g *Generator, length int, elemSize uint32, perBurst int) Behavior {
+	return &arrayWalk{
+		ipBase:   g.ipBlock(16),
+		base:     g.heap.Alloc(uint32(length) * elemSize),
+		elemSize: elemSize,
+		length:   length,
+		perBurst: perBurst,
+		idxDep:   -1,
+		accumDep: -1,
+	}
+}
+
+func (b *arrayWalk) step(g *Generator) {
+	for i := 0; i < b.perBurst; i++ {
+		addr := b.base + uint32(b.pos)*b.elemSize
+		idx := g.alu(b.ipBase, b.idxDep, -1, 1) // index increment
+		b.idxDep = idx
+		ld := g.load(b.ipBase+4, addr, 0, idx)
+		b.accumDep = g.alu(b.ipBase+8, ld, b.accumDep, 1) // sum += a[i]
+		b.pos++
+		end := b.pos >= b.length
+		g.branch(b.ipBase+12, b.ipBase, !end, idx)
+		if end {
+			b.pos = 0
+		}
+		// Rare data-dependent glitch: skip ahead, as when an element is
+		// rejected by a condition — the stride predictor mispredicts once.
+		if g.rng.Intn(1500) == 0 {
+			b.pos = (b.pos + 1 + g.rng.Intn(4)) % b.length
+		}
+	}
+}
+
+// shortLoop is a short stride run executed start-to-finish every burst —
+// the §4.3 JAVA inner loop: the wrap-around defeats stride confidence but
+// the whole sequence is context predictable.
+type shortLoop struct {
+	ipBase   uint32
+	base     uint32
+	elemSize uint32
+	length   int
+}
+
+func NewShortLoop(g *Generator, length int, elemSize uint32) Behavior {
+	return &shortLoop{
+		ipBase:   g.ipBlock(8),
+		base:     g.heap.Alloc(uint32(length) * elemSize),
+		elemSize: elemSize,
+		length:   length,
+	}
+}
+
+func (b *shortLoop) step(g *Generator) {
+	n := b.length
+	// Rare trip-count wobble, as when the loop bound is data dependent.
+	if g.rng.Intn(100) == 0 {
+		n += g.rng.Intn(3) - 1
+		if n < 2 {
+			n = 2
+		}
+	}
+	var idxDep, accum int64 = -1, -1
+	for i := 0; i < n; i++ {
+		idx := g.alu(b.ipBase, idxDep, -1, 1)
+		idxDep = idx
+		ld := g.load(b.ipBase+4, b.base+uint32(i)*b.elemSize, 0, idx)
+		accum = g.alu(b.ipBase+8, ld, accum, 1)
+		g.branch(b.ipBase+12, b.ipBase, i+1 < n, idx)
+	}
+}
+
+// listNode field offsets, shared by the pointer-chasing behaviours. The
+// layouts mirror the paper's figures 1 and 2.
+const (
+	offVal  = 0
+	offNext = 8
+	offPrev = 12
+)
+
+// linkedList models §2.1: a singly linked list over shuffled heap nodes,
+// traversed in full each burst. Each visit loads the data field and the
+// next pointer from the same base (global correlation across the two
+// static loads), with the next-pointer load address-dependent on the
+// previous one (pointer chase).
+type linkedList struct {
+	ipBase  uint32
+	nodes   []uint32 // traversal order
+	fields  int      // extra data fields loaded per node (≥ 1)
+	window  int      // nodes visited per burst (0 = whole list)
+	cursor  int
+	churnPm int // per-mille chance per burst of a node swap (mutation)
+}
+
+func NewLinkedList(g *Generator, length, fields int) Behavior {
+	return NewLinkedListOpts(g, length, fields, 0, 10)
+}
+
+// newLinkedListOpts exposes windowed traversal (for lists far longer than
+// a burst should be) and list mutation churn (insert/delete modelled as a
+// swap of two nodes, which breaks the learned links once).
+func NewLinkedListOpts(g *Generator, length, fields, window, churnPm int) Behavior {
+	return &linkedList{
+		ipBase:  g.ipBlock(16 + 4*fields),
+		nodes:   g.heap.AllocNodes(length, 16),
+		fields:  fields,
+		window:  window,
+		churnPm: churnPm,
+	}
+}
+
+func (b *linkedList) step(g *Generator) {
+	if b.churnPm > 0 && g.rng.Intn(1000) < b.churnPm {
+		i, j := g.rng.Intn(len(b.nodes)), g.rng.Intn(len(b.nodes))
+		b.nodes[i], b.nodes[j] = b.nodes[j], b.nodes[i]
+	}
+	count := b.window
+	if count <= 0 || count > len(b.nodes) {
+		count = len(b.nodes)
+	}
+	var chase int64 = -1
+	for n := 0; n < count; n++ {
+		node := b.nodes[b.cursor]
+		for f := 0; f < b.fields; f++ {
+			off := int32(offVal + 4*f)
+			ld := g.load(b.ipBase+uint32(16*f), node+uint32(off), off, chase)
+			g.consumers(b.ipBase+uint32(16*f)+4, ld, 2)
+		}
+		nextIdx := b.cursor + 1
+		if nextIdx >= len(b.nodes) {
+			nextIdx = 0
+		}
+		// The next-pointer load returns the successor's base address.
+		next := g.loadVal(b.ipBase+64, node+offNext, offNext, chase, b.nodes[nextIdx])
+		chase = next
+		g.alu(b.ipBase+68, next, -1, 1)
+		b.cursor++
+		atEnd := b.cursor >= len(b.nodes)
+		g.branch(b.ipBase+72, b.ipBase, !atEnd, next)
+		if atEnd {
+			b.cursor = 0
+		}
+	}
+}
+
+// doubleList models §3.2's figure 2: a doubly linked list walked forward
+// then backward, so the data-field load needs two addresses of history to
+// know the direction.
+type doubleList struct {
+	ipBase  uint32
+	nodes   []uint32
+	forward bool
+}
+
+func NewDoubleList(g *Generator, length int) Behavior {
+	return &doubleList{
+		ipBase:  g.ipBlock(16),
+		nodes:   g.heap.AllocNodes(length, 16),
+		forward: true,
+	}
+}
+
+func (b *doubleList) step(g *Generator) {
+	order := b.nodes
+	ptrOff := int32(offNext)
+	if !b.forward {
+		ptrOff = offPrev
+		order = make([]uint32, len(b.nodes))
+		for i, n := range b.nodes {
+			order[len(b.nodes)-1-i] = n
+		}
+	}
+	var chase int64 = -1
+	for i, node := range order {
+		ld := g.load(b.ipBase, node+offVal, offVal, chase)
+		g.consumers(b.ipBase+4, ld, 2)
+		neighbour := node
+		if i+1 < len(order) {
+			neighbour = order[i+1]
+		}
+		ptr := g.loadVal(b.ipBase+12, node+uint32(ptrOff), ptrOff, chase, neighbour)
+		chase = ptr
+		g.alu(b.ipBase+16, ptr, -1, 1)
+		g.branch(b.ipBase+20, b.ipBase, i+1 < len(order), ptr)
+	}
+	b.forward = !b.forward
+}
+
+// binaryTree models repeated searches over a pointer tree: a small set of
+// keys is probed in a recurring order, so each root-to-node path repeats.
+type binaryTree struct {
+	ipBase uint32
+	nodes  []uint32 // heap addresses, tree shaped by index arithmetic
+	paths  [][]int  // node-index paths probed in rotation
+	turn   int
+}
+
+func NewBinaryTree(g *Generator, size, nQueries int) Behavior {
+	b := &binaryTree{
+		ipBase: g.ipBlock(16),
+		nodes:  g.heap.AllocNodes(size, 24),
+	}
+	// Build nQueries recurring root-to-leaf paths over the implicit
+	// heap-index tree (children of i are 2i+1, 2i+2).
+	for q := 0; q < nQueries; q++ {
+		var path []int
+		i := 0
+		for i < size {
+			path = append(path, i)
+			if g.rng.Intn(2) == 0 {
+				i = 2*i + 1
+			} else {
+				i = 2*i + 2
+			}
+		}
+		b.paths = append(b.paths, path)
+	}
+	return b
+}
+
+func (b *binaryTree) step(g *Generator) {
+	// Occasionally a query changes: rebuild one recurring path.
+	if g.rng.Intn(250) == 0 {
+		q := g.rng.Intn(len(b.paths))
+		var path []int
+		i := 0
+		for i < len(b.nodes) {
+			path = append(path, i)
+			if g.rng.Intn(2) == 0 {
+				i = 2*i + 1
+			} else {
+				i = 2*i + 2
+			}
+		}
+		b.paths[q] = path
+	}
+	path := b.paths[b.turn]
+	b.turn = (b.turn + 1) % len(b.paths)
+	var chase int64 = -1
+	for step, idx := range path {
+		node := b.nodes[idx]
+		key := g.load(b.ipBase, node+offVal, offVal, chase)
+		g.consumers(b.ipBase+4, key, 2) // compare chain
+		left := step+1 < len(path) && path[step+1] == 2*idx+1
+		off := int32(offNext) // left child pointer
+		if !left {
+			off = offPrev // right child pointer
+		}
+		child := node
+		if step+1 < len(path) {
+			child = b.nodes[path[step+1]]
+		}
+		ptr := g.loadVal(b.ipBase+12, node+uint32(off), off, chase, child)
+		chase = ptr
+		g.alu(b.ipBase+16, ptr, -1, 1)
+		g.branch(b.ipBase+20, b.ipBase, step+1 < len(path), key)
+	}
+}
+
+// callSites models §2.2: a function called from several sites in a
+// recurring pattern (xlmatch's a-c-u-a); its loads read per-site argument
+// blocks, so addresses correlate with the call site, not with any stride.
+type callSites struct {
+	ipBase  uint32 // callee code
+	siteIPs []uint32
+	argMem  []uint32 // per-site argument block
+	pattern []int    // recurring site sequence
+	pos     int
+	nLoads  int
+}
+
+func NewCallSites(g *Generator, sites, patternLen, nLoads int) Behavior {
+	b := &callSites{
+		ipBase:  g.ipBlock(4 * (nLoads + 4)),
+		siteIPs: make([]uint32, sites),
+		argMem:  make([]uint32, sites),
+		pattern: make([]int, patternLen),
+		nLoads:  nLoads,
+	}
+	for i := range b.siteIPs {
+		b.siteIPs[i] = g.ipBlock(4)
+		b.argMem[i] = g.heap.Alloc(64)
+	}
+	for i := range b.pattern {
+		b.pattern[i] = g.rng.Intn(sites)
+	}
+	// Double one site, as in the paper's xlmatch example (xaref calls the
+	// function twice in a row: A1 A1 C U A2 A2). The repeat makes the
+	// per-load address sequence ambiguous under a one-address history.
+	if patternLen >= 2 {
+		i := g.rng.Intn(patternLen - 1)
+		b.pattern[i+1] = b.pattern[i]
+	}
+	return b
+}
+
+func (b *callSites) step(g *Generator) {
+	// Occasional control-flow drift: one pattern slot is re-drawn, as
+	// when the caller mix shifts with program phase.
+	if g.rng.Intn(200) == 0 {
+		b.pattern[g.rng.Intn(len(b.pattern))] = g.rng.Intn(len(b.siteIPs))
+	}
+	site := b.pattern[b.pos]
+	b.pos = (b.pos + 1) % len(b.pattern)
+	g.call(b.siteIPs[site], b.ipBase)
+	// Site-correlated branch inside the callee keeps the GHR informative.
+	g.branch(b.ipBase, b.ipBase+16, site%2 == 0, -1)
+	var accum int64 = -1
+	for i := 0; i < b.nLoads; i++ {
+		off := int32(4 * i)
+		ip := b.ipBase + 4 + uint32(8*i)
+		ld := g.load(ip, b.argMem[site]+uint32(off), off, -1)
+		accum = g.alu(ip+4, ld, accum, 1)
+		g.alu(ip+8, ld, -1, 1)
+	}
+	g.ret(b.ipBase+4+uint32(8*b.nLoads), b.siteIPs[site]+4)
+}
+
+// hashTable models computed-address accesses: keys drawn from a recurring
+// sequence are hashed into bucket heads and one chain node is chased. With
+// a short key pattern the sequence is context predictable; with a long or
+// random one it pollutes predictors (the paper's aliasing discussion in
+// §3.3 uses exactly hash-table loads).
+type hashTable struct {
+	ipBase    uint32
+	buckets   uint32 // bucket array base
+	nBuckets  uint32
+	chainMem  []uint32
+	keys      []uint32
+	pos       int
+	tick      int
+	randomise bool
+}
+
+func NewHashTable(g *Generator, nBuckets, keyCycle int, randomise bool) Behavior {
+	b := &hashTable{
+		ipBase:    g.ipBlock(16),
+		buckets:   g.heap.Alloc(uint32(nBuckets) * 8),
+		nBuckets:  uint32(nBuckets),
+		chainMem:  g.heap.AllocNodes(nBuckets, 16),
+		keys:      make([]uint32, keyCycle),
+		randomise: randomise,
+	}
+	for i := range b.keys {
+		b.keys[i] = g.rng.Uint32()
+	}
+	return b
+}
+
+func (b *hashTable) step(g *Generator) {
+	var key uint32
+	if b.randomise {
+		key = g.rng.Uint32()
+	} else {
+		if g.rng.Intn(150) == 0 {
+			b.keys[g.rng.Intn(len(b.keys))] = g.rng.Uint32()
+		}
+		key = b.keys[b.pos]
+		b.pos = (b.pos + 1) % len(b.keys)
+	}
+	h := key * 2654435761 % b.nBuckets
+	hash := g.alu(b.ipBase, -1, -1, 2)
+	head := g.loadVal(b.ipBase+4, b.buckets+h*8, 0, hash, b.chainMem[h])
+	node := g.loadVal(b.ipBase+8, b.chainMem[h]+offVal, offVal, head, key)
+	g.consumers(b.ipBase+12, node, 3)
+	b.tick++
+	g.branch(b.ipBase+24, b.ipBase, b.tick%8 != 0, node)
+}
+
+// randomWalk emits loads at uniformly random heap addresses: the
+// never-recurring pollution traffic §3.5's PF bits defend against.
+type randomWalk struct {
+	ipBase uint32
+	span   uint32
+	base   uint32
+	tick   int
+}
+
+func NewRandomWalk(g *Generator, span uint32) Behavior {
+	return &randomWalk{ipBase: g.ipBlock(8), span: span, base: g.heap.Alloc(64)}
+}
+
+func (b *randomWalk) step(g *Generator) {
+	for i := 0; i < 4; i++ {
+		addr := (b.base + g.rng.Uint32()%b.span) &^ 3
+		ld := g.loadVal(b.ipBase, addr, 0, -1, g.rng.Uint32())
+		g.consumers(b.ipBase+4, ld, 2)
+	}
+	b.tick++
+	g.branch(b.ipBase+12, b.ipBase, b.tick%5 != 0, -1)
+}
+
+// loadsPerBurst implementations: the dynamic-load cost of one step call,
+// used by Generator.AddShare to convert target shares into weights.
+
+func (b *globalScalars) loadsPerBurst() int { return len(b.addrs) }
+
+func (b *stackFrame) loadsPerBurst() int { return len(b.offsets) }
+
+func (b *arrayWalk) loadsPerBurst() int { return b.perBurst }
+
+func (b *shortLoop) loadsPerBurst() int { return b.length }
+
+func (b *linkedList) loadsPerBurst() int {
+	count := b.window
+	if count <= 0 || count > len(b.nodes) {
+		count = len(b.nodes)
+	}
+	return count * (b.fields + 1)
+}
+
+func (b *doubleList) loadsPerBurst() int { return 2 * len(b.nodes) }
+
+func (b *binaryTree) loadsPerBurst() int {
+	total := 0
+	for _, p := range b.paths {
+		total += 2 * len(p)
+	}
+	return total / len(b.paths)
+}
+
+func (b *callSites) loadsPerBurst() int { return b.nLoads }
+
+func (b *hashTable) loadsPerBurst() int { return 2 }
+
+func (b *randomWalk) loadsPerBurst() int { return 4 }

@@ -1,0 +1,54 @@
+package workload
+
+import "math/rand"
+
+// Heap is a simple bump allocator over a 32-bit address space, used by the
+// behaviours to lay out data structures. Allocations carry small random
+// padding so heap addresses exhibit the low-bit entropy of real allocators
+// (malloc headers, size-class rounding) — the CAP link-table index is
+// built from address LSBs, so this entropy matters.
+type Heap struct {
+	next  uint32
+	limit uint32
+	rng   *rand.Rand
+}
+
+// NewHeap returns a heap covering [base, base+size).
+func NewHeap(base, size uint32, rng *rand.Rand) *Heap {
+	return &Heap{next: base, limit: base + size, rng: rng}
+}
+
+// Alloc returns a 4-byte-aligned block of the given size, with up to 28
+// bytes of random padding before it. It panics when the region is
+// exhausted — workload authors size regions generously.
+func (h *Heap) Alloc(size uint32) uint32 {
+	pad := uint32(h.rng.Intn(8)) * 4
+	addr := (h.next + pad + 3) &^ 3
+	h.next = addr + size
+	if h.next > h.limit {
+		panic("workload: heap region exhausted")
+	}
+	return addr
+}
+
+// AllocNodes allocates n blocks of the given size and returns their base
+// addresses in a shuffled order, emulating the fragmented layout of nodes
+// allocated and freed over a program's lifetime. The traversal order of a
+// linked structure built over these nodes is then address-irregular, as
+// in the paper's §2.1 examples.
+func (h *Heap) AllocNodes(n int, size uint32) []uint32 {
+	addrs := make([]uint32, n)
+	for i := range addrs {
+		addrs[i] = h.Alloc(size)
+	}
+	h.rng.Shuffle(n, func(i, j int) { addrs[i], addrs[j] = addrs[j], addrs[i] })
+	return addrs
+}
+
+// Remaining reports how many bytes are left in the region.
+func (h *Heap) Remaining() uint32 {
+	if h.next >= h.limit {
+		return 0
+	}
+	return h.limit - h.next
+}

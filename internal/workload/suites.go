@@ -1,0 +1,303 @@
+package workload
+
+import (
+	"fmt"
+
+	"capred/internal/trace"
+)
+
+// TraceSpec names one synthetic trace and knows how to build its
+// generator. The 45 specs below stand in for the paper's 45 proprietary
+// IA-32 traces, grouped into the same eight suites with per-suite
+// behaviour mixes chosen to land in the same pattern-class proportions
+// (see DESIGN.md §2).
+type TraceSpec struct {
+	Name  string // e.g. "INT_xli"
+	Suite string // e.g. "INT"
+	Seed  int64
+	build func(g *Generator, variant int)
+	index int // variant index within the suite
+}
+
+// Open builds a fresh streaming source for the trace. Sources from the
+// same spec are bit-identical.
+func (s TraceSpec) Open() trace.Source {
+	g := NewGenerator(s.Seed)
+	s.build(g, s.index)
+	return g
+}
+
+// SuiteNames lists the eight suites in the paper's reporting order.
+func SuiteNames() []string {
+	return []string{"CAD", "GAM", "INT", "JAV", "MM", "NT", "TPC", "W95"}
+}
+
+var suiteBuilders = map[string]struct {
+	traces []string
+	build  func(g *Generator, variant int)
+}{
+	"CAD": {[]string{"cat", "mic"}, buildCAD},
+	"GAM": {[]string{"duk", "fal", "mec", "qua"}, buildGAM},
+	"INT": {[]string{"cmp", "gcc", "go", "ijp", "m88", "prl", "vtx", "xli"}, buildINT},
+	"JAV": {[]string{"3dg", "aud", "cfc", "cwc", "cws"}, buildJAV},
+	"MM":  {[]string{"aud", "ind", "ine", "mpa", "mpg", "mpv", "spc", "xdm"}, buildMM},
+	"NT":  {[]string{"cdw", "exl", "frl", "pdx", "pmk", "pwp", "wdp", "wwd"}, buildNT},
+	"TPC": {[]string{"t23", "t33", "tpb"}, buildTPC},
+	"W95": {[]string{"cdw", "exl", "frl", "prx", "pwp", "wdp", "wwd"}, buildW95},
+}
+
+// Traces returns all 45 trace specs in suite order.
+func Traces() []TraceSpec {
+	var out []TraceSpec
+	for _, suite := range SuiteNames() {
+		out = append(out, BySuite(suite)...)
+	}
+	return out
+}
+
+// BySuite returns the specs of one suite.
+func BySuite(suite string) []TraceSpec {
+	sb, ok := suiteBuilders[suite]
+	if !ok {
+		panic(fmt.Sprintf("workload: unknown suite %q", suite))
+	}
+	out := make([]TraceSpec, len(sb.traces))
+	for i, name := range sb.traces {
+		out[i] = TraceSpec{
+			Name:  suite + "_" + name,
+			Suite: suite,
+			Seed:  seedFor(suite, i),
+			build: sb.build,
+			index: i,
+		}
+	}
+	return out
+}
+
+// ByName returns the spec with the given full name (e.g. "INT_xli").
+func ByName(name string) (TraceSpec, bool) {
+	for _, s := range Traces() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return TraceSpec{}, false
+}
+
+// seedFor derives a stable per-trace seed from the suite name and index.
+func seedFor(suite string, i int) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range suite {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	return h ^ int64(i)*2654435761
+}
+
+// Suite mixes. AddShare registers each behaviour with its target share of
+// the trace's dynamic loads (units of percent), so the mixes below read as
+// load-share budgets across the four pattern classes the paper analyses:
+// constant (globals/stack), long stride (arrays), short context (lists,
+// trees, call sites, short loops, recurring hash) and hard (random walks,
+// random hash probes, huge mutating lists). The `variant` index perturbs
+// sizes so a suite's traces differ beyond their seeds.
+
+// buildINT models SPECint95: a broad mix — globals, stack frames,
+// pointer-chasing lists and trees (xlisp, go), call-site-correlated
+// functions, short loops, a few long arrays and some irregular traffic.
+func buildINT(g *Generator, v int) {
+	// Constant: 38
+	g.AddShare(NewGlobalScalars(g, 10+v), 19)
+	g.AddShare(NewGlobalScalars(g, 6), 9)
+	g.AddShare(NewStackFrame(g, 6), 6)
+	g.AddShare(NewStackFrame(g, 4), 4)
+	// Long stride: 8
+	g.AddShare(NewArrayWalk(g, 2000+300*v, 4, 8), 5)
+	g.AddShare(NewArrayWalk(g, 700, 8, 8), 3)
+	// Short context: 21
+	g.AddShare(NewLinkedList(g, 6+v%3, 1), 6)
+	g.AddShare(NewLinkedList(g, 10, 2), 4)
+	g.AddShare(NewDoubleList(g, 8), 3)
+	g.AddShare(NewBinaryTree(g, 31, 6), 4)
+	g.AddShare(NewCallSites(g, 4, 5+v%2, 4), 5)
+	g.AddShare(NewShortLoop(g, 7+v%4, 4), 3)
+	g.AddShare(NewHashTable(g, 256, 12, false), 3)
+	// Hard: 26
+	g.AddShare(NewHashTable(g, 512, 0, true), 4)
+	g.AddShare(NewRandomWalk(g, 1<<15), 11)
+	g.AddShare(NewLinkedListOpts(g, 5000, 1, 40, 120), 11)
+}
+
+// buildCAD models CAD tools: large data sets, many static loads, high
+// address volatility; prediction rates sit below the average.
+func buildCAD(g *Generator, v int) {
+	// Constant: 33
+	for i := 0; i < 10; i++ {
+		g.AddShare(NewGlobalScalars(g, 12), 2.4)
+	}
+	for i := 0; i < 8; i++ {
+		g.AddShare(NewStackFrame(g, 5), 1.1)
+	}
+	// Long stride: 10
+	g.AddShare(NewArrayWalk(g, 6000+1000*v, 8, 8), 6)
+	g.AddShare(NewArrayWalk(g, 1500, 4, 8), 4)
+	// Short context: 24
+	g.AddShare(NewLinkedList(g, 8, 1), 4)
+	g.AddShare(NewDoubleList(g, 7), 2)
+	g.AddShare(NewBinaryTree(g, 63, 8), 5)
+	g.AddShare(NewCallSites(g, 5, 6, 4), 6)
+	g.AddShare(NewHashTable(g, 256, 16, false), 4)
+	g.AddShare(NewShortLoop(g, 9, 4), 3)
+	// Hard: 32
+	g.AddShare(NewHashTable(g, 1024, 0, true), 5)
+	g.AddShare(NewRandomWalk(g, 1<<15), 14)
+	g.AddShare(NewLinkedListOpts(g, 6000, 1, 40, 120), 13)
+}
+
+// buildGAM models games (Quake et al.): geometry arrays plus entity lists.
+func buildGAM(g *Generator, v int) {
+	// Constant: 40
+	g.AddShare(NewGlobalScalars(g, 14), 22)
+	g.AddShare(NewGlobalScalars(g, 8), 8)
+	g.AddShare(NewStackFrame(g, 5), 10)
+	// Long stride: 12
+	g.AddShare(NewArrayWalk(g, 4000+500*v, 16, 8), 7)
+	g.AddShare(NewArrayWalk(g, 900, 8, 8), 5)
+	// Short context: 26
+	g.AddShare(NewShortLoop(g, 8, 8), 6)
+	g.AddShare(NewLinkedList(g, 7+v, 1), 6)
+	g.AddShare(NewBinaryTree(g, 31, 5), 4)
+	g.AddShare(NewCallSites(g, 3, 4, 4), 5)
+	g.AddShare(NewHashTable(g, 256, 10, false), 3)
+	g.AddShare(NewDoubleList(g, 7), 2)
+	// Hard: 22
+	g.AddShare(NewHashTable(g, 512, 0, true), 3)
+	g.AddShare(NewRandomWalk(g, 1<<15), 10)
+	g.AddShare(NewLinkedListOpts(g, 4000, 1, 40, 120), 9)
+}
+
+// buildJAV models Java programs: stack-machine model, short procedures,
+// short loops, call-site correlation; the most predictable suite.
+func buildJAV(g *Generator, v int) {
+	// Constant: 45
+	g.AddShare(NewGlobalScalars(g, 8), 9)
+	for i := 0; i < 6; i++ {
+		g.AddShare(NewGlobalScalars(g, 8), 1)
+	}
+	for i := 0; i < 6; i++ {
+		g.AddShare(NewStackFrame(g, 8), 3)
+	}
+	for i := 0; i < 6; i++ {
+		g.AddShare(NewStackFrame(g, 5), 2)
+	}
+	// Long stride: 6
+	g.AddShare(NewArrayWalk(g, 1200, 4, 8), 6)
+	// Short context: 30
+	g.AddShare(NewShortLoop(g, 6+v%3, 4), 8)
+	g.AddShare(NewShortLoop(g, 10, 4), 5)
+	g.AddShare(NewCallSites(g, 4, 4, 5), 8)
+	g.AddShare(NewLinkedList(g, 6, 1), 5)
+	g.AddShare(NewDoubleList(g, 6), 2)
+	g.AddShare(NewHashTable(g, 256, 8, false), 3)
+	// Hard: 19
+	g.AddShare(NewHashTable(g, 512, 0, true), 4)
+	g.AddShare(NewRandomWalk(g, 1<<15), 8)
+	g.AddShare(NewLinkedListOpts(g, 3000, 1, 30, 120), 7)
+}
+
+// buildMM models MMX multimedia kernels: dominated by long strided array
+// processing, which CAP's limited storage can hardly handle (§4.2).
+func buildMM(g *Generator, v int) {
+	// Constant: 25
+	g.AddShare(NewGlobalScalars(g, 8), 15)
+	g.AddShare(NewStackFrame(g, 4), 10)
+	// Long stride: 40
+	g.AddShare(NewArrayWalk(g, 16000+2000*v, 4, 12), 18)
+	g.AddShare(NewArrayWalk(g, 8000, 8, 12), 13)
+	g.AddShare(NewArrayWalk(g, 3000, 16, 8), 9)
+	// Short context: 12
+	g.AddShare(NewShortLoop(g, 16, 4), 5)
+	g.AddShare(NewLinkedList(g, 6, 1), 4)
+	g.AddShare(NewCallSites(g, 3, 4, 3), 3)
+	// Hard: 23
+	g.AddShare(NewHashTable(g, 512, 0, true), 5)
+	g.AddShare(NewRandomWalk(g, 1<<15), 9)
+	g.AddShare(NewLinkedListOpts(g, 4000, 1, 40, 120), 9)
+}
+
+// buildNT models NT desktop applications: a very large static code
+// footprint contending for the LB, with a moderate irregular share.
+func buildNT(g *Generator, v int) {
+	// Constant: 38, spread over many instances for LB contention.
+	for i := 0; i < 32; i++ {
+		g.AddShare(NewGlobalScalars(g, 20), 0.8)
+	}
+	for i := 0; i < 20; i++ {
+		g.AddShare(NewStackFrame(g, 8), 0.6)
+	}
+	// Long stride: 8
+	g.AddShare(NewArrayWalk(g, 2500+400*v, 4, 8), 8)
+	// Short context: 26
+	for i := 0; i < 13; i++ {
+		g.AddShare(NewCallSites(g, 4, 5, 6), 0.75)
+	}
+	g.AddShare(NewLinkedList(g, 8, 1), 4)
+	g.AddShare(NewDoubleList(g, 8), 2)
+	g.AddShare(NewBinaryTree(g, 63, 8), 4)
+	g.AddShare(NewShortLoop(g, 8, 4), 3)
+	g.AddShare(NewHashTable(g, 512, 20, false), 4)
+	// Hard: 28
+	g.AddShare(NewHashTable(g, 1024, 0, true), 5)
+	g.AddShare(NewRandomWalk(g, 1<<15), 11)
+	g.AddShare(NewLinkedListOpts(g, 5000, 1, 40, 120), 12)
+}
+
+// buildTPC models transaction processing: hash joins, index trees and
+// random I/O buffers; the least predictable suite.
+func buildTPC(g *Generator, v int) {
+	// Constant: 30
+	for i := 0; i < 16; i++ {
+		g.AddShare(NewGlobalScalars(g, 16), 1.25)
+	}
+	for i := 0; i < 10; i++ {
+		g.AddShare(NewStackFrame(g, 6), 1)
+	}
+	// Long stride: 5
+	g.AddShare(NewArrayWalk(g, 3000, 8, 8), 5)
+	// Short context: 20
+	g.AddShare(NewBinaryTree(g, 127, 10+2*v), 6)
+	g.AddShare(NewCallSites(g, 5, 6, 5), 5)
+	g.AddShare(NewLinkedList(g, 20, 1), 3)
+	g.AddShare(NewDoubleList(g, 9), 2)
+	g.AddShare(NewHashTable(g, 512, 24, false), 4)
+	// Hard: 45
+	g.AddShare(NewHashTable(g, 2048, 0, true), 9)
+	g.AddShare(NewRandomWalk(g, 1<<15), 18)
+	g.AddShare(NewLinkedListOpts(g, 6000, 1, 50, 150), 18)
+}
+
+// buildW95 models Windows 95 desktop applications: like NT but with an
+// even higher LB contention and irregular share.
+func buildW95(g *Generator, v int) {
+	// Constant: 38
+	for i := 0; i < 33; i++ {
+		g.AddShare(NewGlobalScalars(g, 20), 0.85)
+	}
+	for i := 0; i < 21; i++ {
+		g.AddShare(NewStackFrame(g, 7), 0.45)
+	}
+	// Long stride: 5
+	g.AddShare(NewArrayWalk(g, 2000+300*v, 4, 8), 5)
+	// Short context: 22
+	for i := 0; i < 13; i++ {
+		g.AddShare(NewCallSites(g, 4, 5, 6), 0.6)
+	}
+	g.AddShare(NewLinkedList(g, 10, 1), 4)
+	g.AddShare(NewDoubleList(g, 8), 2)
+	g.AddShare(NewBinaryTree(g, 63, 8), 4)
+	g.AddShare(NewShortLoop(g, 8, 4), 2)
+	g.AddShare(NewHashTable(g, 512, 18, false), 3)
+	// Hard: 36
+	g.AddShare(NewHashTable(g, 1024, 0, true), 6)
+	g.AddShare(NewRandomWalk(g, 1<<15), 14)
+	g.AddShare(NewLinkedListOpts(g, 6000, 1, 40, 130), 16)
+}
