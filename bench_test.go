@@ -236,7 +236,7 @@ func BenchmarkTimingModel(b *testing.B) {
 func Example() {
 	p := capred.NewHybrid(capred.DefaultHybridConfig())
 	spec, _ := capred.TraceByName("INT_xli")
-	c := capred.RunTrace(capred.Limit(spec.Open(), 10_000), p, 0)
-	fmt.Println(c.Loads > 0)
+	c, err := capred.RunTrace(capred.Limit(spec.Open(), 10_000), p, 0)
+	fmt.Println(err == nil && c.Loads > 0)
 	// Output: true
 }

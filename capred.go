@@ -11,7 +11,10 @@
 //
 //	p := capred.NewHybrid(capred.DefaultHybridConfig())
 //	spec, _ := capred.TraceByName("INT_xli")
-//	counters := capred.RunTrace(capred.Limit(spec.Open(), 400_000), p, 0)
+//	counters, err := capred.RunTrace(capred.Limit(spec.Open(), 400_000), p, 0)
+//	if err != nil {
+//		log.Fatal(err) // decode error, injected fault, ...
+//	}
 //	fmt.Println(counters) // prediction rate, accuracy, ...
 //
 // Every figure and table of the paper's evaluation has a driver in this
@@ -19,6 +22,15 @@
 // Ablations); each returns a result with a Table() renderer producing the
 // same rows the paper reports. See EXPERIMENTS.md for measured-vs-paper
 // numbers.
+//
+// # Failure model
+//
+// Every driver tolerates per-trace failures: a trace whose source errors,
+// whose predictor panics, or whose run is cancelled is excluded from the
+// aggregates, recorded in the result's Failures list, and reported in the
+// rendered table's footer. RunTraceContext adds cancellation and
+// deadlines; the fault-injecting sources (NewFailAfter, NewCorrupt,
+// NewErrSource, NewHang) exercise these paths in tests. See DESIGN.md §8.
 package capred
 
 import (
@@ -154,6 +166,29 @@ var (
 	CollectStats = trace.Collect
 )
 
+// Fault injection: composable Source wrappers for testing how the
+// harness degrades when traces misbehave.
+var (
+	// NewFailAfter yields n events, then fails with an error.
+	NewFailAfter = trace.NewFailAfter
+	// NewCorrupt deterministically corrupts every k-th event.
+	NewCorrupt = trace.NewCorrupt
+	// NewErrSource fails on the first Next call.
+	NewErrSource = trace.NewErrSource
+	// NewHang blocks in Next until the context is cancelled.
+	NewHang = trace.NewHang
+	// Transient marks an error as retryable by the run layer.
+	Transient = trace.Transient
+	// IsTransient reports whether an error is marked retryable.
+	IsTransient = trace.IsTransient
+	// FlakyOpen wraps an open function to fail its first k calls.
+	FlakyOpen = trace.FlakyOpen
+)
+
+// ErrInjected is the default error produced by the fault-injecting
+// sources.
+var ErrInjected = trace.ErrInjected
+
 // Workloads: the 45 synthetic traces standing in for the paper's
 // evaluation traces, plus the building blocks to compose custom ones.
 type (
@@ -194,6 +229,14 @@ type (
 	Counters = metrics.Counters
 	// ExperimentConfig scales the experiment drivers.
 	ExperimentConfig = sim.Config
+	// Factory builds one fresh predictor per trace run.
+	Factory = sim.Factory
+	// TraceFailure records one trace run that did not complete.
+	TraceFailure = sim.TraceFailure
+	// FailureSet aggregates the failures of one experiment run.
+	FailureSet = sim.FailureSet
+	// PanicError wraps a recovered predictor panic with its stack.
+	PanicError = sim.PanicError
 )
 
 // Experiment drivers — one per paper figure/table. Each result type has a
@@ -201,6 +244,7 @@ type (
 var (
 	DefaultExperimentConfig = sim.DefaultConfig
 	RunTrace                = sim.RunTrace
+	RunTraceContext         = sim.RunTraceContext
 	Fig5                    = sim.Fig5
 	Fig6                    = sim.Fig6
 	Fig7                    = sim.Fig7

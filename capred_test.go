@@ -14,7 +14,10 @@ func TestQuickstartFlow(t *testing.T) {
 	if !ok {
 		t.Fatal("INT_xli missing from the roster")
 	}
-	c := capred.RunTrace(capred.Limit(spec.Open(), 80_000), p, 0)
+	c, err := capred.RunTrace(capred.Limit(spec.Open(), 80_000), p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Loads == 0 {
 		t.Fatal("no loads")
 	}
@@ -30,7 +33,10 @@ func TestCustomWorkloadComposition(t *testing.T) {
 	g := capred.NewGenerator(42)
 	g.AddShare(capred.NewLinkedList(g, 8, 1), 50)
 	g.AddShare(capred.NewArrayWalk(g, 1000, 4, 8), 50)
-	cap := capred.RunTrace(capred.Limit(g, 40_000), capred.NewCAP(capred.DefaultCAPConfig()), 0)
+	cap, err := capred.RunTrace(capred.Limit(g, 40_000), capred.NewCAP(capred.DefaultCAPConfig()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cap.SpecCorrect == 0 {
 		t.Error("CAP predicted nothing on a list-heavy custom workload")
 	}

@@ -3,18 +3,35 @@
 // Usage:
 //
 //	capsim -experiment fig5 [-events N] [-parallel N]
+//	capsim -experiment fig5,fig7,baselines
 //	capsim -experiment all
 //	capsim -list
 //
 // Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 update-policy
-// lt-size baselines control ablations.
+// lt-size baselines control ablations profile-assist addr-vs-value
+// prefetch classes wrong-path.
+//
+// Trace failures (decode errors, predictor panics, cancellation) do not
+// abort a sweep: the affected trace is dropped from the aggregates, the
+// table is printed from the survivors with a failure footer, and capsim
+// exits non-zero. SIGINT/SIGTERM cancel the in-flight traces; whatever
+// completed is still printed.
+//
+// Exit codes: 0 all experiments clean; 1 at least one trace run or
+// experiment failed (including cancellation); 2 usage error.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
+	"syscall"
 
 	"capred"
 )
@@ -24,44 +41,98 @@ type tabler interface{ String() string }
 
 var experiments = map[string]struct {
 	desc string
-	run  func(capred.ExperimentConfig) tabler
+	run  func(capred.ExperimentConfig) (tabler, []capred.TraceFailure)
 }{
 	"fig5": {"prediction rate & accuracy of stride, CAP, hybrid per suite",
-		func(c capred.ExperimentConfig) tabler { return capred.Fig5(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.Fig5(c)
+			return r.Table(), r.Failed()
+		}},
 	"fig6": {"hybrid prediction rate vs LB entries/associativity",
-		func(c capred.ExperimentConfig) tabler { return capred.Fig6(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.Fig6(c)
+			return r.Table(), r.Failed()
+		}},
 	"fig7": {"per-trace speedup over no address prediction (timing model)",
-		func(c capred.ExperimentConfig) tabler { return capred.Fig7(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.Fig7(c)
+			return r.Table(), r.Failed()
+		}},
 	"fig8": {"hybrid selector state distribution and correct-selection rate",
-		func(c capred.ExperimentConfig) tabler { return capred.Fig8(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.Fig8(c)
+			return r.Table(), r.Failed()
+		}},
 	"fig9": {"correct predictions vs history length, ± global correlation",
-		func(c capred.ExperimentConfig) tabler { return capred.Fig9(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.Fig9(c)
+			return r.Table(), r.Failed()
+		}},
 	"fig10": {"influence of LT tags and path info on CAP",
-		func(c capred.ExperimentConfig) tabler { return capred.Fig10(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.Fig10(c)
+			return r.Table(), r.Failed()
+		}},
 	"fig11": {"influence of the prediction gap on rate and accuracy",
-		func(c capred.ExperimentConfig) tabler { return capred.Fig11(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.Fig11(c)
+			return r.Table(), r.Failed()
+		}},
 	"fig12": {"per-suite speedup, immediate vs prediction gap 8",
-		func(c capred.ExperimentConfig) tabler { return capred.Fig12(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.Fig12(c)
+			return r.Table(), r.Failed()
+		}},
 	"update-policy": {"§4.3 LT update policies",
-		func(c capred.ExperimentConfig) tabler { return capred.RunUpdatePolicy(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.RunUpdatePolicy(c)
+			return r.Table(), r.Failed()
+		}},
 	"lt-size": {"§4.2 hybrid rate vs LT entries",
-		func(c capred.ExperimentConfig) tabler { return capred.RunLTSize(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.RunLTSize(c)
+			return r.Table(), r.Failed()
+		}},
 	"baselines": {"§1 predictor family ladder",
-		func(c capred.ExperimentConfig) tabler { return capred.RunBaselines(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.RunBaselines(c)
+			return r.Table(), r.Failed()
+		}},
 	"control": {"§3.6 control-based predictors vs CAP",
-		func(c capred.ExperimentConfig) tabler { return capred.RunControlBased(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.RunControlBased(c)
+			return r.Table(), r.Failed()
+		}},
 	"ablations": {"design-choice ablations beyond the paper's figures",
-		func(c capred.ExperimentConfig) tabler { return capred.RunAblations(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.RunAblations(c)
+			return r.Table(), r.Failed()
+		}},
 	"profile-assist": {"§6 future work: profile-guided load classification",
-		func(c capred.ExperimentConfig) tabler { return capred.RunProfileAssist(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.RunProfileAssist(c)
+			return r.Table(), r.Failed()
+		}},
 	"addr-vs-value": {"§1: address vs load-value predictability",
-		func(c capred.ExperimentConfig) tabler { return capred.RunAddressVsValue(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.RunAddressVsValue(c)
+			return r.Table(), r.Failed()
+		}},
 	"prefetch": {"§1.1: data prefetching vs address prediction",
-		func(c capred.ExperimentConfig) tabler { return capred.RunPrefetch(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.RunPrefetch(c)
+			return r.Table(), r.Failed()
+		}},
 	"classes": {"§2: per-pattern-class coverage of each predictor",
-		func(c capred.ExperimentConfig) tabler { return capred.RunClassCoverage(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.RunClassCoverage(c)
+			return r.Table(), r.Failed()
+		}},
 	"wrong-path": {"§5.4: wrong-path predictions with and without squash recovery",
-		func(c capred.ExperimentConfig) tabler { return capred.RunWrongPath(c).Table() }},
+		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
+			r := capred.RunWrongPath(c)
+			return r.Table(), r.Failed()
+		}},
 }
 
 func names() []string {
@@ -73,37 +144,164 @@ func names() []string {
 	return out
 }
 
-func main() {
+// parseInjections parses the -inject spec ("trace=mode,trace=mode") and
+// installs the matching fault wrappers on the config. Modes: decode (the
+// source fails mid-trace with a decode error), truncate (the source fails
+// on the first event), panic (the predictor factory panics).
+func parseInjections(cfg *capred.ExperimentConfig, spec string) error {
+	srcMode := map[string]string{}
+	panicTraces := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, mode, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("bad -inject entry %q (want trace=mode)", part)
+		}
+		switch mode {
+		case "decode", "truncate":
+			srcMode[name] = mode
+		case "panic":
+			panicTraces[name] = true
+		default:
+			return fmt.Errorf("bad -inject mode %q (want decode, truncate or panic)", mode)
+		}
+	}
+	if len(srcMode) > 0 {
+		cfg.WrapSource = func(name string, src capred.Source) capred.Source {
+			switch srcMode[name] {
+			case "decode":
+				return capred.NewFailAfter(src, 1000, fmt.Errorf("injected decode error: %w", capred.ErrInjected))
+			case "truncate":
+				return capred.NewErrSource(fmt.Errorf("injected truncation: %w", capred.ErrInjected))
+			}
+			return src
+		}
+	}
+	if len(panicTraces) > 0 {
+		cfg.WrapFactory = func(name string, f capred.Factory) capred.Factory {
+			if !panicTraces[name] {
+				return f
+			}
+			return func() capred.Predictor { panic("injected predictor panic for " + name) }
+		}
+	}
+	return nil
+}
+
+// reportFailures prints an experiment's failure summary to stderr,
+// including recovered panic stacks.
+func reportFailures(stderr io.Writer, name string, fails []capred.TraceFailure) {
+	fmt.Fprintf(stderr, "capsim: experiment %s: %d trace run(s) failed\n", name, len(fails))
+	for _, f := range fails {
+		fmt.Fprintf(stderr, "  %s\n", f.String())
+		var pe *capred.PanicError
+		if errors.As(f.Err, &pe) && len(pe.Stack) > 0 {
+			fmt.Fprintf(stderr, "    stack:\n")
+			for _, line := range strings.Split(strings.TrimRight(string(pe.Stack), "\n"), "\n") {
+				fmt.Fprintf(stderr, "    %s\n", line)
+			}
+		}
+	}
+}
+
+// run is the testable entry point: parses args, runs the selected
+// experiments, and returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("capsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("experiment", "", "experiment to run (or 'all')")
-		events   = flag.Int64("events", 400_000, "instructions per trace")
-		parallel = flag.Int("parallel", 0, "concurrent trace simulations (0 = NumCPU)")
-		list     = flag.Bool("list", false, "list available experiments")
+		exp      = fs.String("experiment", "", "comma-separated experiments to run (or 'all')")
+		events   = fs.Int64("events", 400_000, "instructions per trace")
+		parallel = fs.Int("parallel", 0, "concurrent trace simulations (0 = NumCPU)")
+		retries  = fs.Int("retries", 0, "retries for transient trace-source failures")
+		inject   = fs.String("inject", "", "fault injection: trace=mode[,trace=mode] (modes: decode, truncate, panic)")
+		list     = fs.Bool("list", false, "list available experiments")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, n := range names() {
-			fmt.Printf("%-14s %s\n", n, experiments[n].desc)
+			fmt.Fprintf(stdout, "%-14s %s\n", n, experiments[n].desc)
 		}
-		return
+		return 0
 	}
-	cfg := capred.ExperimentConfig{EventsPerTrace: *events, Parallelism: *parallel}
 
+	cfg := capred.ExperimentConfig{
+		EventsPerTrace: *events,
+		Parallelism:    *parallel,
+		SourceRetries:  *retries,
+		Ctx:            ctx,
+	}
+	if err := parseInjections(&cfg, *inject); err != nil {
+		fmt.Fprintf(stderr, "capsim: %v\n", err)
+		return 2
+	}
+
+	var selected []string
 	switch {
 	case *exp == "all":
-		for _, n := range names() {
-			fmt.Println(experiments[n].run(cfg))
-		}
+		selected = names()
 	case *exp != "":
-		e, ok := experiments[*exp]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "capsim: unknown experiment %q; use -list\n", *exp)
-			os.Exit(2)
+		for _, n := range strings.Split(*exp, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if _, ok := experiments[n]; !ok {
+				fmt.Fprintf(stderr, "capsim: unknown experiment %q; use -list\n", n)
+				return 2
+			}
+			selected = append(selected, n)
 		}
-		fmt.Println(e.run(cfg))
+		if len(selected) == 0 {
+			fmt.Fprintln(stderr, "capsim: -experiment list is empty; use -list to enumerate")
+			return 2
+		}
 	default:
-		fmt.Fprintln(os.Stderr, "capsim: -experiment required; use -list to enumerate")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "capsim: -experiment required; use -list to enumerate")
+		return 2
 	}
+
+	// Run every selected experiment even when earlier ones fail; report
+	// all failures at the end and exit non-zero if any occurred.
+	failed := map[string]int{}
+	for _, n := range selected {
+		t, fails := experiments[n].run(cfg)
+		fmt.Fprintln(stdout, t)
+		if len(fails) > 0 {
+			failed[n] = len(fails)
+			reportFailures(stderr, n, fails)
+		}
+		if err := ctx.Err(); err != nil {
+			// Cancelled: the tables so far are printed; stop starting new
+			// experiments.
+			fmt.Fprintf(stderr, "capsim: interrupted (%v); printed partial results\n", err)
+			break
+		}
+	}
+	if len(failed) > 0 || ctx.Err() != nil {
+		if len(failed) > 0 {
+			keys := make([]string, 0, len(failed))
+			for n := range failed {
+				keys = append(keys, n)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(stderr, "capsim: failures in: %s\n", strings.Join(keys, ", "))
+		}
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	// SIGINT/SIGTERM cancel in-flight traces; experiments then return
+	// partial results which run prints before exiting non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -18,12 +18,16 @@ func TestEveryExperimentRuns(t *testing.T) {
 	for _, name := range names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			out := experiments[name].run(cfg).String()
+			tab, fails := experiments[name].run(cfg)
+			out := tab.String()
 			if len(out) == 0 {
 				t.Fatal("empty table")
 			}
 			if !strings.Contains(out, "\n") {
 				t.Fatalf("table has no rows:\n%s", out)
+			}
+			if len(fails) != 0 {
+				t.Fatalf("clean run reported failures: %v", fails)
 			}
 		})
 	}

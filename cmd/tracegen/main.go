@@ -5,6 +5,9 @@
 //
 //	tracegen -trace INT_xli -events 1000000 -o int_xli.capt
 //	tracegen -list
+//
+// A failed run never leaves a partially-written trace file behind: on
+// any emit, flush or close error the output file is removed.
 package main
 
 import (
@@ -14,6 +17,43 @@ import (
 
 	"capred"
 )
+
+// writeTrace streams src into a freshly-created trace file at path. On
+// any error the partial file is removed so a truncated trace can never
+// be mistaken for a complete one. Returns the number of events written.
+func writeTrace(path string, src capred.Source) (n int64, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(path)
+		}
+	}()
+	w := capred.NewTraceWriter(f)
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err = w.Emit(ev); err != nil {
+			return n, fmt.Errorf("emit: %w", err)
+		}
+		n++
+	}
+	if err = src.Err(); err != nil {
+		return n, fmt.Errorf("trace source: %w", err)
+	}
+	if err = w.Flush(); err != nil {
+		return n, fmt.Errorf("flush: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return n, fmt.Errorf("close: %w", err)
+	}
+	return n, nil
+}
 
 func main() {
 	var (
@@ -39,30 +79,8 @@ func main() {
 	if path == "" {
 		path = spec.Name + ".capt"
 	}
-	f, err := os.Create(path)
+	n, err := writeTrace(path, capred.Limit(spec.Open(), *events))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
-	w := capred.NewTraceWriter(f)
-	src := capred.Limit(spec.Open(), *events)
-	var n int64
-	for {
-		ev, ok := src.Next()
-		if !ok {
-			break
-		}
-		if err := w.Emit(ev); err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
-		n++
-	}
-	if err := w.Flush(); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
-	if err := f.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"capred"
+)
+
+func TestWriteTraceHappyPath(t *testing.T) {
+	spec, _ := capred.TraceByName("INT_go")
+	path := filepath.Join(t.TempDir(), "out.capt")
+	n, err := writeTrace(path, capred.Limit(spec.Open(), 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5000 {
+		t.Errorf("wrote %d events, want 5000", n)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stats, err := capred.CollectStats(capred.NewTraceReader(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total != n {
+		t.Errorf("round trip decoded %d events, wrote %d", stats.Total, n)
+	}
+}
+
+func TestWriteTraceRemovesPartialFileOnSourceError(t *testing.T) {
+	spec, _ := capred.TraceByName("INT_go")
+	src := capred.NewFailAfter(capred.Limit(spec.Open(), 5000), 100, nil)
+	path := filepath.Join(t.TempDir(), "out.capt")
+	n, err := writeTrace(path, src)
+	if !errors.Is(err, capred.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 100 {
+		t.Errorf("emitted %d events before the failure, want 100", n)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Errorf("partial output file still exists: %v", statErr)
+	}
+}
+
+func TestWriteTraceRemovesFileOnEmitError(t *testing.T) {
+	// Creating the output inside a directory we then make read-only is
+	// fiddly and platform-dependent; instead drive the emit-error path by
+	// pointing the output at a directory, which os.Create rejects — the
+	// create-error path must not remove anything else.
+	dir := t.TempDir()
+	if _, err := writeTrace(dir, capred.NewErrSource(nil)); err == nil {
+		t.Fatal("expected create error for a directory path")
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Errorf("directory was removed: %v", err)
+	}
+}

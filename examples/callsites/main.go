@@ -13,6 +13,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"capred"
 )
@@ -33,7 +34,10 @@ func main() {
 
 		g := capred.NewGenerator(11)
 		g.AddShare(capred.NewCallSites(g, 4, 6, 5), 100)
-		c := capred.RunTrace(capred.Limit(g, 200_000), capred.NewCAP(cc), 0)
+		c, err := capred.RunTrace(capred.Limit(g, 200_000), capred.NewCAP(cc), 0)
+		if err != nil {
+			log.Fatalf("trace failed: %v", err)
+		}
 		fmt.Printf("%12d  %12.1f%%\n", hl, c.CorrectSpecRate()*100)
 	}
 

@@ -13,6 +13,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"capred"
 )
@@ -24,7 +25,11 @@ func run(p capred.Predictor) capred.Counters {
 	// stride predictor has something to be good at.
 	g.AddShare(capred.NewLinkedList(g, 12, 2), 60)
 	g.AddShare(capred.NewArrayWalk(g, 4000, 8, 8), 40)
-	return capred.RunTrace(capred.Limit(g, 300_000), p, 0)
+	c, err := capred.RunTrace(capred.Limit(g, 300_000), p, 0)
+	if err != nil {
+		log.Fatalf("trace failed: %v", err)
+	}
+	return c
 }
 
 func main() {

@@ -13,6 +13,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"capred"
 )
@@ -33,7 +34,10 @@ func main() {
 	for _, gap := range []int{0, 4, 8, 12} {
 		cfg := capred.DefaultHybridConfig()
 		cfg.Speculative = gap > 0
-		c := capred.RunTrace(source(), capred.NewHybrid(cfg), gap)
+		c, err := capred.RunTrace(source(), capred.NewHybrid(cfg), gap)
+		if err != nil {
+			log.Fatalf("trace failed: %v", err)
+		}
 		name := "immediate"
 		if gap > 0 {
 			name = fmt.Sprintf("%d loads", gap)

@@ -26,7 +26,10 @@ func main() {
 	fmt.Println("trace INT_xli (xlisp-like mix), 400k instructions, immediate update")
 	fmt.Printf("%-8s  %-10s  %-9s  %-12s\n", "pred", "pred rate", "accuracy", "correct/loads")
 	for _, p := range predictors {
-		c := capred.RunTrace(capred.Limit(spec.Open(), 400_000), p, 0)
+		c, err := capred.RunTrace(capred.Limit(spec.Open(), 400_000), p, 0)
+		if err != nil {
+			log.Fatalf("trace failed: %v", err)
+		}
 		fmt.Printf("%-8s  %8.1f%%  %8.2f%%  %11.1f%%\n",
 			p.Name(), c.PredRate()*100, c.Accuracy()*100, c.CorrectSpecRate()*100)
 	}

@@ -23,7 +23,10 @@ func main() {
 
 	// Address side.
 	apred := capred.NewHybrid(capred.DefaultHybridConfig())
-	addr := capred.RunTrace(capred.Limit(spec.Open(), 400_000), apred, 0)
+	addr, err := capred.RunTrace(capred.Limit(spec.Open(), 400_000), apred, 0)
+	if err != nil {
+		log.Fatalf("trace failed: %v", err)
+	}
 
 	// Value side: drive each value predictor over the same load stream.
 	vcfg := capred.DefaultValueConfig()
@@ -52,6 +55,9 @@ func main() {
 			}
 			vp.Resolve(ev.IP, p, ev.Val)
 		}
+	}
+	if err := src.Err(); err != nil {
+		log.Fatalf("trace source: %v", err)
 	}
 
 	fmt.Println("trace INT_go: correct speculations out of all loads")

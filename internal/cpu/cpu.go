@@ -14,6 +14,9 @@
 package cpu
 
 import (
+	"context"
+	"fmt"
+
 	"capred/internal/memsys"
 	"capred/internal/pipeline"
 	"capred/internal/predictor"
@@ -47,6 +50,10 @@ type Config struct {
 	// hierarchy with its proposals (prefetch traffic is modelled as free
 	// background bandwidth; only its cache-state effect is simulated).
 	Prefetcher prefetch.Prefetcher
+
+	// Ctx, when non-nil, cancels the run at the next event boundary; the
+	// partial Result then carries the context's error in Err.
+	Ctx context.Context
 }
 
 // DefaultConfig mirrors §4.1.
@@ -70,6 +77,11 @@ func DefaultConfig() Config {
 type Result struct {
 	Instructions int64
 	Cycles       int64
+
+	// Err is non-nil when the trace source failed (truncation, decode
+	// error) or the run was cancelled: the cycle counts then cover only
+	// the prefix simulated before the failure.
+	Err error
 
 	Loads        int64
 	SpecAccesses int64
@@ -269,7 +281,17 @@ func Run(src trace.Source, pred predictor.Predictor, gapDepth int, cfg Config) R
 
 	lastRetire := int64(0)
 
+	// Polling the context every event would dominate the hot loop; a
+	// power-of-two stride keeps cancellation latency in the microseconds.
+	const ctxCheckMask = 1<<12 - 1
+
 	for {
+		if cfg.Ctx != nil && seq&ctxCheckMask == 0 {
+			if err := cfg.Ctx.Err(); err != nil {
+				res.Err = err
+				break
+			}
+		}
 		ev, ok := src.Next()
 		if !ok {
 			break
@@ -401,5 +423,10 @@ func Run(src trace.Source, pred predictor.Predictor, gapDepth int, cfg Config) R
 	res.Instructions = seq
 	res.Cycles = lastRetire
 	res.L1HitRate = hier.L1.HitRate()
+	// A decode error must not pass for clean EOF: the cycle counts of a
+	// truncated run look plausible but measure a different program.
+	if err := src.Err(); err != nil && res.Err == nil {
+		res.Err = fmt.Errorf("trace source: %w", err)
+	}
 	return res
 }

@@ -83,6 +83,11 @@ func ratio(num, den int64) float64 {
 	return float64(num) / float64(den)
 }
 
+// Empty reports whether the counters saw no loads at all — e.g. a table
+// row whose every contributing trace failed. Renderers use it to mark
+// the row "n/a" instead of printing zero rates that read as measured.
+func (c Counters) Empty() bool { return c.Loads == 0 }
+
 // PredRate is the paper's prediction-rate metric: speculative accesses out
 // of all dynamic loads.
 func (c Counters) PredRate() float64 { return ratio(c.Speculated, c.Loads) }

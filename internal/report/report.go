@@ -12,6 +12,7 @@ type Table struct {
 	Title   string
 	Headers []string
 	rows    [][]string
+	footer  string
 }
 
 // New creates a table with the given title and column headers.
@@ -31,6 +32,14 @@ func (t *Table) Add(cells ...string) {
 
 // Rows returns the number of data rows added so far.
 func (t *Table) Rows() int { return len(t.rows) }
+
+// SetFooter attaches free-form text rendered after the rows — the
+// experiment drivers use it for "N of M traces failed" reports. An empty
+// footer renders nothing.
+func (t *Table) SetFooter(s string) { t.footer = s }
+
+// Footer returns the attached footer text.
+func (t *Table) Footer() string { return t.footer }
 
 // String renders the table.
 func (t *Table) String() string {
@@ -68,6 +77,10 @@ func (t *Table) String() string {
 	b.WriteByte('\n')
 	for _, row := range t.rows {
 		line(row)
+	}
+	if t.footer != "" {
+		b.WriteString(t.footer)
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

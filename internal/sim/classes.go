@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"capred/internal/predictor"
 	"capred/internal/report"
 	"capred/internal/trace"
@@ -20,6 +22,7 @@ var classOrder = []predictor.LoadClass{
 // the profiled pattern class of the load — the quantitative version of the
 // paper's §2 analysis of which program behaviours each scheme captures.
 type ClassCoverageResult struct {
+	FailureSet
 	Predictors []string
 	// Share of dynamic loads in each class (same order as classOrder).
 	ClassShare map[predictor.LoadClass]float64
@@ -43,15 +46,16 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 	type tally struct {
 		loads   map[predictor.LoadClass]int64
 		correct []map[predictor.LoadClass]int64
+		done    bool
 	}
 	tallies := make([]tally, len(specs))
 
-	parallelFor(cfg, len(specs), func(i int) {
+	errs := parallelTry(cfg, len(specs), func(i int) error {
 		spec := specs[i]
 
 		// Classification pass.
 		prof := predictor.NewProfiler()
-		src := trace.NewLimit(spec.Open(), cfg.EventsPerTrace)
+		src := cfg.open(spec)
 		for {
 			ev, ok := src.Next()
 			if !ok {
@@ -60,6 +64,9 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 			if ev.Kind == trace.KindLoad {
 				prof.Observe(ev.IP, ev.Addr)
 			}
+		}
+		if err := src.Err(); err != nil {
+			return fmt.Errorf("classification pass: %w", err)
 		}
 		profile := prof.Profile()
 
@@ -70,12 +77,12 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 		preds := make([]predictor.Predictor, len(factories))
 		for v, f := range factories {
 			t.correct[v] = make(map[predictor.LoadClass]int64)
-			preds[v] = f()
+			preds[v] = cfg.factoryFor(spec, f)()
 		}
 
 		var ghr predictor.GHR
 		var path predictor.PathHist
-		src = trace.NewLimit(spec.Open(), cfg.EventsPerTrace)
+		src = cfg.open(spec)
 		for {
 			ev, ok := src.Next()
 			if !ok {
@@ -102,10 +109,15 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 				}
 			}
 		}
+		if err := src.Err(); err != nil {
+			return fmt.Errorf("measurement pass: %w", err)
+		}
+		t.done = true
 		tallies[i] = t
+		return nil
 	})
 
-	// Aggregate.
+	// Aggregate (failed traces contribute nothing).
 	loads := make(map[predictor.LoadClass]int64)
 	correct := make([]map[predictor.LoadClass]int64, len(factories))
 	for v := range factories {
@@ -113,6 +125,9 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 	}
 	var total int64
 	for _, t := range tallies {
+		if !t.done {
+			continue
+		}
 		for c, n := range t.loads {
 			loads[c] += n
 			total += n
@@ -129,6 +144,7 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 		ClassShare: make(map[predictor.LoadClass]float64),
 		Coverage:   make([]map[predictor.LoadClass]float64, len(factories)),
 	}
+	out.absorb(len(specs), failuresOf(specs, "class-coverage", errs))
 	for _, c := range classOrder {
 		if total > 0 {
 			out.ClassShare[c] = float64(loads[c]) / float64(total)
@@ -156,5 +172,6 @@ func (r ClassCoverageResult) Table() *report.Table {
 		}
 		t.Add(row...)
 	}
+	t.SetFooter(r.Footer())
 	return t
 }

@@ -1,13 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"capred/internal/cpu"
 	"capred/internal/metrics"
 	"capred/internal/predictor"
 	"capred/internal/report"
-	"capred/internal/trace"
 	"capred/internal/workload"
 )
 
@@ -37,10 +37,56 @@ func rowFor(suites map[string]metrics.Counters, avg metrics.Counters, name strin
 	return suites[name]
 }
 
+// naPct / naPct2 render a percentage cell, masking rows whose every
+// contributing trace failed ("n/a") so partial tables cannot present
+// missing data as measured zeros.
+func naPct(c metrics.Counters, v float64) string {
+	if c.Empty() {
+		return "n/a"
+	}
+	return report.Pct(v)
+}
+
+func naPct2(c metrics.Counters, v float64) string {
+	if c.Empty() {
+		return "n/a"
+	}
+	return report.Pct2(v)
+}
+
+// safeDiv returns num/den, or 0 for an empty denominator (e.g. a suite
+// whose every trace failed), keeping partial tables free of NaN/Inf.
+func safeDiv(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// runTimed drives the timing model over one trace with the experiment
+// config's budget, context, per-trace deadline and fault wrappers
+// applied. f may be nil (the no-prediction baseline).
+func runTimed(cfg Config, spec workload.TraceSpec, mcfg cpu.Config, f Factory, gapDepth int) (cpu.Result, error) {
+	ctx := cfg.context()
+	if cfg.TraceTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.TraceTimeout)
+		defer cancel()
+	}
+	mcfg.Ctx = ctx
+	var p predictor.Predictor
+	if f != nil {
+		p = cfg.factoryFor(spec, f)()
+	}
+	res := cpu.Run(cfg.open(spec), p, gapDepth, mcfg)
+	return res, res.Err
+}
+
 // --- Figure 5: prediction performance of the different predictors ---
 
 // Fig5Result holds per-suite counters for the three predictors.
 type Fig5Result struct {
+	FailureSet
 	Stride map[string]metrics.Counters
 	CAP    map[string]metrics.Counters
 	Hybrid map[string]metrics.Counters
@@ -53,9 +99,14 @@ type Fig5Result struct {
 // stride, stand-alone CAP, and hybrid predictors across the eight suites.
 func Fig5(cfg Config) Fig5Result {
 	var r Fig5Result
-	r.Stride, r.AvgS = runSuites(cfg, strideFactory, 0)
-	r.CAP, r.AvgC = runSuites(cfg, capFactory, 0)
-	r.Hybrid, r.AvgH = runSuites(cfg, hybridFactory, 0)
+	n := len(workload.Traces())
+	var fails []TraceFailure
+	r.Stride, r.AvgS, fails = runSuites(cfg, "stride", strideFactory, 0)
+	r.absorb(n, fails)
+	r.CAP, r.AvgC, fails = runSuites(cfg, "cap", capFactory, 0)
+	r.absorb(n, fails)
+	r.Hybrid, r.AvgH, fails = runSuites(cfg, "hybrid", hybridFactory, 0)
+	r.absorb(n, fails)
 	return r
 }
 
@@ -69,9 +120,10 @@ func (r Fig5Result) Table() *report.Table {
 		cc := rowFor(r.CAP, r.AvgC, s)
 		ch := rowFor(r.Hybrid, r.AvgH, s)
 		t.Add(s,
-			report.Pct(cs.PredRate()), report.Pct(cc.PredRate()), report.Pct(ch.PredRate()),
-			report.Pct2(cs.Accuracy()), report.Pct2(cc.Accuracy()), report.Pct2(ch.Accuracy()))
+			naPct(cs, cs.PredRate()), naPct(cc, cc.PredRate()), naPct(ch, ch.PredRate()),
+			naPct2(cs, cs.Accuracy()), naPct2(cc, cc.Accuracy()), naPct2(ch, ch.Accuracy()))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }
 
@@ -94,6 +146,7 @@ func Fig6Geometries() []LBGeometry {
 
 // Fig6Result maps geometry → per-suite counters.
 type Fig6Result struct {
+	FailureSet
 	Geometries []LBGeometry
 	Suites     []map[string]metrics.Counters
 	Avgs       []metrics.Counters
@@ -103,14 +156,17 @@ type Fig6Result struct {
 // number of LB entries and associativity.
 func Fig6(cfg Config) Fig6Result {
 	r := Fig6Result{Geometries: Fig6Geometries()}
+	n := len(workload.Traces())
 	for _, g := range r.Geometries {
+		g := g
 		f := func() predictor.Predictor {
 			hc := predictor.DefaultHybridConfig()
 			hc.CAP.LBEntries = g.Entries
 			hc.CAP.LBWays = g.Ways
 			return predictor.NewHybrid(hc)
 		}
-		suites, avg := runSuites(cfg, f, 0)
+		suites, avg, fails := runSuites(cfg, "LB "+g.String(), f, 0)
+		r.absorb(n, fails)
 		r.Suites = append(r.Suites, suites)
 		r.Avgs = append(r.Avgs, avg)
 	}
@@ -131,12 +187,13 @@ func (r Fig6Result) Table() *report.Table {
 		row := []string{s}
 		for i := range r.Geometries {
 			c := rowFor(r.Suites[i], r.Avgs[i], s)
-			row = append(row, report.Pct(c.PredRate()))
+			row = append(row, naPct(c, c.PredRate()))
 		}
 		c := rowFor(r.Suites[baseIdx], r.Avgs[baseIdx], s)
-		row = append(row, report.Pct2(c.Accuracy()))
+		row = append(row, naPct2(c, c.Accuracy()))
 		t.Add(row...)
 	}
+	t.SetFooter(r.Footer())
 	return t
 }
 
@@ -153,8 +210,10 @@ type Fig7Row struct {
 	HybridSpeedup float64
 }
 
-// Fig7Result holds per-trace speedups plus the averages.
+// Fig7Result holds per-trace speedups plus the averages. Traces that
+// failed are absent from Rows and listed in Failures instead.
 type Fig7Result struct {
+	FailureSet
 	Rows      []Fig7Row
 	AvgStride float64
 	AvgHybrid float64
@@ -165,29 +224,44 @@ type Fig7Result struct {
 func Fig7(cfg Config) Fig7Result {
 	specs := workload.Traces()
 	rows := make([]Fig7Row, len(specs))
-	run := func(i int) {
+	done := make([]bool, len(specs))
+	errs := parallelTry(cfg, len(specs), func(i int) error {
 		spec := specs[i]
 		mcfg := cpu.DefaultConfig()
-		base := cpu.Run(trace.NewLimit(spec.Open(), cfg.EventsPerTrace), nil, 0, mcfg)
-		st := cpu.Run(trace.NewLimit(spec.Open(), cfg.EventsPerTrace), strideFactory(), 0, mcfg)
-		hy := cpu.Run(trace.NewLimit(spec.Open(), cfg.EventsPerTrace), hybridFactory(), 0, mcfg)
+		base, err := runTimed(cfg, spec, mcfg, nil, 0)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		st, err := runTimed(cfg, spec, mcfg, strideFactory, 0)
+		if err != nil {
+			return fmt.Errorf("stride: %w", err)
+		}
+		hy, err := runTimed(cfg, spec, mcfg, hybridFactory, 0)
+		if err != nil {
+			return fmt.Errorf("hybrid: %w", err)
+		}
 		rows[i] = Fig7Row{
 			Trace: spec.Name, Suite: spec.Suite,
 			BaseCycles: base.Cycles, StrideCycles: st.Cycles, HybridCycles: hy.Cycles,
-			StrideSpeedup: float64(base.Cycles) / float64(st.Cycles),
-			HybridSpeedup: float64(base.Cycles) / float64(hy.Cycles),
+			StrideSpeedup: safeDiv(float64(base.Cycles), float64(st.Cycles)),
+			HybridSpeedup: safeDiv(float64(base.Cycles), float64(hy.Cycles)),
 		}
-	}
-	parallelFor(cfg, len(specs), run)
+		done[i] = true
+		return nil
+	})
 	var r Fig7Result
-	r.Rows = rows
+	r.absorb(len(specs), failuresOf(specs, "timing", errs))
 	var ss, hs float64
-	for _, row := range rows {
+	for i, row := range rows {
+		if !done[i] {
+			continue
+		}
+		r.Rows = append(r.Rows, row)
 		ss += row.StrideSpeedup
 		hs += row.HybridSpeedup
 	}
-	r.AvgStride = ss / float64(len(rows))
-	r.AvgHybrid = hs / float64(len(rows))
+	r.AvgStride = safeDiv(ss, float64(len(r.Rows)))
+	r.AvgHybrid = safeDiv(hs, float64(len(r.Rows)))
 	return r
 }
 
@@ -199,6 +273,7 @@ func (r Fig7Result) Table() *report.Table {
 		t.Add(row.Trace, report.Speedup(row.StrideSpeedup), report.Speedup(row.HybridSpeedup))
 	}
 	t.Add("Average", report.Speedup(r.AvgStride), report.Speedup(r.AvgHybrid))
+	t.SetFooter(r.Footer())
 	return t
 }
 
@@ -206,6 +281,7 @@ func (r Fig7Result) Table() *report.Table {
 
 // Fig8Result holds per-suite hybrid counters (the selector statistics).
 type Fig8Result struct {
+	FailureSet
 	Suites map[string]metrics.Counters
 	Avg    metrics.Counters
 }
@@ -213,8 +289,10 @@ type Fig8Result struct {
 // Fig8 reproduces Figure 8: the distribution of selector-counter states
 // over dual-confident loads and the correct-selection rate.
 func Fig8(cfg Config) Fig8Result {
-	suites, avg := runSuites(cfg, hybridFactory, 0)
-	return Fig8Result{Suites: suites, Avg: avg}
+	suites, avg, fails := runSuites(cfg, "hybrid", hybridFactory, 0)
+	r := Fig8Result{Suites: suites, Avg: avg}
+	r.absorb(len(workload.Traces()), fails)
+	return r
 }
 
 // Table renders the Figure 8 rows.
@@ -224,12 +302,13 @@ func (r Fig8Result) Table() *report.Table {
 	for _, s := range suiteOrder() {
 		c := rowFor(r.Suites, r.Avg, s)
 		t.Add(s,
-			report.Pct(c.SelStateShare(predictor.SelStrongStride)),
-			report.Pct(c.SelStateShare(predictor.SelWeakStride)),
-			report.Pct(c.SelStateShare(predictor.SelWeakCAP)),
-			report.Pct(c.SelStateShare(predictor.SelStrongCAP)),
-			report.Pct2(c.CorrectSelectionRate()))
+			naPct(c, c.SelStateShare(predictor.SelStrongStride)),
+			naPct(c, c.SelStateShare(predictor.SelWeakStride)),
+			naPct(c, c.SelStateShare(predictor.SelWeakCAP)),
+			naPct(c, c.SelStateShare(predictor.SelStrongCAP)),
+			naPct2(c, c.CorrectSelectionRate()))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }
 
@@ -241,6 +320,7 @@ func Fig9Lengths() []int { return []int{1, 2, 3, 4, 6, 12} }
 // Fig9Result holds correct-speculative rates per history length, with and
 // without global correlation.
 type Fig9Result struct {
+	FailureSet
 	Lengths []int
 	With    []float64
 	Without []float64
@@ -251,8 +331,11 @@ type Fig9Result struct {
 // is used (every prediction is a speculative access).
 func Fig9(cfg Config) Fig9Result {
 	r := Fig9Result{Lengths: Fig9Lengths()}
+	n := len(workload.Traces())
 	for _, gc := range []bool{true, false} {
 		for _, hl := range r.Lengths {
+			hl := hl
+			gc := gc
 			f := func() predictor.Predictor {
 				cc := predictor.DefaultCAPConfig()
 				cc.HistoryLen = hl
@@ -262,7 +345,9 @@ func Fig9(cfg Config) Fig9Result {
 				cc.CF = predictor.NoCF()
 				return predictor.NewCAP(cc)
 			}
-			_, avg := runSuites(cfg, f, 0)
+			stage := fmt.Sprintf("hist %d gc=%v", hl, gc)
+			_, avg, fails := runSuites(cfg, stage, f, 0)
+			r.absorb(n, fails)
 			if gc {
 				r.With = append(r.With, avg.CorrectSpecRate())
 			} else {
@@ -280,6 +365,7 @@ func (r Fig9Result) Table() *report.Table {
 	for i, hl := range r.Lengths {
 		t.Add(fmt.Sprintf("%d", hl), report.Pct(r.With[i]), report.Pct(r.Without[i]))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }
 
@@ -321,6 +407,7 @@ func Fig10Variants() []Fig10Variant {
 
 // Fig10Result holds prediction and misprediction rates per variant.
 type Fig10Result struct {
+	FailureSet
 	Variants []Fig10Variant
 	Counters []metrics.Counters
 }
@@ -329,6 +416,7 @@ type Fig10Result struct {
 // indications) on the stand-alone CAP predictor.
 func Fig10(cfg Config) Fig10Result {
 	r := Fig10Result{Variants: Fig10Variants()}
+	n := len(workload.Traces())
 	for _, v := range r.Variants {
 		v := v
 		f := func() predictor.Predictor {
@@ -339,7 +427,8 @@ func Fig10(cfg Config) Fig10Result {
 			}
 			return predictor.NewCAP(cc)
 		}
-		_, avg := runSuites(cfg, f, 0)
+		_, avg, fails := runSuites(cfg, v.Name, f, 0)
+		r.absorb(n, fails)
 		r.Counters = append(r.Counters, avg)
 	}
 	return r
@@ -351,8 +440,9 @@ func (r Fig10Result) Table() *report.Table {
 		"variant", "prediction rate", "misprediction rate")
 	for i, v := range r.Variants {
 		c := r.Counters[i]
-		t.Add(v.Name, report.Pct(c.PredRate()), report.Pct2(c.MispredRate()))
+		t.Add(v.Name, naPct(c, c.PredRate()), naPct2(c, c.MispredRate()))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }
 
@@ -363,6 +453,7 @@ func Fig11Gaps() []int { return []int{0, 4, 8, 12} }
 
 // Fig11Result holds stride and hybrid counters per gap.
 type Fig11Result struct {
+	FailureSet
 	Gaps   []int
 	Stride []metrics.Counters
 	Hybrid []metrics.Counters
@@ -373,6 +464,7 @@ type Fig11Result struct {
 // predictors.
 func Fig11(cfg Config) Fig11Result {
 	r := Fig11Result{Gaps: Fig11Gaps()}
+	n := len(workload.Traces())
 	for _, gap := range r.Gaps {
 		gap := gap
 		spec := gap > 0
@@ -386,8 +478,10 @@ func Fig11(cfg Config) Fig11Result {
 			hc.Speculative = spec
 			return predictor.NewHybrid(hc)
 		}
-		_, avgS := runSuites(cfg, sf, gap)
-		_, avgH := runSuites(cfg, hf, gap)
+		_, avgS, failsS := runSuites(cfg, fmt.Sprintf("stride gap %d", gap), sf, gap)
+		r.absorb(n, failsS)
+		_, avgH, failsH := runSuites(cfg, fmt.Sprintf("hybrid gap %d", gap), hf, gap)
+		r.absorb(n, failsH)
 		r.Stride = append(r.Stride, avgS)
 		r.Hybrid = append(r.Hybrid, avgH)
 	}
@@ -404,9 +498,10 @@ func (r Fig11Result) Table() *report.Table {
 			name = fmt.Sprintf("%d", gap)
 		}
 		t.Add(name,
-			report.Pct(r.Stride[i].PredRate()), report.Pct(r.Hybrid[i].PredRate()),
-			report.Pct2(r.Stride[i].Accuracy()), report.Pct2(r.Hybrid[i].Accuracy()))
+			naPct(r.Stride[i], r.Stride[i].PredRate()), naPct(r.Hybrid[i], r.Hybrid[i].PredRate()),
+			naPct2(r.Stride[i], r.Stride[i].Accuracy()), naPct2(r.Hybrid[i], r.Hybrid[i].Accuracy()))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }
 
@@ -421,6 +516,7 @@ type Fig12Row struct {
 
 // Fig12Result holds per-suite speedups immediate vs gap 8.
 type Fig12Result struct {
+	FailureSet
 	Rows []Fig12Row
 }
 
@@ -428,6 +524,7 @@ type Fig12Result struct {
 // an immediate update and for a prediction gap of 8 cycles.
 func Fig12(cfg Config) Fig12Result {
 	suites := workload.SuiteNames()
+	var r Fig12Result
 	rows := make([]Fig12Row, len(suites)+1)
 	var totals [5]float64 // base, strideImm, strideGap, hybridImm, hybridGap
 
@@ -435,15 +532,13 @@ func Fig12(cfg Config) Fig12Result {
 		specs := workload.BySuite(suite)
 		var base, stImm, stGap, hyImm, hyGap int64
 		cycles := make([][5]int64, len(specs))
-		parallelFor(cfg, len(specs), func(i int) {
+		done := make([]bool, len(specs))
+		errs := parallelTry(cfg, len(specs), func(i int) error {
 			spec := specs[i]
 			mcfg := cpu.DefaultConfig()
-			run := func(f Factory, gap int) int64 {
-				var p predictor.Predictor
-				if f != nil {
-					p = f()
-				}
-				return cpu.Run(trace.NewLimit(spec.Open(), cfg.EventsPerTrace), p, gap, mcfg).Cycles
+			run := func(f Factory, gap int) (int64, error) {
+				res, err := runTimed(cfg, spec, mcfg, f, gap)
+				return res.Cycles, err
 			}
 			specStrideF := func() predictor.Predictor {
 				sc := predictor.DefaultStrideConfig()
@@ -455,15 +550,27 @@ func Fig12(cfg Config) Fig12Result {
 				hc.Speculative = true
 				return predictor.NewHybrid(hc)
 			}
-			cycles[i] = [5]int64{
-				run(nil, 0),
-				run(strideFactory, 0),
-				run(specStrideF, 8),
-				run(hybridFactory, 0),
-				run(specHybridF, 8),
+			variants := []struct {
+				f   Factory
+				gap int
+			}{
+				{nil, 0}, {strideFactory, 0}, {specStrideF, 8}, {hybridFactory, 0}, {specHybridF, 8},
 			}
+			for v, va := range variants {
+				c, err := run(va.f, va.gap)
+				if err != nil {
+					return err
+				}
+				cycles[i][v] = c
+			}
+			done[i] = true
+			return nil
 		})
-		for _, c := range cycles {
+		r.absorb(len(specs), failuresOf(specs, "timing", errs))
+		for i, c := range cycles {
+			if !done[i] {
+				continue
+			}
 			base += c[0]
 			stImm += c[1]
 			stGap += c[2]
@@ -472,10 +579,10 @@ func Fig12(cfg Config) Fig12Result {
 		}
 		rows[si] = Fig12Row{
 			Suite:      suite,
-			StrideImm:  float64(base) / float64(stImm),
-			StrideGap8: float64(base) / float64(stGap),
-			HybridImm:  float64(base) / float64(hyImm),
-			HybridGap8: float64(base) / float64(hyGap),
+			StrideImm:  safeDiv(float64(base), float64(stImm)),
+			StrideGap8: safeDiv(float64(base), float64(stGap)),
+			HybridImm:  safeDiv(float64(base), float64(hyImm)),
+			HybridGap8: safeDiv(float64(base), float64(hyGap)),
 		}
 		totals[0] += float64(base)
 		totals[1] += float64(stImm)
@@ -485,12 +592,13 @@ func Fig12(cfg Config) Fig12Result {
 	}
 	rows[len(suites)] = Fig12Row{
 		Suite:      "Average",
-		StrideImm:  totals[0] / totals[1],
-		StrideGap8: totals[0] / totals[2],
-		HybridImm:  totals[0] / totals[3],
-		HybridGap8: totals[0] / totals[4],
+		StrideImm:  safeDiv(totals[0], totals[1]),
+		StrideGap8: safeDiv(totals[0], totals[2]),
+		HybridImm:  safeDiv(totals[0], totals[3]),
+		HybridGap8: safeDiv(totals[0], totals[4]),
 	}
-	return Fig12Result{Rows: rows}
+	r.Rows = rows
+	return r
 }
 
 // Table renders the Figure 12 rows.
@@ -502,22 +610,6 @@ func (r Fig12Result) Table() *report.Table {
 			report.Speedup(row.StrideImm), report.Speedup(row.StrideGap8),
 			report.Speedup(row.HybridImm), report.Speedup(row.HybridGap8))
 	}
+	t.SetFooter(r.Footer())
 	return t
-}
-
-// parallelFor runs fn(i) for i in [0,n) with the config's worker bound.
-func parallelFor(cfg Config, n int, fn func(int)) {
-	sem := make(chan struct{}, cfg.workers())
-	done := make(chan struct{})
-	for i := 0; i < n; i++ {
-		go func(i int) {
-			sem <- struct{}{}
-			fn(i)
-			<-sem
-			done <- struct{}{}
-		}(i)
-	}
-	for i := 0; i < n; i++ {
-		<-done
-	}
 }

@@ -1,0 +1,151 @@
+// Fault tolerance for the experiment harness: per-trace failures are
+// isolated, recorded and reported instead of crashing a sweep or
+// silently folding truncated counters into the aggregate tables.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"sync"
+
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// PanicError is a panic recovered from a per-trace worker goroutine,
+// converted into an ordinary error with the goroutine's stack captured
+// at the panic site.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string { return fmt.Sprintf("panic: %v", p.Value) }
+
+// TraceFailure records one failed trace run within an experiment.
+type TraceFailure struct {
+	Trace string // trace name, e.g. "INT_go"
+	Suite string // suite name, e.g. "INT"
+	Stage string // which pass of the experiment, e.g. "stride" or "gap 8"
+	Err   error
+}
+
+// String renders the failure as one report line.
+func (f TraceFailure) String() string {
+	if f.Stage != "" {
+		return fmt.Sprintf("%s [%s]: %v", f.Trace, f.Stage, f.Err)
+	}
+	return fmt.Sprintf("%s: %v", f.Trace, f.Err)
+}
+
+// FailureSet is embedded in every experiment result: the per-trace runs
+// that failed, out of how many were attempted. Tables render partial
+// results from the surviving runs plus an explicit failure footer.
+type FailureSet struct {
+	Failures  []TraceFailure
+	Attempted int // total per-trace runs the driver attempted
+}
+
+// Failed returns the recorded failures (nil for a clean run).
+func (s FailureSet) Failed() []TraceFailure { return s.Failures }
+
+// absorb accounts for `runs` attempted trace runs and their failures.
+func (s *FailureSet) absorb(runs int, fails []TraceFailure) {
+	s.Attempted += runs
+	s.Failures = append(s.Failures, fails...)
+}
+
+// Footer renders the "N of M traces failed" report appended to tables,
+// or "" when every run succeeded.
+func (s FailureSet) Footer() string {
+	if len(s.Failures) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "WARNING: %d of %d trace runs failed; rows aggregate the survivors",
+		len(s.Failures), s.Attempted)
+	for _, f := range s.Failures {
+		b.WriteString("\n  ")
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// failuresOf pairs per-index errors from parallelTry with their specs.
+func failuresOf(specs []workload.TraceSpec, stage string, errs []error) []TraceFailure {
+	var out []TraceFailure
+	for i, err := range errs {
+		if err != nil {
+			out = append(out, TraceFailure{
+				Trace: specs[i].Name, Suite: specs[i].Suite, Stage: stage, Err: err,
+			})
+		}
+	}
+	return out
+}
+
+// parallelTry runs fn(i) for i in [0,n) under the config's worker bound,
+// isolating each index: a panic is recovered into a *PanicError and a
+// cancelled context fails indices that have not started yet, so one bad
+// trace (or a ^C) can never take down the whole sweep.
+func parallelTry(cfg Config, n int, fn func(int) error) []error {
+	errs := make([]error, n)
+	ctx := cfg.context()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.workers())
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = &PanicError{Value: r, Stack: debug.Stack()}
+				}
+			}()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// context returns the config's context, defaulting to Background.
+func (c Config) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// open builds the (budget-limited) source for one trace, applying the
+// fault-injection wrapper when one is configured.
+func (c Config) open(spec workload.TraceSpec) trace.Source {
+	src := trace.NewLimit(spec.Open(), c.EventsPerTrace)
+	if c.WrapSource != nil {
+		return c.WrapSource(spec.Name, src)
+	}
+	return src
+}
+
+// factoryFor applies the per-trace factory wrapper when one is
+// configured.
+func (c Config) factoryFor(spec workload.TraceSpec, f Factory) Factory {
+	if c.WrapFactory != nil {
+		return c.WrapFactory(spec.Name, f)
+	}
+	return f
+}

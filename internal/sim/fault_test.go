@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"capred/internal/predictor"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// failSourceFor returns a WrapSource that truncates the named trace with
+// a decode error after n events and leaves every other trace untouched.
+func failSourceFor(name string, n int64) func(string, trace.Source) trace.Source {
+	return func(traceName string, src trace.Source) trace.Source {
+		if traceName == name {
+			return trace.NewFailAfter(src, n, nil)
+		}
+		return src
+	}
+}
+
+// panicFactoryFor returns a WrapFactory whose factory panics for the
+// named trace only.
+func panicFactoryFor(name string) func(string, Factory) Factory {
+	return func(traceName string, f Factory) Factory {
+		if traceName != name {
+			return f
+		}
+		return func() predictor.Predictor { panic("injected factory panic") }
+	}
+}
+
+func TestRunTraceSurfacesDecodeError(t *testing.T) {
+	spec, _ := workload.ByName("INT_go")
+	src := trace.NewFailAfter(trace.NewLimit(spec.Open(), 50_000), 10_000, nil)
+	c, err := RunTrace(src, hybridFactory(), 0)
+	if !errors.Is(err, trace.ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	if c.Loads == 0 {
+		t.Error("partial counters should cover the events before the fault")
+	}
+}
+
+func TestRunTraceCleanEOFHasNoError(t *testing.T) {
+	spec, _ := workload.ByName("INT_go")
+	// The fault budget outlives the stream, so EOF arrives cleanly and no
+	// error may be invented.
+	src := trace.NewFailAfter(trace.NewLimit(spec.Open(), 5_000), 1_000_000, nil)
+	if _, err := RunTrace(src, hybridFactory(), 0); err != nil {
+		t.Fatalf("clean EOF reported an error: %v", err)
+	}
+}
+
+func TestRunTraceContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec, _ := workload.ByName("INT_go")
+	_, err := RunTraceContext(ctx, trace.NewLimit(spec.Open(), 50_000), hybridFactory(), 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunTraceHangingSourceUnblocksOnCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	spec, _ := workload.ByName("INT_go")
+	src := trace.NewHang(ctx, trace.NewLimit(spec.Open(), 50_000), 1000)
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunTraceContext(ctx, src, hybridFactory(), 0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("hung source was not unblocked by cancellation")
+	}
+}
+
+func TestRunAllIsolatesDecodeError(t *testing.T) {
+	cfg := Config{
+		EventsPerTrace: 10_000,
+		WrapSource:     failSourceFor("INT_go", 2_000),
+	}
+	runs, fails := runAll(cfg, workload.Traces(), "test", hybridFactory, 0)
+	if len(fails) != 1 {
+		t.Fatalf("failures = %v, want exactly the injected one", fails)
+	}
+	if fails[0].Trace != "INT_go" || fails[0].Suite != "INT" || fails[0].Stage != "test" {
+		t.Errorf("failure misattributed: %+v", fails[0])
+	}
+	if !errors.Is(fails[0].Err, trace.ErrInjected) {
+		t.Errorf("failure error = %v, want wrapped ErrInjected", fails[0].Err)
+	}
+	var okRuns int
+	for _, r := range runs {
+		if r.ok {
+			okRuns++
+			if r.Spec.Name == "INT_go" {
+				t.Error("failed trace marked ok")
+			}
+		}
+	}
+	if okRuns != len(runs)-1 {
+		t.Errorf("%d of %d runs ok, want all but one", okRuns, len(runs))
+	}
+}
+
+func TestPanickingFactoryFailsOnlyItsTrace(t *testing.T) {
+	cfg := Config{
+		EventsPerTrace: 5_000,
+		WrapFactory:    panicFactoryFor("CAD_cat"),
+	}
+	runs, fails := runAll(cfg, workload.Traces(), "test", hybridFactory, 0)
+	if len(fails) != 1 || fails[0].Trace != "CAD_cat" {
+		t.Fatalf("failures = %v, want exactly CAD_cat", fails)
+	}
+	var pe *PanicError
+	if !errors.As(fails[0].Err, &pe) {
+		t.Fatalf("failure error = %T, want *PanicError", fails[0].Err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("recovered panic lost its stack")
+	}
+	if !strings.Contains(pe.Error(), "injected factory panic") {
+		t.Errorf("panic value lost: %v", pe)
+	}
+	for _, r := range runs {
+		if r.Spec.Name != "CAD_cat" && !r.ok {
+			t.Errorf("sibling trace %s damaged by the panic", r.Spec.Name)
+		}
+	}
+}
+
+func TestTransientSourceErrorIsRetried(t *testing.T) {
+	// The first open of INT_go fails transiently; the retry succeeds.
+	var mu sync.Mutex
+	failed := false
+	wrap := func(traceName string, src trace.Source) trace.Source {
+		if traceName != "INT_go" {
+			return src
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if !failed {
+			failed = true
+			return trace.NewFailAfter(src, 100, trace.Transient(trace.ErrInjected))
+		}
+		return src
+	}
+
+	cfg := Config{EventsPerTrace: 5_000, WrapSource: wrap, SourceRetries: 1}
+	_, fails := runAll(cfg, workload.Traces(), "test", hybridFactory, 0)
+	if len(fails) != 0 {
+		t.Fatalf("transient failure not retried: %v", fails)
+	}
+
+	// Without a retry budget the same fault is fatal for the trace.
+	mu.Lock()
+	failed = false
+	mu.Unlock()
+	cfg.SourceRetries = 0
+	_, fails = runAll(cfg, workload.Traces(), "test", hybridFactory, 0)
+	if len(fails) != 1 || fails[0].Trace != "INT_go" {
+		t.Fatalf("failures = %v, want INT_go without retries", fails)
+	}
+}
+
+func TestTraceTimeoutFailsSlowTraceOnly(t *testing.T) {
+	// Hang one trace's source; the per-trace deadline must fail it while
+	// its siblings run to completion.
+	ctx := context.Background()
+	cfg := Config{
+		EventsPerTrace: 5_000,
+		TraceTimeout:   50 * time.Millisecond,
+	}
+	// The hang cannot see the run's own deadline context (runOne installs
+	// it), so it blocks on one the test controls, released well after the
+	// per-trace deadline has expired.
+	hctx, hcancel := context.WithTimeout(ctx, 300*time.Millisecond)
+	defer hcancel()
+	cfg.WrapSource = func(traceName string, src trace.Source) trace.Source {
+		if traceName == "JAV_aud" {
+			return trace.NewHang(hctx, src, 100)
+		}
+		return src
+	}
+	runs, fails := runAll(cfg, workload.Traces(), "test", hybridFactory, 0)
+	if len(fails) != 1 || fails[0].Trace != "JAV_aud" {
+		t.Fatalf("failures = %v, want exactly JAV_aud", fails)
+	}
+	for _, r := range runs {
+		if r.Spec.Name != "JAV_aud" && !r.ok {
+			t.Errorf("sibling %s failed alongside the slow trace", r.Spec.Name)
+		}
+	}
+}
+
+func TestCorruptedSourceCompletesButDegrades(t *testing.T) {
+	spec, _ := workload.ByName("INT_xli")
+	clean, err := RunTrace(trace.NewLimit(spec.Open(), 50_000), hybridFactory(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted, err := RunTrace(
+		trace.NewCorrupt(trace.NewLimit(spec.Open(), 50_000), 5, nil),
+		hybridFactory(), 0)
+	if err != nil {
+		t.Fatalf("corruption is silent damage, not a stream error: %v", err)
+	}
+	if corrupted.Loads != clean.Loads {
+		t.Errorf("corruption changed the load count: %d vs %d", corrupted.Loads, clean.Loads)
+	}
+	if !(corrupted.Accuracy() < clean.Accuracy()) {
+		t.Errorf("scrambled addresses should cost accuracy: clean=%.4f corrupt=%.4f",
+			clean.Accuracy(), corrupted.Accuracy())
+	}
+}
+
+func TestFig5PartialResults(t *testing.T) {
+	cfg := Config{
+		EventsPerTrace: 10_000,
+		WrapSource:     failSourceFor("INT_go", 2_000),
+	}
+	r := Fig5(cfg)
+	// Fig5 runs three passes (stride, cap, hybrid); the bad trace fails
+	// in each of them.
+	if len(r.Failed()) != 3 {
+		t.Fatalf("failures = %v, want one per pass", r.Failed())
+	}
+	for _, f := range r.Failed() {
+		if f.Trace != "INT_go" {
+			t.Errorf("unexpected failing trace %q", f.Trace)
+		}
+	}
+	if r.AvgH.Loads == 0 {
+		t.Error("survivors should still aggregate")
+	}
+	out := r.Table().String()
+	if !strings.Contains(out, "WARNING: 3 of") {
+		t.Errorf("table footer missing the failure warning:\n%s", out)
+	}
+	if !strings.Contains(out, "INT_go") {
+		t.Errorf("table footer must name the failing trace:\n%s", out)
+	}
+}
+
+func TestFig10PartialResultsWithPanic(t *testing.T) {
+	cfg := Config{
+		EventsPerTrace: 8_000,
+		WrapFactory:    panicFactoryFor("MM_aud"),
+	}
+	r := Fig10(cfg)
+	if len(r.Failed()) == 0 {
+		t.Fatal("panicking factory reported no failures")
+	}
+	for _, f := range r.Failed() {
+		if f.Trace != "MM_aud" {
+			t.Errorf("unexpected failing trace %q", f.Trace)
+		}
+		var pe *PanicError
+		if !errors.As(f.Err, &pe) {
+			t.Errorf("failure %v did not preserve the panic", f)
+		}
+	}
+	out := r.Table().String()
+	if !strings.Contains(out, "WARNING") || !strings.Contains(out, "MM_aud") {
+		t.Errorf("footer missing failure report:\n%s", out)
+	}
+	for _, c := range r.Counters {
+		if c.Loads == 0 {
+			t.Error("surviving traces should still produce every variant row")
+		}
+	}
+}
+
+func TestCancelledExperimentReportsEveryTrace(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Fig5(Config{EventsPerTrace: 5_000, Ctx: ctx})
+	if got, want := len(r.Failed()), 3*len(workload.Traces()); got != want {
+		t.Fatalf("failures = %d, want %d (every trace, every pass)", got, want)
+	}
+	for _, f := range r.Failed() {
+		if !errors.Is(f.Err, context.Canceled) {
+			t.Errorf("failure %v should be the cancellation", f)
+		}
+	}
+	// The table must still render — all rows n/a, footer explaining why.
+	out := r.Table().String()
+	if !strings.Contains(out, "WARNING") {
+		t.Errorf("cancelled run must keep its failure footer:\n%s", out)
+	}
+}
+
+func TestFooterAccounting(t *testing.T) {
+	var s FailureSet
+	if s.Footer() != "" {
+		t.Error("clean set must render no footer")
+	}
+	s.absorb(45, []TraceFailure{{Trace: "INT_go", Suite: "INT", Stage: "stride", Err: trace.ErrInjected}})
+	s.absorb(45, nil)
+	f := s.Footer()
+	if !strings.Contains(f, "1 of 90") {
+		t.Errorf("footer should count runs across passes: %q", f)
+	}
+	if !strings.Contains(f, "INT_go [stride]") {
+		t.Errorf("footer should attribute the failure: %q", f)
+	}
+}

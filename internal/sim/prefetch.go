@@ -4,7 +4,6 @@ import (
 	"capred/internal/cpu"
 	"capred/internal/prefetch"
 	"capred/internal/report"
-	"capred/internal/trace"
 	"capred/internal/workload"
 )
 
@@ -12,6 +11,7 @@ import (
 // with their combination ([Gonz97]: sharing stride structures for both)
 // on the timing model.
 type PrefetchResult struct {
+	FailureSet
 	Names     []string
 	Speedups  []float64 // over the no-prefetch, no-prediction baseline
 	L1HitRate []float64
@@ -27,12 +27,13 @@ func Prefetch(cfg Config) PrefetchResult {
 	type row struct {
 		cycles [variants]int64
 		l1     [variants]float64
+		done   bool
 	}
 	rows := make([]row, len(specs))
 
-	parallelFor(cfg, len(specs), func(i int) {
+	errs := parallelTry(cfg, len(specs), func(i int) error {
 		spec := specs[i]
-		run := func(v int) cpu.Result {
+		run := func(v int) (cpu.Result, error) {
 			mcfg := cpu.DefaultConfig()
 			var p Factory
 			switch v {
@@ -44,25 +45,35 @@ func Prefetch(cfg Config) PrefetchResult {
 				mcfg.Prefetcher = prefetch.NewRPT(prefetch.DefaultRPTConfig())
 				p = hybridFactory
 			}
-			src := trace.NewLimit(spec.Open(), cfg.EventsPerTrace)
-			if p == nil {
-				return cpu.Run(src, nil, 0, mcfg)
-			}
-			return cpu.Run(src, p(), 0, mcfg)
+			return runTimed(cfg, spec, mcfg, p, 0)
 		}
 		for v := 0; v < variants; v++ {
-			r := run(v)
+			r, err := run(v)
+			if err != nil {
+				return err
+			}
 			rows[i].cycles[v] = r.Cycles
 			rows[i].l1[v] = r.L1HitRate
 		}
+		rows[i].done = true
+		return nil
 	})
 
 	var cycles [variants]int64
 	var l1 [variants]float64
+	survived := 0
 	for _, r := range rows {
+		if r.done {
+			survived++
+		}
+	}
+	for _, r := range rows {
+		if !r.done {
+			continue
+		}
 		for v := 0; v < variants; v++ {
 			cycles[v] += r.cycles[v]
-			l1[v] += r.l1[v] / float64(len(rows))
+			l1[v] += r.l1[v] / float64(survived)
 		}
 	}
 	names := []string{
@@ -72,9 +83,10 @@ func Prefetch(cfg Config) PrefetchResult {
 		"prefetch + address prediction",
 	}
 	out := PrefetchResult{}
+	out.absorb(len(specs), failuresOf(specs, "prefetch", errs))
 	for v := 0; v < variants; v++ {
 		out.Names = append(out.Names, names[v])
-		out.Speedups = append(out.Speedups, float64(cycles[0])/float64(cycles[v]))
+		out.Speedups = append(out.Speedups, safeDiv(float64(cycles[0]), float64(cycles[v])))
 		out.L1HitRate = append(out.L1HitRate, l1[v])
 	}
 	return out
@@ -87,5 +99,6 @@ func (r PrefetchResult) Table() *report.Table {
 	for i, n := range r.Names {
 		t.Add(n, report.Speedup(r.Speedups[i]), report.Pct(r.L1HitRate[i]))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"capred/internal/metrics"
 	"capred/internal/predictor"
 	"capred/internal/report"
@@ -13,6 +15,7 @@ import (
 // baseline table size and at a reduced one (the paper expects profile
 // feedback to "help reducing predictor size").
 type ProfileAssistResult struct {
+	FailureSet
 	Names    []string
 	Counters []metrics.Counters
 	// Classified is the total number of profiled static loads, and
@@ -31,15 +34,16 @@ func ProfileAssist(cfg Config) ProfileAssistResult {
 		c          [4]metrics.Counters
 		classified int
 		irregular  int
+		done       bool
 	}
 	cells := make([]cell, len(specs))
 
-	parallelFor(cfg, len(specs), func(i int) {
+	errs := parallelTry(cfg, len(specs), func(i int) error {
 		spec := specs[i]
 
 		// Training pass: profile the first half of the budget.
 		prof := predictor.NewProfiler()
-		src := trace.NewLimit(spec.Open(), cfg.EventsPerTrace/2)
+		src := trace.NewLimit(cfg.open(spec), cfg.EventsPerTrace/2)
 		for {
 			ev, ok := src.Next()
 			if !ok {
@@ -48,6 +52,9 @@ func ProfileAssist(cfg Config) ProfileAssistResult {
 			if ev.Kind == trace.KindLoad {
 				prof.Observe(ev.IP, ev.Addr)
 			}
+		}
+		if err := src.Err(); err != nil {
+			return fmt.Errorf("profiling pass: %w", err)
 		}
 		profile := prof.Profile()
 		cells[i].classified = profile.Len()
@@ -70,9 +77,14 @@ func ProfileAssist(cfg Config) ProfileAssistResult {
 			},
 		}
 		for v, f := range variants {
-			src := trace.NewLimit(spec.Open(), cfg.EventsPerTrace)
-			cells[i].c[v] = RunTrace(src, f(), 0)
+			c, err := RunTraceContext(cfg.context(), cfg.open(spec), cfg.factoryFor(spec, f)(), 0)
+			if err != nil {
+				return fmt.Errorf("variant %d: %w", v, err)
+			}
+			cells[i].c[v] = c
 		}
+		cells[i].done = true
+		return nil
 	})
 
 	r := ProfileAssistResult{
@@ -83,8 +95,12 @@ func ProfileAssist(cfg Config) ProfileAssistResult {
 			"hybrid 512 LT + profile",
 		},
 	}
+	r.absorb(len(specs), failuresOf(specs, "profile-assist", errs))
 	r.Counters = make([]metrics.Counters, 4)
 	for _, cell := range cells {
+		if !cell.done {
+			continue
+		}
 		for v := range cell.c {
 			r.Counters[v].Merge(cell.c[v])
 		}
@@ -100,7 +116,8 @@ func (r ProfileAssistResult) Table() *report.Table {
 		"configuration", "prediction rate", "accuracy", "mispred of loads")
 	for i, n := range r.Names {
 		c := r.Counters[i]
-		t.Add(n, report.Pct(c.PredRate()), report.Pct2(c.Accuracy()), report.Pct2(c.MispredOfLoads()))
+		t.Add(n, naPct(c, c.PredRate()), naPct2(c, c.Accuracy()), naPct2(c, c.MispredOfLoads()))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }

@@ -5,8 +5,10 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"runtime"
-	"sync"
+	"time"
 
 	"capred/internal/metrics"
 	"capred/internal/pipeline"
@@ -23,6 +25,26 @@ type Config struct {
 	EventsPerTrace int64
 	// Parallelism bounds concurrent trace simulations; 0 means NumCPU.
 	Parallelism int
+
+	// Ctx, when non-nil, cancels in-flight trace simulations: traces
+	// that have not completed fail with the context's error and the
+	// drivers report partial results. nil means Background.
+	Ctx context.Context
+	// TraceTimeout, when positive, bounds each individual trace run; a
+	// trace exceeding it fails with context.DeadlineExceeded without
+	// affecting its siblings.
+	TraceTimeout time.Duration
+	// SourceRetries bounds re-runs of a trace whose source failed with a
+	// transient error (trace.IsTransient). 0 disables retries.
+	SourceRetries int
+
+	// WrapSource, when non-nil, wraps every trace source as it is
+	// opened. The fault-injection harness and capsim's -inject flag use
+	// it to substitute hostile streams for specific traces.
+	WrapSource func(traceName string, src trace.Source) trace.Source
+	// WrapFactory, like WrapSource, substitutes the predictor factory
+	// for specific traces (e.g. one that panics, to test isolation).
+	WrapFactory func(traceName string, f Factory) Factory
 }
 
 // DefaultConfig returns the standard experiment scale.
@@ -45,14 +67,37 @@ type Factory func() predictor.Predictor
 // prediction counters. gapDepth 0 is the paper's immediate-update mode
 // (§4); a positive depth defers resolutions by that many dynamic loads
 // (§5) — the predictor must then be built in speculative mode.
-func RunTrace(src trace.Source, p predictor.Predictor, gapDepth int) metrics.Counters {
+//
+// The returned error is non-nil when the stream ended on a source error
+// (src.Err) rather than clean EOF; the counters accumulated up to that
+// point are returned alongside it so callers can decide whether partial
+// numbers are usable.
+func RunTrace(src trace.Source, p predictor.Predictor, gapDepth int) (metrics.Counters, error) {
+	return RunTraceContext(context.Background(), src, p, gapDepth)
+}
+
+// RunTraceContext is RunTrace with cancellation: the run stops with
+// ctx.Err() at the next event boundary once ctx is done. A source whose
+// Next blocks (e.g. a stalled feed) must itself honour ctx — see
+// trace.NewHang — since a blocked Next cannot be interrupted here.
+func RunTraceContext(ctx context.Context, src trace.Source, p predictor.Predictor, gapDepth int) (metrics.Counters, error) {
 	var (
 		c    metrics.Counters
 		ghr  predictor.GHR
 		path predictor.PathHist
 		gap  = pipeline.New(p, gapDepth)
+		n    int64
 	)
+	// Polling ctx every event would dominate the hot loop; a power-of-two
+	// stride keeps cancellation latency in the microseconds.
+	const ctxCheckMask = 1<<12 - 1
 	for {
+		if n&ctxCheckMask == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return c, err
+			}
+		}
+		n++
 		ev, ok := src.Next()
 		if !ok {
 			break
@@ -74,40 +119,68 @@ func RunTrace(src trace.Source, p predictor.Predictor, gapDepth int) metrics.Cou
 		}
 	}
 	gap.Drain()
-	return c
+	// A decode error must never be mistaken for clean EOF: counters from
+	// a truncated stream look plausible but undercount every rate.
+	if err := src.Err(); err != nil {
+		return c, fmt.Errorf("trace source: %w", err)
+	}
+	return c, nil
 }
 
 // traceRun pairs a trace with its counters.
 type traceRun struct {
 	Spec workload.TraceSpec
 	C    metrics.Counters
+	ok   bool
+}
+
+// runOne simulates a single trace with per-trace deadline, fault
+// wrappers and panic propagation (the caller recovers).
+func runOne(cfg Config, spec workload.TraceSpec, f Factory, gapDepth int) (metrics.Counters, error) {
+	ctx := cfg.context()
+	if cfg.TraceTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.TraceTimeout)
+		defer cancel()
+	}
+	return RunTraceContext(ctx, cfg.open(spec), cfg.factoryFor(spec, f)(), gapDepth)
 }
 
 // runAll simulates every trace in specs with a fresh predictor from the
-// factory, in parallel, preserving spec order in the result.
-func runAll(cfg Config, specs []workload.TraceSpec, f Factory, gapDepth int) []traceRun {
+// factory, in parallel, preserving spec order in the result. A failing
+// trace — source error, panic anywhere in its predictor or factory,
+// cancellation, deadline — is isolated into a TraceFailure; transient
+// source errors are retried up to cfg.SourceRetries times.
+func runAll(cfg Config, specs []workload.TraceSpec, stage string, f Factory, gapDepth int) ([]traceRun, []TraceFailure) {
 	out := make([]traceRun, len(specs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.workers())
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec workload.TraceSpec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			src := trace.NewLimit(spec.Open(), cfg.EventsPerTrace)
-			out[i] = traceRun{Spec: spec, C: RunTrace(src, f(), gapDepth)}
-		}(i, spec)
-	}
-	wg.Wait()
-	return out
+	errs := parallelTry(cfg, len(specs), func(i int) error {
+		spec := specs[i]
+		// Record the spec up front so even a panic mid-run leaves the slot
+		// attributed to its trace.
+		out[i] = traceRun{Spec: spec}
+		for attempt := 0; ; attempt++ {
+			c, err := runOne(cfg, spec, f, gapDepth)
+			if err == nil {
+				out[i] = traceRun{Spec: spec, C: c, ok: true}
+				return nil
+			}
+			if attempt >= cfg.SourceRetries || !trace.IsTransient(err) {
+				return err
+			}
+		}
+	})
+	return out, failuresOf(specs, stage, errs)
 }
 
 // bySuite groups trace runs into per-suite merged counters plus the
-// overall aggregate ("Average" in the paper's figures).
+// overall aggregate ("Average" in the paper's figures). Failed runs are
+// skipped, so the aggregates cover exactly the surviving traces.
 func bySuite(runs []traceRun) (suites map[string]metrics.Counters, avg metrics.Counters) {
 	suites = make(map[string]metrics.Counters)
 	for _, r := range runs {
+		if !r.ok {
+			continue
+		}
 		c := suites[r.Spec.Suite]
 		c.Merge(r.C)
 		suites[r.Spec.Suite] = c
@@ -117,6 +190,9 @@ func bySuite(runs []traceRun) (suites map[string]metrics.Counters, avg metrics.C
 }
 
 // runSuites is the common per-figure helper: every trace, one factory.
-func runSuites(cfg Config, f Factory, gapDepth int) (map[string]metrics.Counters, metrics.Counters) {
-	return bySuite(runAll(cfg, workload.Traces(), f, gapDepth))
+// The stage label attributes any failures to the pass that hit them.
+func runSuites(cfg Config, stage string, f Factory, gapDepth int) (map[string]metrics.Counters, metrics.Counters, []TraceFailure) {
+	runs, fails := runAll(cfg, workload.Traces(), stage, f, gapDepth)
+	suites, avg := bySuite(runs)
+	return suites, avg, fails
 }

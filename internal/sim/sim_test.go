@@ -16,7 +16,10 @@ func testCfg() Config { return Config{EventsPerTrace: 100_000} }
 func TestRunTraceCountsLoads(t *testing.T) {
 	spec, _ := workload.ByName("INT_go")
 	src := trace.NewLimit(spec.Open(), 50_000)
-	c := RunTrace(src, hybridFactory(), 0)
+	c, err := RunTrace(src, hybridFactory(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Loads == 0 {
 		t.Fatal("no loads recorded")
 	}
@@ -30,7 +33,10 @@ func TestRunTraceGapMatchesPipelinedMode(t *testing.T) {
 	src := trace.NewLimit(spec.Open(), 50_000)
 	hc := predictor.DefaultHybridConfig()
 	hc.Speculative = true
-	c := RunTrace(src, predictor.NewHybrid(hc), 8)
+	c, err := RunTrace(src, predictor.NewHybrid(hc), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Loads == 0 || c.SpecCorrect == 0 {
 		t.Fatalf("gapped run produced no predictions: %+v", c)
 	}

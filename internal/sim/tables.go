@@ -6,12 +6,14 @@ import (
 	"capred/internal/metrics"
 	"capred/internal/predictor"
 	"capred/internal/report"
+	"capred/internal/workload"
 )
 
 // --- §4.3: link-table update policy ---
 
 // UpdatePolicyResult holds hybrid counters per LT update policy.
 type UpdatePolicyResult struct {
+	FailureSet
 	Policies []predictor.UpdatePolicy
 	Counters []metrics.Counters
 }
@@ -24,6 +26,7 @@ func UpdatePolicy(cfg Config) UpdatePolicyResult {
 		predictor.UpdateUnlessStrideCorrect,
 		predictor.UpdateUnlessStrideSelected,
 	}}
+	n := len(workload.Traces())
 	for _, pol := range r.Policies {
 		pol := pol
 		f := func() predictor.Predictor {
@@ -31,7 +34,8 @@ func UpdatePolicy(cfg Config) UpdatePolicyResult {
 			hc.UpdatePolicy = pol
 			return predictor.NewHybrid(hc)
 		}
-		_, avg := runSuites(cfg, f, 0)
+		_, avg, fails := runSuites(cfg, pol.String(), f, 0)
+		r.absorb(n, fails)
 		r.Counters = append(r.Counters, avg)
 	}
 	return r
@@ -42,8 +46,10 @@ func (r UpdatePolicyResult) Table() *report.Table {
 	t := report.New("§4.3: LT update policy (hybrid, average over all traces)",
 		"policy", "prediction rate", "accuracy")
 	for i, pol := range r.Policies {
-		t.Add(pol.String(), report.Pct(r.Counters[i].PredRate()), report.Pct2(r.Counters[i].Accuracy()))
+		c := r.Counters[i]
+		t.Add(pol.String(), naPct(c, c.PredRate()), naPct2(c, c.Accuracy()))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }
 
@@ -51,6 +57,7 @@ func (r UpdatePolicyResult) Table() *report.Table {
 
 // LTSizeResult holds hybrid counters per LT entry count.
 type LTSizeResult struct {
+	FailureSet
 	Sizes    []int
 	Counters []metrics.Counters
 }
@@ -59,6 +66,7 @@ type LTSizeResult struct {
 // steadily increases from 1K-entry to 8K-entry link tables.
 func LTSize(cfg Config) LTSizeResult {
 	r := LTSizeResult{Sizes: []int{1024, 2048, 4096, 8192}}
+	nTraces := len(workload.Traces())
 	for _, n := range r.Sizes {
 		n := n
 		f := func() predictor.Predictor {
@@ -66,7 +74,8 @@ func LTSize(cfg Config) LTSizeResult {
 			hc.CAP.LTEntries = n
 			return predictor.NewHybrid(hc)
 		}
-		_, avg := runSuites(cfg, f, 0)
+		_, avg, fails := runSuites(cfg, fmt.Sprintf("LT %d", n), f, 0)
+		r.absorb(nTraces, fails)
 		r.Counters = append(r.Counters, avg)
 	}
 	return r
@@ -77,9 +86,10 @@ func (r LTSizeResult) Table() *report.Table {
 	t := report.New("§4.2: hybrid prediction rate vs LT entries",
 		"LT entries", "prediction rate", "accuracy")
 	for i, n := range r.Sizes {
-		t.Add(fmt.Sprintf("%dK", n/1024),
-			report.Pct(r.Counters[i].PredRate()), report.Pct2(r.Counters[i].Accuracy()))
+		c := r.Counters[i]
+		t.Add(fmt.Sprintf("%dK", n/1024), naPct(c, c.PredRate()), naPct2(c, c.Accuracy()))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }
 
@@ -87,6 +97,7 @@ func (r LTSizeResult) Table() *report.Table {
 
 // BaselinesResult compares all predictor families on the same traces.
 type BaselinesResult struct {
+	FailureSet
 	Names    []string
 	Counters []metrics.Counters
 }
@@ -95,8 +106,10 @@ type BaselinesResult struct {
 // of loads, stride adds ≈13%, CAP and the hybrid sit above.
 func Baselines(cfg Config) BaselinesResult {
 	r := BaselinesResult{}
+	nTraces := len(workload.Traces())
 	add := func(name string, f Factory) {
-		_, avg := runSuites(cfg, f, 0)
+		_, avg, fails := runSuites(cfg, name, f, 0)
+		r.absorb(nTraces, fails)
 		r.Names = append(r.Names, name)
 		r.Counters = append(r.Counters, avg)
 	}
@@ -114,8 +127,9 @@ func (r BaselinesResult) Table() *report.Table {
 		"predictor", "prediction rate", "correct of loads", "accuracy")
 	for i, n := range r.Names {
 		c := r.Counters[i]
-		t.Add(n, report.Pct(c.PredRate()), report.Pct(c.CorrectSpecRate()), report.Pct2(c.Accuracy()))
+		t.Add(n, naPct(c, c.PredRate()), naPct(c, c.CorrectSpecRate()), naPct2(c, c.Accuracy()))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }
 
@@ -123,6 +137,7 @@ func (r BaselinesResult) Table() *report.Table {
 
 // ControlBasedResult compares control-based predictors to CAP.
 type ControlBasedResult struct {
+	FailureSet
 	Names    []string
 	Counters []metrics.Counters
 }
@@ -131,8 +146,10 @@ type ControlBasedResult struct {
 // call-path address predictors are no substitute for CAP.
 func ControlBased(cfg Config) ControlBasedResult {
 	r := ControlBasedResult{}
+	nTraces := len(workload.Traces())
 	add := func(name string, f Factory) {
-		_, avg := runSuites(cfg, f, 0)
+		_, avg, fails := runSuites(cfg, name, f, 0)
+		r.absorb(nTraces, fails)
 		r.Names = append(r.Names, name)
 		r.Counters = append(r.Counters, avg)
 	}
@@ -152,8 +169,9 @@ func (r ControlBasedResult) Table() *report.Table {
 		"predictor", "prediction rate", "correct of loads", "accuracy")
 	for i, n := range r.Names {
 		c := r.Counters[i]
-		t.Add(n, report.Pct(c.PredRate()), report.Pct(c.CorrectSpecRate()), report.Pct2(c.Accuracy()))
+		t.Add(n, naPct(c, c.PredRate()), naPct(c, c.CorrectSpecRate()), naPct2(c, c.Accuracy()))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }
 
@@ -161,6 +179,7 @@ func (r ControlBasedResult) Table() *report.Table {
 
 // AblationsResult holds named configuration deltas of the CAP/hybrid.
 type AblationsResult struct {
+	FailureSet
 	Names    []string
 	Counters []metrics.Counters
 }
@@ -169,8 +188,10 @@ type AblationsResult struct {
 // on/off/external, static vs dynamic selector, and shift(m) variations.
 func Ablations(cfg Config) AblationsResult {
 	r := AblationsResult{}
+	nTraces := len(workload.Traces())
 	add := func(name string, f Factory) {
-		_, avg := runSuites(cfg, f, 0)
+		_, avg, fails := runSuites(cfg, name, f, 0)
+		r.absorb(nTraces, fails)
 		r.Names = append(r.Names, name)
 		r.Counters = append(r.Counters, avg)
 	}
@@ -215,7 +236,8 @@ func (r AblationsResult) Table() *report.Table {
 		"configuration", "prediction rate", "accuracy", "mispred of loads")
 	for i, n := range r.Names {
 		c := r.Counters[i]
-		t.Add(n, report.Pct(c.PredRate()), report.Pct2(c.Accuracy()), report.Pct2(c.MispredOfLoads()))
+		t.Add(n, naPct(c, c.PredRate()), naPct2(c, c.Accuracy()), naPct2(c, c.MispredOfLoads()))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }

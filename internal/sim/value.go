@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"capred/internal/predictor"
 	"capred/internal/report"
 	"capred/internal/trace"
@@ -41,6 +43,7 @@ func (c valueCounters) accuracy() float64 {
 // predictability over the same dynamic loads — the §1 claim that value
 // prediction's "lower predictability makes this option less attractive".
 type AddressVsValueResult struct {
+	FailureSet
 	Names    []string
 	Rates    []float64 // speculative accesses / loads
 	Corrects []float64 // correct speculations / loads
@@ -56,10 +59,11 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 	type row struct {
 		addr addrTally
 		vals [4]valueCounters
+		done bool
 	}
 	rows := make([]row, len(specs))
 
-	parallelFor(cfg, len(specs), func(i int) {
+	errs := parallelTry(cfg, len(specs), func(i int) error {
 		spec := specs[i]
 		vcfg := valuepred.DefaultConfig()
 		vpreds := [4]valuepred.Predictor{
@@ -68,11 +72,11 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 			valuepred.NewContext(vcfg),
 			valuepred.NewHybrid(vcfg),
 		}
-		apred := hybridFactory()
+		apred := cfg.factoryFor(spec, hybridFactory)()
 
 		var ghr predictor.GHR
 		var path predictor.PathHist
-		src := trace.NewLimit(spec.Open(), cfg.EventsPerTrace)
+		src := cfg.open(spec)
 		for {
 			ev, ok := src.Next()
 			if !ok {
@@ -111,11 +115,19 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 				}
 			}
 		}
+		if err := src.Err(); err != nil {
+			return fmt.Errorf("trace source: %w", err)
+		}
+		rows[i].done = true
+		return nil
 	})
 
 	var addr addrTally
 	var vals [4]valueCounters
 	for _, r := range rows {
+		if !r.done {
+			continue
+		}
 		addr.loads += r.addr.loads
 		addr.spec += r.addr.spec
 		addr.correct += r.addr.correct
@@ -127,6 +139,7 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 	}
 
 	out := AddressVsValueResult{}
+	out.absorb(len(specs), failuresOf(specs, "addr-vs-value", errs))
 	push := func(name string, rate, correct, acc float64) {
 		out.Names = append(out.Names, name)
 		out.Rates = append(out.Rates, rate)
@@ -174,5 +187,6 @@ func (r AddressVsValueResult) Table() *report.Table {
 	for i, n := range r.Names {
 		t.Add(n, report.Pct(r.Rates[i]), report.Pct(r.Corrects[i]), report.Pct2(r.Accs[i]))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }

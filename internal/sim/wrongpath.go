@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"context"
+	"fmt"
+
 	"capred/internal/metrics"
 	"capred/internal/pipeline"
 	"capred/internal/predictor"
@@ -45,7 +48,7 @@ func (m WrongPathMode) String() string {
 // model's own predictor would have mispredicted. Wrong-path loads replay
 // recently seen static loads with perturbed addresses — what a front end
 // fetches down the wrong arm of a branch.
-func runTraceWrongPath(src trace.Source, p predictor.Predictor, gapDepth, burst int, mode WrongPathMode) metrics.Counters {
+func runTraceWrongPath(ctx context.Context, src trace.Source, p predictor.Predictor, gapDepth, burst int, mode WrongPathMode) (metrics.Counters, error) {
 	var (
 		c    metrics.Counters
 		ghr  predictor.GHR
@@ -59,6 +62,7 @@ func runTraceWrongPath(src trace.Source, p predictor.Predictor, gapDepth, burst 
 		// Ring of recent load refs to replay on the wrong path.
 		recent [16]predictor.LoadRef
 		rn     int
+		n      int64
 	)
 	predictBr := func(ip uint32) bool { return bp[(ip>>2^bhist)&4095] >= 2 }
 	updateBr := func(ip uint32, taken bool) {
@@ -73,7 +77,14 @@ func runTraceWrongPath(src trace.Source, p predictor.Predictor, gapDepth, burst 
 		bhist = bhist<<1 | b2u(taken)
 	}
 
+	const ctxCheckMask = 1<<12 - 1
 	for {
+		if n&ctxCheckMask == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return c, err
+			}
+		}
+		n++
 		ev, ok := src.Next()
 		if !ok {
 			break
@@ -120,7 +131,10 @@ func runTraceWrongPath(src trace.Source, p predictor.Predictor, gapDepth, burst 
 		}
 	}
 	gap.Drain()
-	return c
+	if err := src.Err(); err != nil {
+		return c, fmt.Errorf("trace source: %w", err)
+	}
+	return c, nil
 }
 
 func b2u(b bool) uint32 {
@@ -132,6 +146,7 @@ func b2u(b bool) uint32 {
 
 // WrongPathResult compares the three wrong-path disciplines.
 type WrongPathResult struct {
+	FailureSet
 	Modes    []WrongPathMode
 	Counters []metrics.Counters
 }
@@ -148,18 +163,32 @@ func WrongPath(cfg Config) WrongPathResult {
 	for m := range modes {
 		counters[m] = make([]metrics.Counters, len(specs))
 	}
-	parallelFor(cfg, len(specs), func(i int) {
-		for m, mode := range modes {
+	done := make([]bool, len(specs))
+	errs := parallelTry(cfg, len(specs), func(i int) error {
+		f := func() predictor.Predictor {
 			hc := predictor.DefaultHybridConfig()
 			hc.Speculative = true
-			src := trace.NewLimit(specs[i].Open(), cfg.EventsPerTrace)
-			counters[m][i] = runTraceWrongPath(src, predictor.NewHybrid(hc), 8, 4, mode)
+			return predictor.NewHybrid(hc)
 		}
+		for m, mode := range modes {
+			src := cfg.open(specs[i])
+			c, err := runTraceWrongPath(cfg.context(), src, cfg.factoryFor(specs[i], f)(), 8, 4, mode)
+			if err != nil {
+				return fmt.Errorf("%s: %w", mode, err)
+			}
+			counters[m][i] = c
+		}
+		done[i] = true
+		return nil
 	})
 
 	out := WrongPathResult{Modes: modes, Counters: make([]metrics.Counters, len(modes))}
+	out.absorb(len(specs), failuresOf(specs, "wrong-path", errs))
 	for m := range modes {
 		for i := range specs {
+			if !done[i] {
+				continue
+			}
 			out.Counters[m].Merge(counters[m][i])
 		}
 	}
@@ -172,8 +201,9 @@ func (r WrongPathResult) Table() *report.Table {
 		"discipline", "prediction rate", "accuracy", "correct of loads")
 	for m, mode := range r.Modes {
 		c := r.Counters[m]
-		t.Add(mode.String(), report.Pct(c.PredRate()), report.Pct2(c.Accuracy()),
-			report.Pct(c.CorrectSpecRate()))
+		t.Add(mode.String(), naPct(c, c.PredRate()), naPct2(c, c.Accuracy()),
+			naPct(c, c.CorrectSpecRate()))
 	}
+	t.SetFooter(r.Footer())
 	return t
 }

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// sliceSource replays a fixed event slice — enough structure to exercise
+// the fault wrappers without pulling in the workload generator.
+type sliceSource struct {
+	evs []Event
+	i   int
+}
+
+func (s *sliceSource) Next() (Event, bool) {
+	if s.i >= len(s.evs) {
+		return Event{}, false
+	}
+	ev := s.evs[s.i]
+	s.i++
+	return ev, true
+}
+
+func (s *sliceSource) Err() error { return nil }
+
+func events(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{Kind: KindLoad, IP: uint32(0x400 + i), Addr: uint32(0x1000 + 8*i)}
+	}
+	return out
+}
+
+func TestFailAfterYieldsThenFails(t *testing.T) {
+	src := NewFailAfter(&sliceSource{evs: events(10)}, 4, nil)
+	var n int
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("yielded %d events, want 4", n)
+	}
+	if !errors.Is(src.Err(), ErrInjected) {
+		t.Errorf("Err() = %v, want ErrInjected", src.Err())
+	}
+}
+
+func TestFailAfterCleanWhenBudgetNotReached(t *testing.T) {
+	src := NewFailAfter(&sliceSource{evs: events(3)}, 100, nil)
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+	}
+	if err := src.Err(); err != nil {
+		t.Errorf("stream ended before the fault budget, want clean EOF, got %v", err)
+	}
+}
+
+func TestFailAfterWrappedErrorWins(t *testing.T) {
+	inner := errors.New("inner decode error")
+	src := NewFailAfter(NewErrSource(inner), 5, nil)
+	if _, ok := src.Next(); ok {
+		t.Fatal("expected immediate end")
+	}
+	if !errors.Is(src.Err(), inner) {
+		t.Errorf("Err() = %v, want the wrapped source's error", src.Err())
+	}
+}
+
+func TestCorruptMutatesEveryKth(t *testing.T) {
+	clean := events(9)
+	src := NewCorrupt(&sliceSource{evs: events(9)}, 3, nil)
+	var mutated int
+	for i := 0; ; i++ {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if ev.Addr != clean[i].Addr {
+			mutated++
+		}
+	}
+	if mutated != 3 {
+		t.Errorf("mutated %d events, want every 3rd of 9 = 3", mutated)
+	}
+	if err := src.Err(); err != nil {
+		t.Errorf("corruption is silent damage, want nil Err, got %v", err)
+	}
+}
+
+func TestCorruptCustomMutator(t *testing.T) {
+	src := NewCorrupt(&sliceSource{evs: events(4)}, 2, func(ev *Event) { ev.Addr = 0 })
+	var zeros int
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if ev.Addr == 0 {
+			zeros++
+		}
+	}
+	if zeros != 2 {
+		t.Errorf("custom mutator hit %d events, want 2", zeros)
+	}
+}
+
+func TestErrSource(t *testing.T) {
+	src := NewErrSource(nil)
+	if _, ok := src.Next(); ok {
+		t.Error("ErrSource must yield nothing")
+	}
+	if !errors.Is(src.Err(), ErrInjected) {
+		t.Errorf("Err() = %v, want ErrInjected", src.Err())
+	}
+}
+
+func TestHangUnblocksOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	src := NewHang(ctx, &sliceSource{evs: events(5)}, 2)
+	for i := 0; i < 2; i++ {
+		if _, ok := src.Next(); !ok {
+			t.Fatal("hang ended before its budget")
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := src.Next(); ok {
+			t.Error("hung Next returned an event")
+		}
+	}()
+	select {
+	case <-done:
+		t.Fatal("Next returned before cancellation")
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Next did not unblock after cancel")
+	}
+	if !errors.Is(src.Err(), context.Canceled) {
+		t.Errorf("Err() = %v, want wrapped context.Canceled", src.Err())
+	}
+}
+
+func TestTransientMarking(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) must stay nil")
+	}
+	err := Transient(ErrInjected)
+	if !IsTransient(err) {
+		t.Error("Transient error not detected")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", err)) {
+		t.Error("transience must survive wrapping")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Error("Transient must preserve the underlying error identity")
+	}
+	if IsTransient(ErrInjected) {
+		t.Error("unmarked error reported transient")
+	}
+	if IsTransient(Transient(context.Canceled)) {
+		t.Error("cancellation must never be treated as transient")
+	}
+	if IsTransient(Transient(context.DeadlineExceeded)) {
+		t.Error("deadline expiry must never be treated as transient")
+	}
+}
+
+func TestFlakyOpen(t *testing.T) {
+	open := FlakyOpen(func() Source { return &sliceSource{evs: events(10)} }, 2, 3)
+	drain := func(src Source) (int, error) {
+		var n int
+		for {
+			if _, ok := src.Next(); !ok {
+				return n, src.Err()
+			}
+			n++
+		}
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		n, err := drain(open())
+		if n != 3 || !IsTransient(err) {
+			t.Fatalf("flaky open %d: n=%d err=%v, want 3 events and a transient error", attempt, n, err)
+		}
+	}
+	n, err := drain(open())
+	if n != 10 || err != nil {
+		t.Fatalf("post-flake open: n=%d err=%v, want full clean stream", n, err)
+	}
+}
