@@ -138,10 +138,16 @@ type (
 	EventKind = trace.Kind
 	// Source is a stream of trace events.
 	Source = trace.Source
+	// BatchSource is a Source that can also deliver events in batches.
+	BatchSource = trace.BatchSource
 	// Sink consumes trace events.
 	Sink = trace.Sink
 	// TraceStats summarises a trace.
 	TraceStats = trace.Stats
+	// ReplayCache materialises trace streams once and replays them.
+	ReplayCache = trace.ReplayCache
+	// ReplayStats reports a ReplayCache's occupancy and hit counts.
+	ReplayStats = trace.ReplayStats
 )
 
 // Event kinds.
@@ -164,6 +170,12 @@ var (
 	Limit = trace.NewLimit
 	// CollectStats consumes a source and summarises it.
 	CollectStats = trace.Collect
+	// AsBatch adapts any Source to batch delivery.
+	AsBatch = trace.AsBatch
+	// NewReplayCache builds a replay cache with a byte budget (0 = no
+	// limit); attach it to an ExperimentConfig to materialise each trace
+	// once and replay it across passes.
+	NewReplayCache = trace.NewReplayCache
 )
 
 // Fault injection: composable Source wrappers for testing how the
@@ -204,29 +216,34 @@ type (
 
 // Workload constructors.
 var (
-	Traces       = workload.Traces
+	Traces        = workload.Traces
 	TracesBySuite = workload.BySuite
-	TraceByName  = workload.ByName
-	SuiteNames   = workload.SuiteNames
-	NewGenerator = workload.NewGenerator
+	TraceByName   = workload.ByName
+	SuiteNames    = workload.SuiteNames
+	NewGenerator  = workload.NewGenerator
 
-	NewGlobalScalars = workload.NewGlobalScalars
-	NewStackFrame    = workload.NewStackFrame
-	NewArrayWalk     = workload.NewArrayWalk
-	NewShortLoop     = workload.NewShortLoop
-	NewLinkedList    = workload.NewLinkedList
+	NewGlobalScalars  = workload.NewGlobalScalars
+	NewStackFrame     = workload.NewStackFrame
+	NewArrayWalk      = workload.NewArrayWalk
+	NewShortLoop      = workload.NewShortLoop
+	NewLinkedList     = workload.NewLinkedList
 	NewLinkedListOpts = workload.NewLinkedListOpts
-	NewDoubleList    = workload.NewDoubleList
-	NewBinaryTree    = workload.NewBinaryTree
-	NewCallSites     = workload.NewCallSites
-	NewHashTable     = workload.NewHashTable
-	NewRandomWalk    = workload.NewRandomWalk
+	NewDoubleList     = workload.NewDoubleList
+	NewBinaryTree     = workload.NewBinaryTree
+	NewCallSites      = workload.NewCallSites
+	NewHashTable      = workload.NewHashTable
+	NewRandomWalk     = workload.NewRandomWalk
 )
 
 // Metrics and experiment drivers.
 type (
 	// Counters aggregates per-load prediction outcomes.
 	Counters = metrics.Counters
+	// Rates is the read interface shared by Counters and Mean.
+	Rates = metrics.Rates
+	// Mean is the equal-weight arithmetic mean of per-trace rates; the
+	// figure tables' "Average" row.
+	Mean = metrics.Mean
 	// ExperimentConfig scales the experiment drivers.
 	ExperimentConfig = sim.Config
 	// Factory builds one fresh predictor per trace run.

@@ -1,0 +1,183 @@
+// Command benchsweep measures what the replay cache buys a sweep and
+// writes the result as JSON (BENCH_sweep.json by default, for the CI
+// benchmark job and the numbers quoted in DESIGN.md).
+//
+// It reports two layers:
+//
+//   - drain: raw event-delivery throughput per trace — the live workload
+//     generator, a cold cache open (materialise + first replay), and a
+//     warm replay cursor — plus the encoded stream density in bytes per
+//     event. The cursor must beat the generator or the cache is pure
+//     memory overhead.
+//
+//   - sweep: wall-clock for a representative slice of the experiment
+//     roster (baselines, Fig. 9, Fig. 12, prefetch — the generator-bound
+//     and cpu-model-bound extremes) run streaming and then cached, with
+//     the cache's occupancy stats. The headline number is the speedup.
+//
+// Usage:
+//
+//	benchsweep [-events n] [-traces n] [-o file]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"capred"
+)
+
+type drainReport struct {
+	Traces            int     `json:"traces"`
+	EventsPerTrace    int64   `json:"events_per_trace"`
+	GeneratorMEvS     float64 `json:"generator_mev_per_s"`
+	ColdCacheMEvS     float64 `json:"cold_cache_mev_per_s"`
+	WarmCursorMEvS    float64 `json:"warm_cursor_mev_per_s"`
+	CursorVsGenerator float64 `json:"cursor_vs_generator"`
+	BytesPerEvent     float64 `json:"encoded_bytes_per_event"`
+}
+
+type sweepReport struct {
+	Experiments      []string `json:"experiments"`
+	StreamingSeconds float64  `json:"streaming_seconds"`
+	// CachedColdSeconds includes materialising all 45 streams; warm is a
+	// second pass over the resident cache — what every experiment after
+	// the first sees inside one capsim run.
+	CachedColdSeconds float64 `json:"cached_cold_seconds"`
+	CachedWarmSeconds float64 `json:"cached_warm_seconds"`
+	SpeedupCold       float64 `json:"speedup_cold"`
+	SpeedupWarm       float64 `json:"speedup_warm"`
+	CacheStreams      int     `json:"cache_streams"`
+	CacheMiB          float64 `json:"cache_mib"`
+	CacheHits         int64   `json:"cache_hits"`
+}
+
+type report struct {
+	Drain drainReport `json:"drain"`
+	Sweep sweepReport `json:"sweep"`
+}
+
+func main() {
+	fs := flag.NewFlagSet("benchsweep", flag.ExitOnError)
+	events := fs.Int64("events", 400_000, "events per trace")
+	nTraces := fs.Int("traces", 8, "traces to drain-benchmark (0 = full roster)")
+	out := fs.String("o", "BENCH_sweep.json", "output file (- for stdout)")
+	fs.Parse(os.Args[1:])
+
+	rep := report{
+		Drain: drainBench(*events, *nTraces),
+		Sweep: sweepBench(*events),
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsweep: drain %.1f -> %.1f Mev/s (%.2fx), sweep %.1fs -> %.1fs warm (%.2fx), wrote %s\n",
+		rep.Drain.GeneratorMEvS, rep.Drain.WarmCursorMEvS, rep.Drain.CursorVsGenerator,
+		rep.Sweep.StreamingSeconds, rep.Sweep.CachedWarmSeconds, rep.Sweep.SpeedupWarm, *out)
+}
+
+// drain pulls every event out of src through the batch interface,
+// mirroring the hot loops in the sim drivers.
+func drain(src capred.Source) int64 {
+	bs := capred.AsBatch(src)
+	var buf [1024]capred.Event
+	var n int64
+	for {
+		k, ok := bs.NextBatch(buf[:])
+		n += int64(k)
+		if !ok {
+			return n
+		}
+	}
+}
+
+func drainBench(events int64, nTraces int) drainReport {
+	specs := capred.Traces()
+	if nTraces > 0 && nTraces < len(specs) {
+		specs = specs[:nTraces]
+	}
+	open := func(s capred.TraceSpec) capred.Source {
+		return capred.Limit(s.Open(), events)
+	}
+
+	var genDur, coldDur, warmDur time.Duration
+	var total int64
+	cache := capred.NewReplayCache(0)
+	for _, s := range specs {
+		spec := s
+		t0 := time.Now()
+		total += drain(open(spec))
+		genDur += time.Since(t0)
+
+		t0 = time.Now()
+		drain(cache.Open(spec.Name, func() capred.Source { return open(spec) }))
+		coldDur += time.Since(t0)
+
+		t0 = time.Now()
+		drain(cache.Open(spec.Name, func() capred.Source { return open(spec) }))
+		warmDur += time.Since(t0)
+	}
+	st := cache.Stats()
+	mevs := func(d time.Duration) float64 {
+		return float64(total) / d.Seconds() / 1e6
+	}
+	r := drainReport{
+		Traces:         len(specs),
+		EventsPerTrace: events,
+		GeneratorMEvS:  mevs(genDur),
+		ColdCacheMEvS:  mevs(coldDur),
+		WarmCursorMEvS: mevs(warmDur),
+		BytesPerEvent:  float64(st.Bytes) / float64(total),
+	}
+	r.CursorVsGenerator = r.WarmCursorMEvS / r.GeneratorMEvS
+	return r
+}
+
+func sweepBench(events int64) sweepReport {
+	names := []string{"baselines", "fig9", "fig12", "prefetch"}
+	run := func(cfg capred.ExperimentConfig) float64 {
+		t0 := time.Now()
+		capred.RunBaselines(cfg)
+		capred.Fig9(cfg)
+		capred.Fig12(cfg)
+		capred.RunPrefetch(cfg)
+		return time.Since(t0).Seconds()
+	}
+
+	streaming := run(capred.ExperimentConfig{EventsPerTrace: events})
+
+	cached := capred.ExperimentConfig{
+		EventsPerTrace: events,
+		ReplayCache:    capred.NewReplayCache(0),
+	}
+	cold := run(cached)
+	warm := run(cached)
+	st := cached.ReplayCache.Stats()
+
+	return sweepReport{
+		Experiments:       names,
+		StreamingSeconds:  streaming,
+		CachedColdSeconds: cold,
+		CachedWarmSeconds: warm,
+		SpeedupCold:       streaming / cold,
+		SpeedupWarm:       streaming / warm,
+		CacheStreams:      st.Entries,
+		CacheMiB:          float64(st.Bytes) / (1 << 20),
+		CacheHits:         st.Hits,
+	}
+}

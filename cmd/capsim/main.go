@@ -7,6 +7,13 @@
 //	capsim -experiment all
 //	capsim -list
 //
+// By default each trace stream is materialised once into a compact
+// in-memory encoding and replayed across every experiment pass
+// (-replay-cache=false restores live regeneration; -cache-budget caps
+// the cache in MiB, -cache-stats reports its hit counts on exit).
+// Cached replay is bit-identical to regeneration, so results do not
+// depend on the flag.
+//
 // Experiments: fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 update-policy
 // lt-size baselines control ablations profile-assist addr-vs-value
 // prefetch classes wrong-path.
@@ -218,6 +225,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		parallel = fs.Int("parallel", 0, "concurrent trace simulations (0 = NumCPU)")
 		retries  = fs.Int("retries", 0, "retries for transient trace-source failures")
 		inject   = fs.String("inject", "", "fault injection: trace=mode[,trace=mode] (modes: decode, truncate, panic)")
+		useCache = fs.Bool("replay-cache", true, "materialise each trace once and replay it across experiments")
+		budget   = fs.Int64("cache-budget", 512, "replay cache budget in MiB (0 = unlimited)")
+		cacheLog = fs.Bool("cache-stats", false, "print replay cache statistics to stderr on exit")
 		list     = fs.Bool("list", false, "list available experiments")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -236,6 +246,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Parallelism:    *parallel,
 		SourceRetries:  *retries,
 		Ctx:            ctx,
+	}
+	if *useCache {
+		cfg.ReplayCache = capred.NewReplayCache(*budget << 20)
 	}
 	if err := parseInjections(&cfg, *inject); err != nil {
 		fmt.Fprintf(stderr, "capsim: %v\n", err)
@@ -283,6 +296,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "capsim: interrupted (%v); printed partial results\n", err)
 			break
 		}
+	}
+	if *cacheLog && cfg.ReplayCache != nil {
+		fmt.Fprintf(stderr, "capsim: %s\n", cfg.ReplayCache.Stats())
 	}
 	if len(failed) > 0 || ctx.Err() != nil {
 		if len(failed) > 0 {

@@ -281,141 +281,146 @@ func Run(src trace.Source, pred predictor.Predictor, gapDepth int, cfg Config) R
 
 	lastRetire := int64(0)
 
-	// Polling the context every event would dominate the hot loop; a
-	// power-of-two stride keeps cancellation latency in the microseconds.
-	const ctxCheckMask = 1<<12 - 1
-
+	// Events arrive in batches — polling the context (and paying the
+	// source's interface dispatch) once per batch instead of once per
+	// event keeps cancellation latency in the microseconds without
+	// touching the hot loop.
+	bs := trace.AsBatch(src)
+	batch := make([]trace.Event, 1024)
 	for {
-		if cfg.Ctx != nil && seq&ctxCheckMask == 0 {
+		if cfg.Ctx != nil {
 			if err := cfg.Ctx.Err(); err != nil {
 				res.Err = err
 				break
 			}
 		}
-		ev, ok := src.Next()
+		n, ok := bs.NextBatch(batch)
+		for bi := range batch[:n] {
+			ev := batch[bi]
+
+			// Fetch: width-limited, stalled by flushes and the finite window.
+			f := fetchCycle
+			if flushUntil > f {
+				f, fetchUsed = flushUntil, 0
+			}
+			if wstart := retire.get(seq - int64(cfg.Window)); wstart > f {
+				f, fetchUsed = wstart, 0
+			}
+			if fetchUsed >= cfg.FetchWidth {
+				f, fetchUsed = f+1, 0
+			}
+			fetchCycle = f
+			fetchUsed++
+
+			dispatch := f + int64(cfg.FrontDepth)
+
+			// Readiness: dispatch plus source operands. Producers further back
+			// than the completion ring have long retired; their values are
+			// ready by construction.
+			ready := dispatch
+			if d := int64(ev.Src1); d != 0 && d <= complete.mask {
+				if c := complete.get(seq - d); c > ready {
+					ready = c
+				}
+			}
+			if d := int64(ev.Src2); d != 0 && d <= complete.mask {
+				if c := complete.get(seq - d); c > ready {
+					ready = c
+				}
+			}
+
+			var done int64
+			switch ev.Kind {
+			case trace.KindALU:
+				issue := fus.reserve(ready)
+				done = issue + int64(ev.Latency())
+
+			case trace.KindStore:
+				issue := fus.reserve(ready)
+				issue = ports.reserve(issue)
+				hier.Access(ev.Addr, true)
+				done = issue + 1
+
+			case trace.KindLoad:
+				res.Loads++
+				if cfg.Prefetcher != nil {
+					if pfAddr, ok := cfg.Prefetcher.Observe(ev.IP, ev.Addr); ok {
+						hier.Prefetch(pfAddr)
+					}
+				}
+				var p predictor.Prediction
+				if gap != nil {
+					ref := predictor.LoadRef{
+						IP: ev.IP, Offset: ev.Offset,
+						GHR: ghr.Value(), Path: path.Value(),
+					}
+					p = gap.Process(ref, ev.Addr)
+				}
+				lat := int64(hier.Access(ev.Addr, false))
+				switch {
+				case p.Speculate && p.Addr == ev.Addr:
+					// Correct speculative access: launched in the front end at
+					// fetch, so the data returns at f+lat and dependents do not
+					// wait for address generation. The port was used early.
+					res.SpecAccesses++
+					res.CorrectSpec++
+					ports.reserve(f)
+					avail := f + lat
+					if avail < dispatch+1 {
+						avail = dispatch + 1
+					}
+					// Verification still occupies a unit once sources arrive.
+					fus.reserve(ready)
+					done = avail
+				case p.Speculate:
+					// Wrong speculative access: normal access plus selective
+					// re-execution of the dependents already scheduled.
+					res.SpecAccesses++
+					res.MispredSpec++
+					ports.reserve(f)
+					issue := fus.reserve(ready)
+					issue = ports.reserve(issue)
+					done = issue + int64(cfg.LoadPipeExtra) + lat + int64(cfg.AddrMispredPenalty)
+				default:
+					issue := fus.reserve(ready)
+					issue = ports.reserve(issue)
+					done = issue + int64(cfg.LoadPipeExtra) + lat
+				}
+
+			case trace.KindBranch:
+				res.Branches++
+				issue := fus.reserve(ready)
+				done = issue + 1
+				if bp.predict(ev.IP) != ev.Taken {
+					res.BranchMispreds++
+					if fl := done + int64(cfg.BranchFlushPenalty); fl > flushUntil {
+						flushUntil = fl
+					}
+				}
+				bp.update(ev.IP, ev.Taken)
+				ghr.Update(ev.Taken)
+
+			case trace.KindCall, trace.KindReturn:
+				issue := fus.reserve(ready)
+				done = issue + 1
+				if ev.Kind == trace.KindCall {
+					path.Push(ev.IP)
+				}
+			}
+
+			complete.set(seq, done)
+			ret := done
+			if ret < lastRetire {
+				ret = lastRetire
+			}
+			retire.set(seq, ret)
+			lastRetire = ret
+
+			seq++
+		}
 		if !ok {
 			break
 		}
-
-		// Fetch: width-limited, stalled by flushes and the finite window.
-		f := fetchCycle
-		if flushUntil > f {
-			f, fetchUsed = flushUntil, 0
-		}
-		if wstart := retire.get(seq - int64(cfg.Window)); wstart > f {
-			f, fetchUsed = wstart, 0
-		}
-		if fetchUsed >= cfg.FetchWidth {
-			f, fetchUsed = f+1, 0
-		}
-		fetchCycle = f
-		fetchUsed++
-
-		dispatch := f + int64(cfg.FrontDepth)
-
-		// Readiness: dispatch plus source operands. Producers further back
-		// than the completion ring have long retired; their values are
-		// ready by construction.
-		ready := dispatch
-		if d := int64(ev.Src1); d != 0 && d <= complete.mask {
-			if c := complete.get(seq - d); c > ready {
-				ready = c
-			}
-		}
-		if d := int64(ev.Src2); d != 0 && d <= complete.mask {
-			if c := complete.get(seq - d); c > ready {
-				ready = c
-			}
-		}
-
-		var done int64
-		switch ev.Kind {
-		case trace.KindALU:
-			issue := fus.reserve(ready)
-			done = issue + int64(ev.Latency())
-
-		case trace.KindStore:
-			issue := fus.reserve(ready)
-			issue = ports.reserve(issue)
-			hier.Access(ev.Addr, true)
-			done = issue + 1
-
-		case trace.KindLoad:
-			res.Loads++
-			if cfg.Prefetcher != nil {
-				if pfAddr, ok := cfg.Prefetcher.Observe(ev.IP, ev.Addr); ok {
-					hier.Prefetch(pfAddr)
-				}
-			}
-			var p predictor.Prediction
-			if gap != nil {
-				ref := predictor.LoadRef{
-					IP: ev.IP, Offset: ev.Offset,
-					GHR: ghr.Value(), Path: path.Value(),
-				}
-				p = gap.Process(ref, ev.Addr)
-			}
-			lat := int64(hier.Access(ev.Addr, false))
-			switch {
-			case p.Speculate && p.Addr == ev.Addr:
-				// Correct speculative access: launched in the front end at
-				// fetch, so the data returns at f+lat and dependents do not
-				// wait for address generation. The port was used early.
-				res.SpecAccesses++
-				res.CorrectSpec++
-				ports.reserve(f)
-				avail := f + lat
-				if avail < dispatch+1 {
-					avail = dispatch + 1
-				}
-				// Verification still occupies a unit once sources arrive.
-				fus.reserve(ready)
-				done = avail
-			case p.Speculate:
-				// Wrong speculative access: normal access plus selective
-				// re-execution of the dependents already scheduled.
-				res.SpecAccesses++
-				res.MispredSpec++
-				ports.reserve(f)
-				issue := fus.reserve(ready)
-				issue = ports.reserve(issue)
-				done = issue + int64(cfg.LoadPipeExtra) + lat + int64(cfg.AddrMispredPenalty)
-			default:
-				issue := fus.reserve(ready)
-				issue = ports.reserve(issue)
-				done = issue + int64(cfg.LoadPipeExtra) + lat
-			}
-
-		case trace.KindBranch:
-			res.Branches++
-			issue := fus.reserve(ready)
-			done = issue + 1
-			if bp.predict(ev.IP) != ev.Taken {
-				res.BranchMispreds++
-				if fl := done + int64(cfg.BranchFlushPenalty); fl > flushUntil {
-					flushUntil = fl
-				}
-			}
-			bp.update(ev.IP, ev.Taken)
-			ghr.Update(ev.Taken)
-
-		case trace.KindCall, trace.KindReturn:
-			issue := fus.reserve(ready)
-			done = issue + 1
-			if ev.Kind == trace.KindCall {
-				path.Push(ev.IP)
-			}
-		}
-
-		complete.set(seq, done)
-		ret := done
-		if ret < lastRetire {
-			ret = lastRetire
-		}
-		retire.set(seq, ret)
-		lastRetire = ret
-
-		seq++
 	}
 	if gap != nil {
 		gap.Drain()

@@ -15,11 +15,13 @@ type CacheConfig struct {
 // Cache is a set-associative, write-back, true-LRU cache model. It tracks
 // hits and misses; data values are not modelled, only presence.
 type Cache struct {
-	cfg     CacheConfig
-	sets    int
-	lineLow uint
-	setMask uint32
-	lines   []cacheLine
+	cfg      CacheConfig
+	sets     int
+	lineLow  uint
+	tagShift uint
+	setMask  uint32
+	clock    uint32
+	lines    []cacheLine
 
 	Hits   int64
 	Misses int64
@@ -29,7 +31,7 @@ type cacheLine struct {
 	valid bool
 	dirty bool
 	tag   uint32
-	age   uint32
+	age   uint32 // clock stamp of the last access; the set's minimum is LRU
 }
 
 // NewCache builds a cache. Size, line size and ways must describe a
@@ -46,12 +48,14 @@ func NewCache(cfg CacheConfig) *Cache {
 	if cfg.LineBytes&(cfg.LineBytes-1) != 0 {
 		panic("memsys: line size must be a power of two")
 	}
+	lineLow := log2(uint(cfg.LineBytes))
 	return &Cache{
-		cfg:     cfg,
-		sets:    sets,
-		lineLow: log2(uint(cfg.LineBytes)),
-		setMask: uint32(sets - 1),
-		lines:   make([]cacheLine, lines),
+		cfg:      cfg,
+		sets:     sets,
+		lineLow:  lineLow,
+		tagShift: lineLow + log2(uint(sets)),
+		setMask:  uint32(sets - 1),
+		lines:    make([]cacheLine, lines),
 	}
 }
 
@@ -69,7 +73,7 @@ func (c *Cache) set(addr uint32) int {
 }
 
 func (c *Cache) tag(addr uint32) uint32 {
-	return addr >> (c.lineLow + log2(uint(c.sets)))
+	return addr >> c.tagShift
 }
 
 // Access looks up addr, filling on miss. It returns whether the access hit
@@ -90,7 +94,7 @@ func (c *Cache) Access(addr uint32, write bool) (hit, writeback bool) {
 		}
 		if !l.valid {
 			victim = i
-		} else if c.lines[victim].valid && l.age > c.lines[victim].age {
+		} else if c.lines[victim].valid && l.age < c.lines[victim].age {
 			victim = i
 		}
 	}
@@ -116,13 +120,13 @@ func (c *Cache) Contains(addr uint32) bool {
 	return false
 }
 
+// touch stamps line i as most recently used. A monotone clock keeps the
+// exact LRU order of the textbook increment-every-way scheme (stamps in
+// a set are distinct, the minimum is always the least recently used)
+// at O(1) per access instead of O(ways).
 func (c *Cache) touch(base, i int) {
-	for j := base; j < base+c.cfg.Ways; j++ {
-		if c.lines[j].valid {
-			c.lines[j].age++
-		}
-	}
-	c.lines[i].age = 0
+	c.clock++
+	c.lines[i].age = c.clock
 }
 
 // HitRate returns hits / accesses.

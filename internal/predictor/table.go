@@ -5,11 +5,12 @@ package predictor
 // load buffers in this package (last-address, stride, CAP, hybrid) are
 // instances of it.
 type lbTable[T any] struct {
-	sets    int
-	ways    int
-	setLow  uint // bits to shift IP before set selection
-	setMask uint32
-	slots   []lbSlot[T]
+	sets     int
+	ways     int
+	setLow   uint // bits to shift IP before set selection
+	setMask  uint32
+	tagShift uint // setLow + log2(sets), precomputed off the hot path
+	slots    []lbSlot[T]
 }
 
 type lbSlot[T any] struct {
@@ -29,11 +30,12 @@ func newLBTable[T any](entries, ways int) *lbTable[T] {
 	}
 	sets := entries / ways
 	return &lbTable[T]{
-		sets:    sets,
-		ways:    ways,
-		setLow:  2, // instructions are 4-byte aligned in our traces
-		setMask: uint32(sets - 1),
-		slots:   make([]lbSlot[T], entries),
+		sets:     sets,
+		ways:     ways,
+		setLow:   2, // instructions are 4-byte aligned in our traces
+		setMask:  uint32(sets - 1),
+		tagShift: 2 + log2(sets),
+		slots:    make([]lbSlot[T], entries),
 	}
 }
 
@@ -42,7 +44,7 @@ func (t *lbTable[T]) set(ip uint32) int {
 }
 
 func (t *lbTable[T]) tag(ip uint32) uint32 {
-	return ip >> (t.setLow + log2(t.sets))
+	return ip >> t.tagShift
 }
 
 // lookup returns the entry for ip, or nil on a miss. A hit refreshes LRU.

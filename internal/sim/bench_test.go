@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+
+	"capred/internal/trace"
+)
+
+// The driver benchmarks time whole experiment passes with and without
+// the replay cache, at the default 400k-event scale. The Streaming/
+// Cached pairs are the headline comparison: a cached pass replays every
+// trace from its materialised encoding instead of re-running the
+// workload generators. Cached variants warm the cache before the timed
+// region, so they measure steady-state sweep cost (the cold
+// materialisation pass is measured separately by cmd/benchsweep).
+
+func benchCfg(cache bool) Config {
+	cfg := Config{EventsPerTrace: 400_000}
+	if cache {
+		cfg.ReplayCache = trace.NewReplayCache(0)
+	}
+	return cfg
+}
+
+func BenchmarkBaselinesStreaming(b *testing.B) {
+	cfg := benchCfg(false)
+	for i := 0; i < b.N; i++ {
+		Baselines(cfg)
+	}
+}
+
+func BenchmarkBaselinesCached(b *testing.B) {
+	cfg := benchCfg(true)
+	Baselines(cfg) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Baselines(cfg)
+	}
+}
+
+func BenchmarkFig9Streaming(b *testing.B) {
+	cfg := benchCfg(false)
+	for i := 0; i < b.N; i++ {
+		Fig9(cfg)
+	}
+}
+
+func BenchmarkFig9Cached(b *testing.B) {
+	cfg := benchCfg(true)
+	Baselines(cfg) // warm the cache with one cheap pass
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fig9(cfg)
+	}
+}
+
+func BenchmarkFig12Streaming(b *testing.B) {
+	cfg := benchCfg(false)
+	for i := 0; i < b.N; i++ {
+		Fig12(cfg)
+	}
+}
+
+func BenchmarkFig12Cached(b *testing.B) {
+	cfg := benchCfg(true)
+	Baselines(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fig12(cfg)
+	}
+}
+
+func BenchmarkPrefetchCached(b *testing.B) {
+	cfg := benchCfg(true)
+	Baselines(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Prefetch(cfg)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"capred/internal/predictor"
@@ -52,69 +53,67 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 
 	errs := parallelTry(cfg, len(specs), func(i int) error {
 		spec := specs[i]
-
-		// Classification pass.
-		prof := predictor.NewProfiler()
-		src := cfg.open(spec)
-		for {
-			ev, ok := src.Next()
-			if !ok {
-				break
-			}
-			if ev.Kind == trace.KindLoad {
-				prof.Observe(ev.IP, ev.Addr)
-			}
-		}
-		if err := src.Err(); err != nil {
-			return fmt.Errorf("classification pass: %w", err)
-		}
-		profile := prof.Profile()
-
-		t := tally{
-			loads:   make(map[predictor.LoadClass]int64),
-			correct: make([]map[predictor.LoadClass]int64, len(factories)),
-		}
-		preds := make([]predictor.Predictor, len(factories))
-		for v, f := range factories {
-			t.correct[v] = make(map[predictor.LoadClass]int64)
-			preds[v] = cfg.factoryFor(spec, f)()
-		}
-
-		var ghr predictor.GHR
-		var path predictor.PathHist
-		src = cfg.open(spec)
-		for {
-			ev, ok := src.Next()
-			if !ok {
-				break
-			}
-			switch ev.Kind {
-			case trace.KindBranch:
-				ghr.Update(ev.Taken)
-			case trace.KindCall:
-				path.Push(ev.IP)
-			case trace.KindLoad:
-				class := profile.Class(ev.IP)
-				t.loads[class]++
-				ref := predictor.LoadRef{
-					IP: ev.IP, Offset: ev.Offset,
-					GHR: ghr.Value(), Path: path.Value(),
-				}
-				for v, p := range preds {
-					pr := p.Predict(ref)
-					if pr.Speculate && pr.Addr == ev.Addr {
-						t.correct[v][class]++
+		// Both passes run inside one perTrace scope so the deadline spans
+		// the whole two-pass job and a retry restarts it from scratch with
+		// fresh state.
+		return cfg.perTrace(spec, func(ctx context.Context, open func() trace.Source) error {
+			// Classification pass.
+			prof := predictor.NewProfiler()
+			err := forEachBatch(ctx, open(), func(evs []trace.Event) {
+				for _, ev := range evs {
+					if ev.Kind == trace.KindLoad {
+						prof.Observe(ev.IP, ev.Addr)
 					}
-					p.Resolve(ref, pr, ev.Addr)
 				}
+			})
+			if err != nil {
+				return fmt.Errorf("classification pass: %w", err)
 			}
-		}
-		if err := src.Err(); err != nil {
-			return fmt.Errorf("measurement pass: %w", err)
-		}
-		t.done = true
-		tallies[i] = t
-		return nil
+			profile := prof.Profile()
+
+			t := tally{
+				loads:   make(map[predictor.LoadClass]int64),
+				correct: make([]map[predictor.LoadClass]int64, len(factories)),
+			}
+			preds := make([]predictor.Predictor, len(factories))
+			for v, f := range factories {
+				t.correct[v] = make(map[predictor.LoadClass]int64)
+				preds[v] = cfg.factoryFor(spec, f)()
+			}
+
+			var ghr predictor.GHR
+			var path predictor.PathHist
+			err = forEachBatch(ctx, open(), func(evs []trace.Event) {
+				for _, ev := range evs {
+					switch ev.Kind {
+					case trace.KindBranch:
+						ghr.Update(ev.Taken)
+					case trace.KindCall:
+						path.Push(ev.IP)
+					case trace.KindLoad:
+						class := profile.Class(ev.IP)
+						t.loads[class]++
+						ref := predictor.LoadRef{
+							IP: ev.IP, Offset: ev.Offset,
+							GHR: ghr.Value(), Path: path.Value(),
+						}
+						for v, p := range preds {
+							pr := p.Predict(ref)
+							if pr.Speculate && pr.Addr == ev.Addr {
+								t.correct[v][class]++
+							}
+							p.Resolve(ref, pr, ev.Addr)
+						}
+					}
+				}
+			})
+			if err != nil {
+				return fmt.Errorf("measurement pass: %w", err)
+			}
+			t.done = true
+			tallies[i] = t
+			return nil
+		})
 	})
 
 	// Aggregate (failed traces contribute nothing).

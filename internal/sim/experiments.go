@@ -8,6 +8,7 @@ import (
 	"capred/internal/metrics"
 	"capred/internal/predictor"
 	"capred/internal/report"
+	"capred/internal/trace"
 	"capred/internal/workload"
 )
 
@@ -30,7 +31,10 @@ func suiteOrder() []string {
 	return append(workload.SuiteNames(), "Average")
 }
 
-func rowFor(suites map[string]metrics.Counters, avg metrics.Counters, name string) metrics.Counters {
+// rowFor selects a table row's rates: per-suite rows are pooled
+// counters, the "Average" row is the equal-weight per-trace mean. Both
+// satisfy metrics.Rates, so renderers format them identically.
+func rowFor(suites map[string]metrics.Counters, avg metrics.Mean, name string) metrics.Rates {
 	if name == "Average" {
 		return avg
 	}
@@ -40,14 +44,14 @@ func rowFor(suites map[string]metrics.Counters, avg metrics.Counters, name strin
 // naPct / naPct2 render a percentage cell, masking rows whose every
 // contributing trace failed ("n/a") so partial tables cannot present
 // missing data as measured zeros.
-func naPct(c metrics.Counters, v float64) string {
+func naPct(c metrics.Rates, v float64) string {
 	if c.Empty() {
 		return "n/a"
 	}
 	return report.Pct(v)
 }
 
-func naPct2(c metrics.Counters, v float64) string {
+func naPct2(c metrics.Rates, v float64) string {
 	if c.Empty() {
 		return "n/a"
 	}
@@ -64,22 +68,21 @@ func safeDiv(num, den float64) float64 {
 }
 
 // runTimed drives the timing model over one trace with the experiment
-// config's budget, context, per-trace deadline and fault wrappers
-// applied. f may be nil (the no-prediction baseline).
+// config's budget, context, per-trace deadline, transient retry and
+// fault wrappers applied. f may be nil (the no-prediction baseline).
 func runTimed(cfg Config, spec workload.TraceSpec, mcfg cpu.Config, f Factory, gapDepth int) (cpu.Result, error) {
-	ctx := cfg.context()
-	if cfg.TraceTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, cfg.TraceTimeout)
-		defer cancel()
-	}
-	mcfg.Ctx = ctx
-	var p predictor.Predictor
-	if f != nil {
-		p = cfg.factoryFor(spec, f)()
-	}
-	res := cpu.Run(cfg.open(spec), p, gapDepth, mcfg)
-	return res, res.Err
+	var out cpu.Result
+	err := cfg.perTrace(spec, func(ctx context.Context, open func() trace.Source) error {
+		m := mcfg
+		m.Ctx = ctx
+		var p predictor.Predictor
+		if f != nil {
+			p = cfg.factoryFor(spec, f)()
+		}
+		out = cpu.Run(open(), p, gapDepth, m)
+		return out.Err
+	})
+	return out, err
 }
 
 // --- Figure 5: prediction performance of the different predictors ---
@@ -90,9 +93,9 @@ type Fig5Result struct {
 	Stride map[string]metrics.Counters
 	CAP    map[string]metrics.Counters
 	Hybrid map[string]metrics.Counters
-	AvgS   metrics.Counters
-	AvgC   metrics.Counters
-	AvgH   metrics.Counters
+	AvgS   metrics.Mean
+	AvgC   metrics.Mean
+	AvgH   metrics.Mean
 }
 
 // Fig5 reproduces Figure 5: prediction rate and accuracy of the enhanced
@@ -149,7 +152,7 @@ type Fig6Result struct {
 	FailureSet
 	Geometries []LBGeometry
 	Suites     []map[string]metrics.Counters
-	Avgs       []metrics.Counters
+	Avgs       []metrics.Mean
 }
 
 // Fig6 reproduces Figure 6: hybrid prediction rate as a function of the
@@ -283,7 +286,7 @@ func (r Fig7Result) Table() *report.Table {
 type Fig8Result struct {
 	FailureSet
 	Suites map[string]metrics.Counters
-	Avg    metrics.Counters
+	Avg    metrics.Mean
 }
 
 // Fig8 reproduces Figure 8: the distribution of selector-counter states
@@ -409,7 +412,7 @@ func Fig10Variants() []Fig10Variant {
 type Fig10Result struct {
 	FailureSet
 	Variants []Fig10Variant
-	Counters []metrics.Counters
+	Counters []metrics.Mean
 }
 
 // Fig10 reproduces Figure 10: the influence of LT tags (and control-flow
@@ -455,8 +458,8 @@ func Fig11Gaps() []int { return []int{0, 4, 8, 12} }
 type Fig11Result struct {
 	FailureSet
 	Gaps   []int
-	Stride []metrics.Counters
-	Hybrid []metrics.Counters
+	Stride []metrics.Mean
+	Hybrid []metrics.Mean
 }
 
 // Fig11 reproduces Figure 11: the influence of the prediction gap on

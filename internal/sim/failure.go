@@ -131,12 +131,36 @@ func (c Config) context() context.Context {
 	return context.Background()
 }
 
-// open builds the (budget-limited) source for one trace, applying the
-// fault-injection wrapper when one is configured.
+// open builds the (budget-limited) source for one trace. With a replay
+// cache configured the materialised stream is shared across every run of
+// the same trace at the same budget; fault-injection wrappers are
+// applied outside the cache, so injected faults are never materialised
+// and a retry re-applies them to a fresh cursor.
 func (c Config) open(spec workload.TraceSpec) trace.Source {
-	src := trace.NewLimit(spec.Open(), c.EventsPerTrace)
+	var src trace.Source
+	if c.ReplayCache != nil {
+		// The key folds in everything that changes the limited stream.
+		key := fmt.Sprintf("%s@%d", spec.Name, c.EventsPerTrace)
+		src = c.ReplayCache.Open(key, func() trace.Source {
+			return trace.NewLimit(spec.Open(), c.EventsPerTrace)
+		})
+	} else {
+		src = trace.NewLimit(spec.Open(), c.EventsPerTrace)
+	}
 	if c.WrapSource != nil {
-		return c.WrapSource(spec.Name, src)
+		src = c.WrapSource(spec.Name, src)
+	}
+	return src
+}
+
+// openCtx is open plus the context-aware fault wrapper: WrapSourceCtx
+// sees the per-trace deadline context installed by perTrace, so an
+// injected hang can block on the very deadline that is supposed to fail
+// it.
+func (c Config) openCtx(ctx context.Context, spec workload.TraceSpec) trace.Source {
+	src := c.open(spec)
+	if c.WrapSourceCtx != nil {
+		src = c.WrapSourceCtx(ctx, spec.Name, src)
 	}
 	return src
 }

@@ -184,9 +184,9 @@ func TestTraceTimeoutFailsSlowTraceOnly(t *testing.T) {
 		EventsPerTrace: 5_000,
 		TraceTimeout:   50 * time.Millisecond,
 	}
-	// The hang cannot see the run's own deadline context (runOne installs
-	// it), so it blocks on one the test controls, released well after the
-	// per-trace deadline has expired.
+	// This WrapSource-based hang cannot see the run's own deadline context
+	// (WrapSourceCtx exists for that), so it blocks on one the test
+	// controls, released well after the per-trace deadline has expired.
 	hctx, hcancel := context.WithTimeout(ctx, 300*time.Millisecond)
 	defer hcancel()
 	cfg.WrapSource = func(traceName string, src trace.Source) trace.Source {
@@ -243,7 +243,7 @@ func TestFig5PartialResults(t *testing.T) {
 			t.Errorf("unexpected failing trace %q", f.Trace)
 		}
 	}
-	if r.AvgH.Loads == 0 {
+	if r.AvgH.Pooled.Loads == 0 {
 		t.Error("survivors should still aggregate")
 	}
 	out := r.Table().String()
@@ -278,7 +278,7 @@ func TestFig10PartialResultsWithPanic(t *testing.T) {
 		t.Errorf("footer missing failure report:\n%s", out)
 	}
 	for _, c := range r.Counters {
-		if c.Loads == 0 {
+		if c.Pooled.Loads == 0 {
 			t.Error("surviving traces should still produce every variant row")
 		}
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"capred/internal/metrics"
@@ -17,7 +18,7 @@ import (
 type ProfileAssistResult struct {
 	FailureSet
 	Names    []string
-	Counters []metrics.Counters
+	Counters []metrics.Mean
 	// Classified is the total number of profiled static loads, and
 	// Irregular how many of them the profile filters out.
 	Classified int
@@ -40,51 +41,56 @@ func ProfileAssist(cfg Config) ProfileAssistResult {
 
 	errs := parallelTry(cfg, len(specs), func(i int) error {
 		spec := specs[i]
+		// The training pass and all four variants share one perTrace
+		// scope: the deadline covers the whole job, and a retry restarts
+		// it with a fresh cell so no partial tallies survive.
+		return cfg.perTrace(spec, func(ctx context.Context, open func() trace.Source) error {
+			var res cell
 
-		// Training pass: profile the first half of the budget.
-		prof := predictor.NewProfiler()
-		src := trace.NewLimit(cfg.open(spec), cfg.EventsPerTrace/2)
-		for {
-			ev, ok := src.Next()
-			if !ok {
-				break
-			}
-			if ev.Kind == trace.KindLoad {
-				prof.Observe(ev.IP, ev.Addr)
-			}
-		}
-		if err := src.Err(); err != nil {
-			return fmt.Errorf("profiling pass: %w", err)
-		}
-		profile := prof.Profile()
-		cells[i].classified = profile.Len()
-		cells[i].irregular = profile.CountByClass()[predictor.ClassIrregular]
-
-		small := func() predictor.HybridConfig {
-			hc := predictor.DefaultHybridConfig()
-			hc.CAP.LTEntries = 512
-			hc.CAP.PFTableEntries = 2048
-			return hc
-		}
-		variants := []Factory{
-			hybridFactory,
-			func() predictor.Predictor {
-				return predictor.NewProfiled(hybridFactory(), profile)
-			},
-			func() predictor.Predictor { return predictor.NewHybrid(small()) },
-			func() predictor.Predictor {
-				return predictor.NewProfiled(predictor.NewHybrid(small()), profile)
-			},
-		}
-		for v, f := range variants {
-			c, err := RunTraceContext(cfg.context(), cfg.open(spec), cfg.factoryFor(spec, f)(), 0)
+			// Training pass: profile the first half of the budget.
+			prof := predictor.NewProfiler()
+			src := trace.NewLimit(open(), cfg.EventsPerTrace/2)
+			err := forEachBatch(ctx, src, func(evs []trace.Event) {
+				for _, ev := range evs {
+					if ev.Kind == trace.KindLoad {
+						prof.Observe(ev.IP, ev.Addr)
+					}
+				}
+			})
 			if err != nil {
-				return fmt.Errorf("variant %d: %w", v, err)
+				return fmt.Errorf("profiling pass: %w", err)
 			}
-			cells[i].c[v] = c
-		}
-		cells[i].done = true
-		return nil
+			profile := prof.Profile()
+			res.classified = profile.Len()
+			res.irregular = profile.CountByClass()[predictor.ClassIrregular]
+
+			small := func() predictor.HybridConfig {
+				hc := predictor.DefaultHybridConfig()
+				hc.CAP.LTEntries = 512
+				hc.CAP.PFTableEntries = 2048
+				return hc
+			}
+			variants := []Factory{
+				hybridFactory,
+				func() predictor.Predictor {
+					return predictor.NewProfiled(hybridFactory(), profile)
+				},
+				func() predictor.Predictor { return predictor.NewHybrid(small()) },
+				func() predictor.Predictor {
+					return predictor.NewProfiled(predictor.NewHybrid(small()), profile)
+				},
+			}
+			for v, f := range variants {
+				c, err := RunTraceContext(ctx, open(), cfg.factoryFor(spec, f)(), 0)
+				if err != nil {
+					return fmt.Errorf("variant %d: %w", v, err)
+				}
+				res.c[v] = c
+			}
+			res.done = true
+			cells[i] = res
+			return nil
+		})
 	})
 
 	r := ProfileAssistResult{
@@ -96,13 +102,13 @@ func ProfileAssist(cfg Config) ProfileAssistResult {
 		},
 	}
 	r.absorb(len(specs), failuresOf(specs, "profile-assist", errs))
-	r.Counters = make([]metrics.Counters, 4)
+	r.Counters = make([]metrics.Mean, 4)
 	for _, cell := range cells {
 		if !cell.done {
 			continue
 		}
 		for v := range cell.c {
-			r.Counters[v].Merge(cell.c[v])
+			r.Counters[v].Add(cell.c[v])
 		}
 		r.Classified += cell.classified
 		r.Irregular += cell.irregular

@@ -38,10 +38,23 @@ type Config struct {
 	// transient error (trace.IsTransient). 0 disables retries.
 	SourceRetries int
 
+	// ReplayCache, when non-nil, materialises each trace's event stream
+	// once (in the compact trace encoding) and replays it on later
+	// opens, so sweeps that drive the same trace through many predictor
+	// configurations stop re-running the workload generator. Streaming
+	// and cached runs produce identical counters; the cache only changes
+	// where events come from.
+	ReplayCache *trace.ReplayCache
+
 	// WrapSource, when non-nil, wraps every trace source as it is
 	// opened. The fault-injection harness and capsim's -inject flag use
 	// it to substitute hostile streams for specific traces.
 	WrapSource func(traceName string, src trace.Source) trace.Source
+	// WrapSourceCtx is WrapSource with the per-trace deadline context:
+	// it is applied after WrapSource, inside the TraceTimeout scope, so
+	// wrappers that must observe cancellation (e.g. trace.NewHang bound
+	// to the run's own deadline) can be injected.
+	WrapSourceCtx func(ctx context.Context, traceName string, src trace.Source) trace.Source
 	// WrapFactory, like WrapSource, substitutes the predictor factory
 	// for specific traces (e.g. one that panics, to test isolation).
 	WrapFactory func(traceName string, f Factory) Factory
@@ -77,7 +90,7 @@ func RunTrace(src trace.Source, p predictor.Predictor, gapDepth int) (metrics.Co
 }
 
 // RunTraceContext is RunTrace with cancellation: the run stops with
-// ctx.Err() at the next event boundary once ctx is done. A source whose
+// ctx.Err() at the next batch boundary once ctx is done. A source whose
 // Next blocks (e.g. a stalled feed) must itself honour ctx — see
 // trace.NewHang — since a blocked Next cannot be interrupted here.
 func RunTraceContext(ctx context.Context, src trace.Source, p predictor.Predictor, gapDepth int) (metrics.Counters, error) {
@@ -85,46 +98,93 @@ func RunTraceContext(ctx context.Context, src trace.Source, p predictor.Predicto
 		c    metrics.Counters
 		ghr  predictor.GHR
 		path predictor.PathHist
-		gap  = pipeline.New(p, gapDepth)
-		n    int64
 	)
-	// Polling ctx every event would dominate the hot loop; a power-of-two
-	// stride keeps cancellation latency in the microseconds.
-	const ctxCheckMask = 1<<12 - 1
-	for {
-		if n&ctxCheckMask == 0 && ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return c, err
+	if gapDepth == 0 {
+		// Immediate-update mode is the bulk of every sweep; predicting and
+		// resolving inline skips the gap queue's bookkeeping per load.
+		err := forEachBatch(ctx, src, func(evs []trace.Event) {
+			for _, ev := range evs {
+				switch ev.Kind {
+				case trace.KindBranch:
+					ghr.Update(ev.Taken)
+				case trace.KindCall:
+					path.Push(ev.IP)
+				case trace.KindLoad:
+					ref := predictor.LoadRef{
+						IP:     ev.IP,
+						Offset: ev.Offset,
+						GHR:    ghr.Value(),
+						Path:   path.Value(),
+					}
+					pr := p.Predict(ref)
+					p.Resolve(ref, pr, ev.Addr)
+					c.Record(pr, ev.Addr)
+				}
+			}
+		})
+		return c, err
+	}
+	gap := pipeline.New(p, gapDepth)
+	err := forEachBatch(ctx, src, func(evs []trace.Event) {
+		for _, ev := range evs {
+			switch ev.Kind {
+			case trace.KindBranch:
+				ghr.Update(ev.Taken)
+			case trace.KindCall:
+				path.Push(ev.IP)
+			case trace.KindLoad:
+				ref := predictor.LoadRef{
+					IP:     ev.IP,
+					Offset: ev.Offset,
+					GHR:    ghr.Value(),
+					Path:   path.Value(),
+				}
+				pr := gap.Process(ref, ev.Addr)
+				c.Record(pr, ev.Addr)
 			}
 		}
-		n++
-		ev, ok := src.Next()
+	})
+	if err != nil {
+		return c, err
+	}
+	gap.Drain()
+	return c, nil
+}
+
+// batchLen is the event-delivery granularity of the hot loops: large
+// enough to amortise interface dispatch, small enough that cancellation
+// latency (ctx is polled between batches) stays in the microseconds.
+const batchLen = 1024
+
+// forEachBatch drains src in batches of up to batchLen events, invoking
+// fn on each batch and polling ctx between batches. It returns the
+// context's error on cancellation, or the source error (wrapped) when
+// the stream ended on one instead of clean EOF. Every drain loop in the
+// package goes through here, so cancellation, error propagation and
+// batched delivery behave identically across drivers.
+func forEachBatch(ctx context.Context, src trace.Source, fn func([]trace.Event)) error {
+	bs := trace.AsBatch(src)
+	var buf [batchLen]trace.Event
+	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		n, ok := bs.NextBatch(buf[:])
+		if n > 0 {
+			fn(buf[:n])
+		}
 		if !ok {
 			break
 		}
-		switch ev.Kind {
-		case trace.KindBranch:
-			ghr.Update(ev.Taken)
-		case trace.KindCall:
-			path.Push(ev.IP)
-		case trace.KindLoad:
-			ref := predictor.LoadRef{
-				IP:     ev.IP,
-				Offset: ev.Offset,
-				GHR:    ghr.Value(),
-				Path:   path.Value(),
-			}
-			pr := gap.Process(ref, ev.Addr)
-			c.Record(pr, ev.Addr)
-		}
 	}
-	gap.Drain()
 	// A decode error must never be mistaken for clean EOF: counters from
 	// a truncated stream look plausible but undercount every rate.
 	if err := src.Err(); err != nil {
-		return c, fmt.Errorf("trace source: %w", err)
+		return fmt.Errorf("trace source: %w", err)
 	}
-	return c, nil
+	return nil
 }
 
 // traceRun pairs a trace with its counters.
@@ -134,16 +194,33 @@ type traceRun struct {
 	ok   bool
 }
 
-// runOne simulates a single trace with per-trace deadline, fault
-// wrappers and panic propagation (the caller recovers).
-func runOne(cfg Config, spec workload.TraceSpec, f Factory, gapDepth int) (metrics.Counters, error) {
-	ctx := cfg.context()
-	if cfg.TraceTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, cfg.TraceTimeout)
-		defer cancel()
+// perTrace is the single per-trace run policy: it installs the config's
+// per-trace deadline, retries transient source errors (trace.IsTransient)
+// up to SourceRetries times, and hands the body a context-aware opener
+// that applies the fault wrappers. Every driver pass — the figure sweeps
+// and the custom classification/profiling/value/wrong-path loops — runs
+// its per-trace work through here, so the resilience knobs apply
+// uniformly.
+//
+// The body may run more than once (on retry) and must therefore reset
+// any per-trace state it accumulates at the top of each attempt, only
+// publishing results once it returns nil.
+func (c Config) perTrace(spec workload.TraceSpec, body func(ctx context.Context, open func() trace.Source) error) error {
+	attempt := func() error {
+		ctx := c.context()
+		if c.TraceTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.TraceTimeout)
+			defer cancel()
+		}
+		return body(ctx, func() trace.Source { return c.openCtx(ctx, spec) })
 	}
-	return RunTraceContext(ctx, cfg.open(spec), cfg.factoryFor(spec, f)(), gapDepth)
+	for retries := 0; ; retries++ {
+		err := attempt()
+		if err == nil || retries >= c.SourceRetries || !trace.IsTransient(err) {
+			return err
+		}
+	}
 }
 
 // runAll simulates every trace in specs with a fresh predictor from the
@@ -158,24 +235,26 @@ func runAll(cfg Config, specs []workload.TraceSpec, stage string, f Factory, gap
 		// Record the spec up front so even a panic mid-run leaves the slot
 		// attributed to its trace.
 		out[i] = traceRun{Spec: spec}
-		for attempt := 0; ; attempt++ {
-			c, err := runOne(cfg, spec, f, gapDepth)
-			if err == nil {
-				out[i] = traceRun{Spec: spec, C: c, ok: true}
-				return nil
-			}
-			if attempt >= cfg.SourceRetries || !trace.IsTransient(err) {
+		return cfg.perTrace(spec, func(ctx context.Context, open func() trace.Source) error {
+			c, err := RunTraceContext(ctx, open(), cfg.factoryFor(spec, f)(), gapDepth)
+			if err != nil {
 				return err
 			}
-		}
+			out[i] = traceRun{Spec: spec, C: c, ok: true}
+			return nil
+		})
 	})
 	return out, failuresOf(specs, stage, errs)
 }
 
 // bySuite groups trace runs into per-suite merged counters plus the
-// overall aggregate ("Average" in the paper's figures). Failed runs are
-// skipped, so the aggregates cover exactly the surviving traces.
-func bySuite(runs []traceRun) (suites map[string]metrics.Counters, avg metrics.Counters) {
+// overall aggregate ("Average" in the paper's figures). Per-suite rows
+// pool counters (every trace in a suite runs the same event budget);
+// the aggregate is an equal-weight mean over per-trace rates, as in the
+// paper — pooling would let long (or merely surviving, under partial
+// failure) traces dominate. Failed runs are skipped, so the aggregates
+// cover exactly the surviving traces.
+func bySuite(runs []traceRun) (suites map[string]metrics.Counters, avg metrics.Mean) {
 	suites = make(map[string]metrics.Counters)
 	for _, r := range runs {
 		if !r.ok {
@@ -184,14 +263,14 @@ func bySuite(runs []traceRun) (suites map[string]metrics.Counters, avg metrics.C
 		c := suites[r.Spec.Suite]
 		c.Merge(r.C)
 		suites[r.Spec.Suite] = c
-		avg.Merge(r.C)
+		avg.Add(r.C)
 	}
 	return suites, avg
 }
 
 // runSuites is the common per-figure helper: every trace, one factory.
 // The stage label attributes any failures to the pass that hit them.
-func runSuites(cfg Config, stage string, f Factory, gapDepth int) (map[string]metrics.Counters, metrics.Counters, []TraceFailure) {
+func runSuites(cfg Config, stage string, f Factory, gapDepth int) (map[string]metrics.Counters, metrics.Mean, []TraceFailure) {
 	runs, fails := runAll(cfg, workload.Traces(), stage, f, gapDepth)
 	suites, avg := bySuite(runs)
 	return suites, avg, fails

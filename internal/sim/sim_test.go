@@ -112,7 +112,7 @@ func TestFig6Shape(t *testing.T) {
 func TestFig8Shape(t *testing.T) {
 	r := Fig8(testCfg())
 	c := r.Avg
-	if c.DualConfident == 0 {
+	if c.Pooled.DualConfident == 0 {
 		t.Fatal("no dual-confident loads")
 	}
 	// Most dual-confident loads sit in the CAP-selecting states (§4.4:

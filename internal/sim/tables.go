@@ -15,7 +15,7 @@ import (
 type UpdatePolicyResult struct {
 	FailureSet
 	Policies []predictor.UpdatePolicy
-	Counters []metrics.Counters
+	Counters []metrics.Mean
 }
 
 // UpdatePolicy reproduces the §4.3 study: the three LT update policies.
@@ -59,7 +59,7 @@ func (r UpdatePolicyResult) Table() *report.Table {
 type LTSizeResult struct {
 	FailureSet
 	Sizes    []int
-	Counters []metrics.Counters
+	Counters []metrics.Mean
 }
 
 // LTSize reproduces the §4.2 sensitivity claim: the hybrid prediction rate
@@ -99,7 +99,7 @@ func (r LTSizeResult) Table() *report.Table {
 type BaselinesResult struct {
 	FailureSet
 	Names    []string
-	Counters []metrics.Counters
+	Counters []metrics.Mean
 }
 
 // Baselines reproduces the §1 ladder: last-address predictors handle ≈40%
@@ -139,7 +139,7 @@ func (r BaselinesResult) Table() *report.Table {
 type ControlBasedResult struct {
 	FailureSet
 	Names    []string
-	Counters []metrics.Counters
+	Counters []metrics.Mean
 }
 
 // ControlBased reproduces the §3.6 negative result: g-share-style and
@@ -181,7 +181,7 @@ func (r ControlBasedResult) Table() *report.Table {
 type AblationsResult struct {
 	FailureSet
 	Names    []string
-	Counters []metrics.Counters
+	Counters []metrics.Mean
 }
 
 // Ablations measures the design choices DESIGN.md calls out: PF bits

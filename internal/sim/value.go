@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"fmt"
+	"context"
 
 	"capred/internal/predictor"
 	"capred/internal/report"
@@ -65,76 +65,83 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 
 	errs := parallelTry(cfg, len(specs), func(i int) error {
 		spec := specs[i]
-		vcfg := valuepred.DefaultConfig()
-		vpreds := [4]valuepred.Predictor{
-			valuepred.NewLast(vcfg),
-			valuepred.NewStride(vcfg),
-			valuepred.NewContext(vcfg),
-			valuepred.NewHybrid(vcfg),
-		}
-		apred := cfg.factoryFor(spec, hybridFactory)()
-
-		var ghr predictor.GHR
-		var path predictor.PathHist
-		src := cfg.open(spec)
-		for {
-			ev, ok := src.Next()
-			if !ok {
-				break
+		// The whole per-trace measurement runs under perTrace and
+		// accumulates into a local row, so a retry restarts from fresh
+		// tallies and rows[i] only ever holds a complete attempt.
+		return cfg.perTrace(spec, func(ctx context.Context, open func() trace.Source) error {
+			var r row
+			vcfg := valuepred.DefaultConfig()
+			vpreds := [4]valuepred.Predictor{
+				valuepred.NewLast(vcfg),
+				valuepred.NewStride(vcfg),
+				valuepred.NewContext(vcfg),
+				valuepred.NewHybrid(vcfg),
 			}
-			switch ev.Kind {
-			case trace.KindBranch:
-				ghr.Update(ev.Taken)
-			case trace.KindCall:
-				path.Push(ev.IP)
-			case trace.KindLoad:
-				ref := predictor.LoadRef{
-					IP: ev.IP, Offset: ev.Offset,
-					GHR: ghr.Value(), Path: path.Value(),
-				}
-				ap := apred.Predict(ref)
-				rows[i].addr.loads++
-				if ap.Speculate {
-					rows[i].addr.spec++
-					if ap.Addr == ev.Addr {
-						rows[i].addr.correct++
-					}
-				}
-				apred.Resolve(ref, ap, ev.Addr)
+			apred := cfg.factoryFor(spec, hybridFactory)()
 
-				for v, vp := range vpreds {
-					p := vp.Predict(ev.IP)
-					rows[i].vals[v].Loads++
-					if p.Speculate {
-						rows[i].vals[v].Speculated++
-						if p.Val == ev.Val {
-							rows[i].vals[v].SpecCorrect++
+			var ghr predictor.GHR
+			var path predictor.PathHist
+			err := forEachBatch(ctx, open(), func(evs []trace.Event) {
+				for _, ev := range evs {
+					switch ev.Kind {
+					case trace.KindBranch:
+						ghr.Update(ev.Taken)
+					case trace.KindCall:
+						path.Push(ev.IP)
+					case trace.KindLoad:
+						ref := predictor.LoadRef{
+							IP: ev.IP, Offset: ev.Offset,
+							GHR: ghr.Value(), Path: path.Value(),
+						}
+						ap := apred.Predict(ref)
+						r.addr.loads++
+						if ap.Speculate {
+							r.addr.spec++
+							if ap.Addr == ev.Addr {
+								r.addr.correct++
+							}
+						}
+						apred.Resolve(ref, ap, ev.Addr)
+
+						for v, vp := range vpreds {
+							p := vp.Predict(ev.IP)
+							r.vals[v].Loads++
+							if p.Speculate {
+								r.vals[v].Speculated++
+								if p.Val == ev.Val {
+									r.vals[v].SpecCorrect++
+								}
+							}
+							vp.Resolve(ev.IP, p, ev.Val)
 						}
 					}
-					vp.Resolve(ev.IP, p, ev.Val)
 				}
+			})
+			if err != nil {
+				return err
 			}
-		}
-		if err := src.Err(); err != nil {
-			return fmt.Errorf("trace source: %w", err)
-		}
-		rows[i].done = true
-		return nil
+			r.done = true
+			rows[i] = r
+			return nil
+		})
 	})
 
-	var addr addrTally
-	var vals [4]valueCounters
+	// Aggregate with equal weight per trace, like the figure tables'
+	// "Average" row: each surviving trace contributes one sample per
+	// rate, so a longer trace cannot dominate the comparison.
+	var addrRate, addrCorrect, addrAcc rateMean
+	var valRate, valCorrect, valAcc [4]rateMean
 	for _, r := range rows {
 		if !r.done {
 			continue
 		}
-		addr.loads += r.addr.loads
-		addr.spec += r.addr.spec
-		addr.correct += r.addr.correct
-		for v := range vals {
-			vals[v].Loads += r.vals[v].Loads
-			vals[v].Speculated += r.vals[v].Speculated
-			vals[v].SpecCorrect += r.vals[v].SpecCorrect
+		addrRate.add(r.addr.spec, r.addr.loads)
+		addrCorrect.add(r.addr.correct, r.addr.loads)
+		addrAcc.add(r.addr.correct, r.addr.spec)
+		for v := range valRate {
+			valRate[v].add(r.vals[v].Speculated, r.vals[v].Loads)
+			valCorrect[v].add(r.vals[v].SpecCorrect, r.vals[v].Loads)
+			valAcc[v].add(r.vals[v].SpecCorrect, r.vals[v].Speculated)
 		}
 	}
 
@@ -146,12 +153,33 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 		out.Corrects = append(out.Corrects, correct)
 		out.Accs = append(out.Accs, acc)
 	}
-	push("hybrid address", addr.rate(), addr.correctRate(), addr.accuracy())
+	push("hybrid address", addrRate.mean(), addrCorrect.mean(), addrAcc.mean())
 	names := []string{"last-value", "stride-value", "context-value", "hybrid-value"}
 	for v, n := range names {
-		push(n, vals[v].predRate(), vals[v].correctRate(), vals[v].accuracy())
+		push(n, valRate[v].mean(), valCorrect[v].mean(), valAcc[v].mean())
 	}
 	return out
+}
+
+// rateMean accumulates the equal-weight mean of per-trace rates; a trace
+// whose denominator is zero contributes no sample.
+type rateMean struct {
+	sum float64
+	n   int
+}
+
+func (m *rateMean) add(num, den int64) {
+	if den > 0 {
+		m.sum += float64(num) / float64(den)
+		m.n++
+	}
+}
+
+func (m rateMean) mean() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
 }
 
 // addrTally is a minimal address-side tally for this experiment.

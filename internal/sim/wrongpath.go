@@ -62,7 +62,6 @@ func runTraceWrongPath(ctx context.Context, src trace.Source, p predictor.Predic
 		// Ring of recent load refs to replay on the wrong path.
 		recent [16]predictor.LoadRef
 		rn     int
-		n      int64
 	)
 	predictBr := func(ip uint32) bool { return bp[(ip>>2^bhist)&4095] >= 2 }
 	updateBr := func(ip uint32, taken bool) {
@@ -77,18 +76,7 @@ func runTraceWrongPath(ctx context.Context, src trace.Source, p predictor.Predic
 		bhist = bhist<<1 | b2u(taken)
 	}
 
-	const ctxCheckMask = 1<<12 - 1
-	for {
-		if n&ctxCheckMask == 0 && ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return c, err
-			}
-		}
-		n++
-		ev, ok := src.Next()
-		if !ok {
-			break
-		}
+	process := func(ev trace.Event) {
 		switch ev.Kind {
 		case trace.KindBranch:
 			mispredicted := predictBr(ev.IP) != ev.Taken
@@ -130,10 +118,15 @@ func runTraceWrongPath(ctx context.Context, src trace.Source, p predictor.Predic
 			c.Record(pr, ev.Addr)
 		}
 	}
-	gap.Drain()
-	if err := src.Err(); err != nil {
-		return c, fmt.Errorf("trace source: %w", err)
+	err := forEachBatch(ctx, src, func(evs []trace.Event) {
+		for _, ev := range evs {
+			process(ev)
+		}
+	})
+	if err != nil {
+		return c, err
 	}
+	gap.Drain()
 	return c, nil
 }
 
@@ -148,7 +141,7 @@ func b2u(b bool) uint32 {
 type WrongPathResult struct {
 	FailureSet
 	Modes    []WrongPathMode
-	Counters []metrics.Counters
+	Counters []metrics.Mean
 }
 
 // WrongPath runs the §5.4 speculative-control-flow experiment: the hybrid
@@ -170,26 +163,33 @@ func WrongPath(cfg Config) WrongPathResult {
 			hc.Speculative = true
 			return predictor.NewHybrid(hc)
 		}
+		// Each mode gets its own perTrace scope: the deadline bounds one
+		// mode's run, and a transient source error retries just that mode.
 		for m, mode := range modes {
-			src := cfg.open(specs[i])
-			c, err := runTraceWrongPath(cfg.context(), src, cfg.factoryFor(specs[i], f)(), 8, 4, mode)
+			err := cfg.perTrace(specs[i], func(ctx context.Context, open func() trace.Source) error {
+				c, err := runTraceWrongPath(ctx, open(), cfg.factoryFor(specs[i], f)(), 8, 4, mode)
+				if err != nil {
+					return err
+				}
+				counters[m][i] = c
+				return nil
+			})
 			if err != nil {
 				return fmt.Errorf("%s: %w", mode, err)
 			}
-			counters[m][i] = c
 		}
 		done[i] = true
 		return nil
 	})
 
-	out := WrongPathResult{Modes: modes, Counters: make([]metrics.Counters, len(modes))}
+	out := WrongPathResult{Modes: modes, Counters: make([]metrics.Mean, len(modes))}
 	out.absorb(len(specs), failuresOf(specs, "wrong-path", errs))
 	for m := range modes {
 		for i := range specs {
 			if !done[i] {
 				continue
 			}
-			out.Counters[m].Merge(counters[m][i])
+			out.Counters[m].Add(counters[m][i])
 		}
 	}
 	return out

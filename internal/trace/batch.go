@@ -1,0 +1,100 @@
+package trace
+
+// Batched event delivery. The experiment harness replays the same traces
+// through dozens of predictor configurations; pulling events one
+// interface call at a time makes dynamic dispatch the bottleneck of
+// every drain loop. BatchSource amortises that cost: a consumer hands in
+// an event buffer and receives up to len(buf) events per call.
+//
+// The contract mirrors Source's scanner model:
+//
+//   - NextBatch fills dst from the front and returns how many events
+//     were written. dst must be non-empty.
+//   - ok is false once the stream is exhausted (clean EOF or error); the
+//     final partial batch may be delivered alongside ok == false.
+//   - After ok == false, Err reports whether the stream ended on an
+//     error, exactly as for Source.
+//
+// Wrappers that implement BatchSource natively (Limit, FailAfter,
+// Corrupt) keep batching intact through a wrapper chain; everything else
+// is adapted by AsBatch with a per-event fallback loop.
+
+// BatchSource is a Source that can deliver events in batches.
+type BatchSource interface {
+	Source
+	// NextBatch fills dst with up to len(dst) events and returns the
+	// count written. ok is false when the stream is exhausted; a final
+	// partial batch may arrive in the same call.
+	NextBatch(dst []Event) (n int, ok bool)
+}
+
+// AsBatch returns src itself when it already implements BatchSource, or
+// wraps it in an adapter that assembles batches with per-event Next
+// calls otherwise.
+func AsBatch(src Source) BatchSource {
+	if bs, ok := src.(BatchSource); ok {
+		return bs
+	}
+	return &batchAdapter{src: src}
+}
+
+// batchAdapter lifts an unbatched Source to the BatchSource interface.
+type batchAdapter struct{ src Source }
+
+// Next implements Source.
+func (a *batchAdapter) Next() (Event, bool) { return a.src.Next() }
+
+// Err implements Source.
+func (a *batchAdapter) Err() error { return a.src.Err() }
+
+// NextBatch implements BatchSource.
+func (a *batchAdapter) NextBatch(dst []Event) (int, bool) {
+	for i := range dst {
+		ev, ok := a.src.Next()
+		if !ok {
+			return i, false
+		}
+		dst[i] = ev
+	}
+	return len(dst), true
+}
+
+// NextBatch implements BatchSource by copying straight out of the slice.
+func (s *SliceSource) NextBatch(dst []Event) (int, bool) {
+	n := copy(dst, s.events[s.pos:])
+	s.pos += n
+	return n, s.pos < len(s.events)
+}
+
+// NextBatch implements BatchSource: the limit truncates the batch, and
+// batching is preserved through the wrapped source when it supports it.
+func (l *Limit) NextBatch(dst []Event) (int, bool) {
+	if l.n <= 0 {
+		return 0, false
+	}
+	if int64(len(dst)) > l.n {
+		dst = dst[:l.n]
+	}
+	if l.bs == nil {
+		l.bs = AsBatch(l.src)
+	}
+	n, ok := l.bs.NextBatch(dst)
+	l.n -= int64(n)
+	if l.n <= 0 {
+		ok = false
+	}
+	return n, ok
+}
+
+// NextBatch implements BatchSource by decoding a run of events without
+// interface dispatch between them.
+func (r *Reader) NextBatch(dst []Event) (int, bool) {
+	for i := range dst {
+		ev, ok := r.Next()
+		if !ok {
+			return i, false
+		}
+		dst[i] = ev
+	}
+	return len(dst), true
+}

@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// testEvents returns a deterministic mixed-kind stream of n events.
+func testEvents(n int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		switch i % 5 {
+		case 0:
+			evs[i] = Event{Kind: KindLoad, IP: uint32(i), Addr: uint32(i * 8), Val: uint32(i * 3), Offset: int32(i % 64), Src1: uint32(i % 7)}
+		case 1:
+			evs[i] = Event{Kind: KindStore, IP: uint32(i), Addr: uint32(i * 4), Offset: -int32(i % 32), Src2: uint32(i % 3)}
+		case 2:
+			evs[i] = Event{Kind: KindBranch, IP: uint32(i), Addr: uint32(i + 100), Taken: i%3 == 0, Src1: uint32(i % 5)}
+		case 3:
+			evs[i] = Event{Kind: KindALU, IP: uint32(i), Src1: 1, Src2: 2, Lat: uint8(1 + i%4)}
+		default:
+			evs[i] = Event{Kind: KindCall, IP: uint32(i), Addr: uint32(i * 16)}
+		}
+	}
+	return evs
+}
+
+// drainBatched pulls every event out of src through NextBatch using the
+// given batch size, then checks Err.
+func drainBatched(t *testing.T, src BatchSource, batchLen int) []Event {
+	t.Helper()
+	var out []Event
+	buf := make([]Event, batchLen)
+	for {
+		n, ok := src.NextBatch(buf)
+		out = append(out, buf[:n]...)
+		if !ok {
+			break
+		}
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("Err after drain: %v", err)
+	}
+	return out
+}
+
+func eventsEqual(t *testing.T, got, want []Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchMatchesPerEvent checks that every batched implementation and
+// the adapter yield exactly the per-event stream, across batch sizes that
+// divide, straddle and exceed the stream length.
+func TestBatchMatchesPerEvent(t *testing.T) {
+	want := testEvents(1000)
+	sources := map[string]func() BatchSource{
+		"slice":   func() BatchSource { return NewSliceSource(want) },
+		"adapter": func() BatchSource { return AsBatch(&unbatched{src: NewSliceSource(want)}) },
+		"limit": func() BatchSource {
+			return NewLimit(NewSliceSource(testEvents(4000)), 1000)
+		},
+		"corrupt-every-1e9": func() BatchSource {
+			// every-k with huge k: passthrough, stream must be intact.
+			return NewCorrupt(NewSliceSource(want), 1<<40, nil)
+		},
+	}
+	for name, mk := range sources {
+		for _, bl := range []int{1, 7, 100, 1000, 4096} {
+			got := drainBatched(t, mk(), bl)
+			if name == "limit" {
+				eventsEqual(t, got, testEvents(4000)[:1000])
+				continue
+			}
+			eventsEqual(t, got, want)
+		}
+	}
+}
+
+// unbatched hides any NextBatch method so AsBatch must install the
+// adapter.
+type unbatched struct{ src Source }
+
+func (u *unbatched) Next() (Event, bool) { return u.src.Next() }
+func (u *unbatched) Err() error          { return u.src.Err() }
+
+func TestAsBatchReturnsNativeImplementation(t *testing.T) {
+	s := NewSliceSource(testEvents(10))
+	if AsBatch(s) != BatchSource(s) {
+		t.Fatalf("AsBatch re-wrapped a native BatchSource")
+	}
+	u := &unbatched{src: s}
+	if _, ok := AsBatch(u).(*batchAdapter); !ok {
+		t.Fatalf("AsBatch did not adapt an unbatched source")
+	}
+}
+
+func TestLimitBatchTruncatesExactly(t *testing.T) {
+	for _, limit := range []int64{0, 1, 99, 100, 101, 250} {
+		src := NewLimit(NewSliceSource(testEvents(100)), limit)
+		got := drainBatched(t, src, 64)
+		want := int(limit)
+		if want > 100 {
+			want = 100
+		}
+		if len(got) != want {
+			t.Errorf("limit %d: got %d events, want %d", limit, len(got), want)
+		}
+	}
+}
+
+func TestFailAfterBatchReportsInjectedError(t *testing.T) {
+	src := NewFailAfter(NewSliceSource(testEvents(100)), 37, nil)
+	var out []Event
+	buf := make([]Event, 16)
+	for {
+		n, ok := src.NextBatch(buf)
+		out = append(out, buf[:n]...)
+		if !ok {
+			break
+		}
+	}
+	if len(out) != 37 {
+		t.Fatalf("got %d events before failure, want 37", len(out))
+	}
+	if err := src.Err(); err != ErrInjected {
+		t.Fatalf("Err = %v, want ErrInjected", err)
+	}
+	eventsEqual(t, out, testEvents(100)[:37])
+}
+
+func TestCorruptBatchMutatesSameSchedule(t *testing.T) {
+	const every = 7
+	perEvent := NewCorrupt(NewSliceSource(testEvents(200)), every, nil)
+	var want []Event
+	for {
+		ev, ok := perEvent.Next()
+		if !ok {
+			break
+		}
+		want = append(want, ev)
+	}
+	for _, bl := range []int{1, 5, 64, 200} {
+		batched := NewCorrupt(NewSliceSource(testEvents(200)), every, nil)
+		got := drainBatched(t, batched, bl)
+		eventsEqual(t, got, want)
+	}
+}
+
+func TestReaderBatchDecodes(t *testing.T) {
+	want := testEvents(500)
+	for i := range want {
+		want[i] = canonical(want[i])
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, ev := range want {
+		if err := w.Emit(ev); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r := NewReader(&buf)
+	got := drainBatched(t, r, 33)
+	eventsEqual(t, got, want)
+}

@@ -48,6 +48,7 @@ func IsTransient(err error) bool {
 // ErrInjected.
 type FailAfter struct {
 	src Source
+	bs  BatchSource
 	n   int64
 	err error
 }
@@ -69,6 +70,26 @@ func (f *FailAfter) Next() (Event, bool) {
 	return f.src.Next()
 }
 
+// NextBatch implements BatchSource: the fault budget truncates batches
+// exactly as it truncates per-event delivery.
+func (f *FailAfter) NextBatch(dst []Event) (int, bool) {
+	if f.n <= 0 {
+		return 0, false
+	}
+	if int64(len(dst)) > f.n {
+		dst = dst[:f.n]
+	}
+	if f.bs == nil {
+		f.bs = AsBatch(f.src)
+	}
+	n, ok := f.bs.NextBatch(dst)
+	f.n -= int64(n)
+	if f.n <= 0 {
+		ok = false
+	}
+	return n, ok
+}
+
 // Err implements Source: once the budget is exhausted the injected error
 // is reported; an earlier error from the wrapped source wins.
 func (f *FailAfter) Err() error {
@@ -87,6 +108,7 @@ func (f *FailAfter) Err() error {
 // can surface.
 type Corrupt struct {
 	src    Source
+	bs     BatchSource
 	every  int64
 	n      int64
 	mutate func(*Event)
@@ -119,6 +141,22 @@ func (c *Corrupt) Next() (Event, bool) {
 		c.mutate(&ev)
 	}
 	return ev, true
+}
+
+// NextBatch implements BatchSource, applying the same every-k mutation
+// schedule to batched delivery.
+func (c *Corrupt) NextBatch(dst []Event) (int, bool) {
+	if c.bs == nil {
+		c.bs = AsBatch(c.src)
+	}
+	n, ok := c.bs.NextBatch(dst)
+	for i := 0; i < n; i++ {
+		c.n++
+		if c.n%c.every == 0 {
+			c.mutate(&dst[i])
+		}
+	}
+	return n, ok
 }
 
 // Err implements Source.

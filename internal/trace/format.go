@@ -11,18 +11,31 @@ import (
 // Binary trace file format
 //
 //	magic   [4]byte  "CAPT"
-//	version uint8    currently 2
+//	version uint8    currently 3
 //	events  ...      repeated until EOF
 //
 // Each event is a kind byte followed by varint-encoded fields. Only the
-// fields meaningful for the kind are stored, keeping files compact:
+// fields meaningful for the kind are stored, and the large 32-bit fields
+// (IP, Addr, Val) are delta-encoded against the previous event carrying
+// the same field, which keeps most varints in the 1-2 byte range: real
+// instruction streams revisit nearby IPs and walk nearby addresses, so
+// consecutive differences are small where absolute values never are. A
+// branch's taken flag rides in bit 7 of its kind byte.
 //
-//	all kinds:     uvarint(IP)
-//	load:          uvarint(Addr) uvarint(Val) varint(Offset) uvarint(Src1) uvarint(Src2)
-//	store:         uvarint(Addr) varint(Offset) uvarint(Src1) uvarint(Src2)
-//	branch:        uvarint(Addr) byte(Taken) uvarint(Src1)
-//	call, return:  uvarint(Addr)
+//	all kinds:     kind|taken<<7, varint(IP - prevIP)
+//	load:          varint(Addr - prevAddr[load]) u32le(Val) varint(Offset) uvarint(Src1) uvarint(Src2)
+//	store:         varint(Addr - prevAddr[store]) varint(Offset) uvarint(Src1) uvarint(Src2)
+//	branch:        varint(Addr - prevAddr[branch]) uvarint(Src1)
+//	call, return:  varint(Addr - prevAddr[kind])
 //	alu:           uvarint(Src1) uvarint(Src2) byte(Lat)
+//
+// Deltas are computed on wrapping uint32 arithmetic and stored as the
+// zigzag varint of the signed 32-bit difference, so every field value
+// round-trips exactly. The per-kind Addr history means interleaved load
+// and store streams do not destroy each other's locality. Load values are
+// the one field with no exploitable locality — they are near-random, so a
+// varint (delta or absolute) averages five to six bytes; a fixed
+// little-endian word is both smaller and a single load to decode.
 var (
 	magic = [4]byte{'C', 'A', 'P', 'T'}
 
@@ -33,12 +46,25 @@ var (
 	ErrBadVersion = errors.New("trace: unsupported format version")
 )
 
-const formatVersion = 2
+const formatVersion = 3
+
+// takenBit flags a taken branch inside the kind byte.
+const takenBit = 0x80
+
+// deltaState is the codec's running compression context: the previous
+// IP and the previous Addr per event kind. Writer and the readers
+// advance identical copies of it, so the encoded deltas resolve to the
+// original absolute values.
+type deltaState struct {
+	prevIP   uint32
+	prevAddr [8]uint32 // indexed by Kind
+}
 
 // Writer encodes events to an io.Writer in the binary trace format.
 type Writer struct {
 	w      *bufio.Writer
 	buf    []byte
+	st     deltaState
 	wrote  bool
 	closed bool
 }
@@ -71,28 +97,33 @@ func (w *Writer) Emit(ev Event) error {
 	if err := w.header(); err != nil {
 		return err
 	}
+	kb := byte(ev.Kind)
+	if ev.Kind == KindBranch && ev.Taken {
+		kb |= takenBit
+	}
 	b := w.buf[:0]
-	b = append(b, byte(ev.Kind))
-	b = binary.AppendUvarint(b, uint64(ev.IP))
+	b = append(b, kb)
+	b = binary.AppendVarint(b, int64(int32(ev.IP-w.st.prevIP)))
+	w.st.prevIP = ev.IP
+	addrDelta := func(b []byte) []byte {
+		b = binary.AppendVarint(b, int64(int32(ev.Addr-w.st.prevAddr[ev.Kind])))
+		w.st.prevAddr[ev.Kind] = ev.Addr
+		return b
+	}
 	switch ev.Kind {
 	case KindLoad, KindStore:
-		b = binary.AppendUvarint(b, uint64(ev.Addr))
+		b = addrDelta(b)
 		if ev.Kind == KindLoad {
-			b = binary.AppendUvarint(b, uint64(ev.Val))
+			b = binary.LittleEndian.AppendUint32(b, ev.Val)
 		}
 		b = binary.AppendVarint(b, int64(ev.Offset))
 		b = binary.AppendUvarint(b, uint64(ev.Src1))
 		b = binary.AppendUvarint(b, uint64(ev.Src2))
 	case KindBranch:
-		b = binary.AppendUvarint(b, uint64(ev.Addr))
-		if ev.Taken {
-			b = append(b, 1)
-		} else {
-			b = append(b, 0)
-		}
+		b = addrDelta(b)
 		b = binary.AppendUvarint(b, uint64(ev.Src1))
 	case KindCall, KindReturn:
-		b = binary.AppendUvarint(b, uint64(ev.Addr))
+		b = addrDelta(b)
 	case KindALU:
 		b = binary.AppendUvarint(b, uint64(ev.Src1))
 		b = binary.AppendUvarint(b, uint64(ev.Src2))
@@ -125,6 +156,7 @@ func (w *Writer) Close() error {
 // Reader decodes a binary trace file as a Source.
 type Reader struct {
 	r       *bufio.Reader
+	st      deltaState
 	err     error
 	started bool
 }
@@ -175,6 +207,18 @@ func (r *Reader) varint() int64 {
 	return v
 }
 
+func (r *Reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(r.r, b[:]); err != nil {
+		r.err = truncated(err)
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
 func (r *Reader) byte() byte {
 	if r.err != nil {
 		return 0
@@ -213,27 +257,33 @@ func (r *Reader) Next() (Event, bool) {
 		}
 		return Event{}, false
 	}
-	ev := Event{Kind: Kind(kb)}
+	ev := Event{Kind: Kind(kb &^ takenBit)}
 	if !ev.Kind.Valid() {
 		r.err = fmt.Errorf("trace: invalid event kind %d", kb)
 		return Event{}, false
 	}
-	ev.IP = uint32(r.uvarint())
+	ev.IP = r.st.prevIP + uint32(r.varint())
+	r.st.prevIP = ev.IP
+	addr := func() uint32 {
+		a := r.st.prevAddr[ev.Kind] + uint32(r.varint())
+		r.st.prevAddr[ev.Kind] = a
+		return a
+	}
 	switch ev.Kind {
 	case KindLoad, KindStore:
-		ev.Addr = uint32(r.uvarint())
+		ev.Addr = addr()
 		if ev.Kind == KindLoad {
-			ev.Val = uint32(r.uvarint())
+			ev.Val = r.u32()
 		}
 		ev.Offset = int32(r.varint())
 		ev.Src1 = uint32(r.uvarint())
 		ev.Src2 = uint32(r.uvarint())
 	case KindBranch:
-		ev.Addr = uint32(r.uvarint())
-		ev.Taken = r.byte() != 0
+		ev.Addr = addr()
+		ev.Taken = kb&takenBit != 0
 		ev.Src1 = uint32(r.uvarint())
 	case KindCall, KindReturn:
-		ev.Addr = uint32(r.uvarint())
+		ev.Addr = addr()
 	case KindALU:
 		ev.Src1 = uint32(r.uvarint())
 		ev.Src2 = uint32(r.uvarint())

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+)
+
+// ReplayCache materialises event streams once, in the compact varint
+// encoding of format.go, and hands out independent replay cursors over
+// the shared bytes. The experiment harness replays every trace through
+// dozens of predictor configurations; without the cache each replay
+// re-runs the workload generator from scratch, which dominates sweep
+// wall-clock. Encoded streams run a few bytes per event instead of the
+// ~32-byte Event struct, so a full 45-trace roster fits comfortably in a
+// few hundred megabytes.
+//
+// Concurrency: a key is materialised at most once (concurrent first
+// opens of the same key serialise on the entry; distinct keys
+// materialise in parallel), and cursors only read the shared immutable
+// byte slice, so any number of goroutines may replay the same trace
+// concurrently.
+//
+// Budget: the cache retains at most budget bytes of encoded streams. A
+// stream that would overflow the budget is not retained — the open that
+// discovered it and every later open of the same key fall back to the
+// live generator, so results are identical with and without the cache,
+// only slower.
+type ReplayCache struct {
+	budget int64 // bytes; <= 0 means unlimited
+
+	mu       sync.Mutex
+	used     int64
+	resident int
+	rejected int
+	hits     int64
+	misses   int64
+	entries  map[string]*replayEntry
+}
+
+// replayEntry is one key's materialisation slot.
+type replayEntry struct {
+	mu   sync.Mutex
+	done bool
+	data []byte // nil when not retained (over budget or source error)
+}
+
+// ReplayStats is a snapshot of the cache's occupancy.
+type ReplayStats struct {
+	Entries  int   // streams resident in memory
+	Bytes    int64 // encoded bytes resident
+	Budget   int64 // configured budget (0 = unlimited)
+	Rejected int   // streams not retained (over budget or source error)
+	Hits     int64 // opens served from a resident stream
+	Misses   int64 // opens that fell back to the live source
+}
+
+// NewReplayCache returns a cache bounded to budgetBytes of encoded
+// streams; a non-positive budget means unlimited.
+func NewReplayCache(budgetBytes int64) *ReplayCache {
+	return &ReplayCache{budget: budgetBytes, entries: make(map[string]*replayEntry)}
+}
+
+// Open returns a Source replaying the stream identified by key. On the
+// first open of a key the stream is drawn from gen(), encoded and (budget
+// permitting) retained; later opens return fresh cursors over the shared
+// encoding. When the stream cannot be retained — it would overflow the
+// budget, or gen()'s stream ended on an error — Open falls back to a
+// fresh gen() source so the caller sees exactly the live behaviour.
+//
+// gen must be deterministic for a fixed key: every call yields the same
+// stream. The cache trusts the key; callers must fold anything that
+// changes the stream (trace name, event budget) into it.
+func (c *ReplayCache) Open(key string, gen func() Source) Source {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &replayEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	if !e.done {
+		e.data = c.materialise(gen)
+		e.done = true
+	}
+	data := e.data
+	e.mu.Unlock()
+
+	c.mu.Lock()
+	if data == nil {
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+
+	if data == nil {
+		return gen()
+	}
+	return newMemReader(data)
+}
+
+// materialise encodes one stream, honouring the byte budget. It returns
+// nil when the stream is not retained.
+func (c *ReplayCache) materialise(gen func() Source) []byte {
+	limit := c.remaining()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	src := AsBatch(gen())
+	var batch [1024]Event
+	for {
+		n, ok := src.NextBatch(batch[:])
+		for _, ev := range batch[:n] {
+			if err := w.Emit(ev); err != nil {
+				return c.reject()
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return c.reject()
+		}
+		if limit >= 0 && int64(buf.Len()) > limit {
+			// Over budget: abandon the encoding; every open of this key
+			// regenerates live instead.
+			return c.reject()
+		}
+		if !ok {
+			break
+		}
+	}
+	if err := src.Err(); err != nil {
+		// A failing stream is never cached: the error must surface
+		// through the live path on every open.
+		return c.reject()
+	}
+	if err := w.Close(); err != nil {
+		return c.reject()
+	}
+	// Trailing zero padding lets replay cursors drop per-byte bounds
+	// checks in their decode loop (see replayPad).
+	buf.Write(make([]byte, replayPad))
+	data := buf.Bytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Re-check at commit time: concurrent materialisations of distinct
+	// keys may each have fit the budget alone but not together.
+	if c.budget > 0 && c.used+int64(len(data)) > c.budget {
+		c.rejected++
+		return nil
+	}
+	c.used += int64(len(data))
+	c.resident++
+	return data
+}
+
+// remaining returns the unspent byte budget, or -1 for unlimited.
+func (c *ReplayCache) remaining() int64 {
+	if c.budget <= 0 {
+		return -1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rem := c.budget - c.used
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// reject counts a stream that was not retained and returns the nil data
+// slot, so call sites read as one-liners.
+func (c *ReplayCache) reject() []byte {
+	c.mu.Lock()
+	c.rejected++
+	c.mu.Unlock()
+	return nil
+}
+
+// Stats returns a snapshot of the cache occupancy and hit counters.
+func (c *ReplayCache) Stats() ReplayStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ReplayStats{
+		Entries:  c.resident,
+		Bytes:    c.used,
+		Budget:   c.budget,
+		Rejected: c.rejected,
+		Hits:     c.hits,
+		Misses:   c.misses,
+	}
+}
+
+// String renders the stats as one report line.
+func (s ReplayStats) String() string {
+	budget := "unlimited"
+	if s.Budget > 0 {
+		budget = fmt.Sprintf("%d MiB", s.Budget>>20)
+	}
+	return fmt.Sprintf("replay cache: %d streams, %.1f MiB resident (budget %s), %d hits, %d misses, %d rejected",
+		s.Entries, float64(s.Bytes)/(1<<20), budget, s.Hits, s.Misses, s.Rejected)
+}

@@ -137,6 +137,7 @@ func (s *SliceSink) Emit(ev Event) error {
 // Limit wraps a source and truncates it after n events.
 type Limit struct {
 	src Source
+	bs  BatchSource // lazily initialised batch view of src
 	n   int64
 }
 

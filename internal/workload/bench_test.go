@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"capred/internal/trace"
+)
+
+// The drain benchmarks compare the three ways a driver can consume one
+// trace's events: re-running the workload generator (what every open
+// cost before the replay cache), decoding the cached encoding through
+// the io.Reader-based file decoder, and a replay cursor over the
+// in-memory encoding. The cursor must beat the generator for the cache
+// to pay off — a cache that replays slower than regeneration is pure
+// memory overhead.
+
+const benchEvents = 400_000
+
+func openGen() trace.Source {
+	spec, _ := ByName("INT_go")
+	return trace.NewLimit(spec.Open(), benchEvents)
+}
+
+func drain(b *testing.B, src trace.Source, buf []trace.Event) {
+	b.Helper()
+	bs := trace.AsBatch(src)
+	for {
+		_, ok := bs.NextBatch(buf)
+		if !ok {
+			break
+		}
+	}
+	if err := src.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkDrainGenerator(b *testing.B) {
+	b.ReportAllocs()
+	buf := make([]trace.Event, 1024)
+	for i := 0; i < b.N; i++ {
+		drain(b, openGen(), buf)
+	}
+}
+
+func BenchmarkDrainCachedReader(b *testing.B) {
+	var enc bytes.Buffer
+	w := trace.NewWriter(&enc)
+	src := trace.AsBatch(openGen())
+	buf := make([]trace.Event, 1024)
+	for {
+		n, ok := src.NextBatch(buf)
+		for _, ev := range buf[:n] {
+			if err := w.Emit(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !ok {
+			break
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := enc.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(b, trace.NewReader(bytes.NewReader(data)), buf)
+	}
+}
+
+func BenchmarkDrainReplayCursor(b *testing.B) {
+	c := trace.NewReplayCache(0)
+	open := func() trace.Source { return openGen() }
+	c.Open("k", open) // materialise once, outside the timed region
+	buf := make([]trace.Event, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(b, c.Open("k", open), buf)
+	}
+}

@@ -109,6 +109,33 @@ func (g *Generator) Next() (trace.Event, bool) {
 	return ev, true
 }
 
+// NextBatch implements trace.BatchSource: it copies whole behaviour
+// bursts out of the refill buffer per call, so the hot replay loops pay
+// one call per burst instead of one interface dispatch per event.
+func (g *Generator) NextBatch(dst []trace.Event) (int, bool) {
+	if g.total == 0 {
+		return 0, false
+	}
+	var n int
+	for n < len(dst) {
+		if g.pos >= len(g.buf) {
+			if n > 0 {
+				// Batch boundary at a burst boundary: return what we have
+				// rather than paying a refill mid-call.
+				return n, true
+			}
+			g.buf = g.buf[:0]
+			g.pos = 0
+			g.pick().step(g)
+			continue
+		}
+		c := copy(dst[n:], g.buf[g.pos:])
+		g.pos += c
+		n += c
+	}
+	return n, true
+}
+
 // Err implements trace.Source; generation never fails.
 func (g *Generator) Err() error { return nil }
 
