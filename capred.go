@@ -254,6 +254,21 @@ type (
 	FailureSet = sim.FailureSet
 	// PanicError wraps a recovered predictor panic with its stack.
 	PanicError = sim.PanicError
+	// Experiment is one registered experiment driver (name, description,
+	// runner).
+	Experiment = sim.Experiment
+	// ExperimentResult is the interface every experiment result satisfies:
+	// a Table() renderer plus the Failed() trace list.
+	ExperimentResult = sim.Result
+)
+
+// Experiment registry: the same roster capsim, benchsweep and the golden
+// regression tests iterate.
+var (
+	// Experiments lists every registered experiment, sorted by name.
+	Experiments = sim.Experiments
+	// ExperimentByName looks an experiment up by its CLI name.
+	ExperimentByName = sim.ExperimentByName
 )
 
 // Experiment drivers — one per paper figure/table. Each result type has a

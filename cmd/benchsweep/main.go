@@ -12,8 +12,9 @@
 //
 //   - sweep: wall-clock for a representative slice of the experiment
 //     roster (baselines, Fig. 9, Fig. 12, prefetch — the generator-bound
-//     and cpu-model-bound extremes) run streaming and then cached, with
-//     the cache's occupancy stats. The headline number is the speedup.
+//     and cpu-model-bound extremes) run streaming, then cached, then
+//     cached with the grid scheduler at GOMAXPROCS workers, with the
+//     cache's occupancy stats. The headline numbers are the speedups.
 //
 // Usage:
 //
@@ -25,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"capred"
@@ -50,9 +52,16 @@ type sweepReport struct {
 	CachedWarmSeconds float64 `json:"cached_warm_seconds"`
 	SpeedupCold       float64 `json:"speedup_cold"`
 	SpeedupWarm       float64 `json:"speedup_warm"`
-	CacheStreams      int     `json:"cache_streams"`
-	CacheMiB          float64 `json:"cache_mib"`
-	CacheHits         int64   `json:"cache_hits"`
+	// The parallel row reruns the warm sweep with the scheduler sharding
+	// each (trace, config) grid across GOMAXPROCS workers. Output is
+	// bit-identical to serial (the golden suite enforces it); only the
+	// wall clock moves, and only on multi-core hosts.
+	Workers             int     `json:"workers"`
+	ParallelWarmSeconds float64 `json:"parallel_warm_seconds"`
+	SpeedupParallel     float64 `json:"speedup_parallel_vs_serial_warm"`
+	CacheStreams        int     `json:"cache_streams"`
+	CacheMiB            float64 `json:"cache_mib"`
+	CacheHits           int64   `json:"cache_hits"`
 }
 
 type report struct {
@@ -86,9 +95,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsweep:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("benchsweep: drain %.1f -> %.1f Mev/s (%.2fx), sweep %.1fs -> %.1fs warm (%.2fx), wrote %s\n",
+	fmt.Printf("benchsweep: drain %.1f -> %.1f Mev/s (%.2fx), sweep %.1fs -> %.1fs warm (%.2fx), %.1fs at %d workers (%.2fx), wrote %s\n",
 		rep.Drain.GeneratorMEvS, rep.Drain.WarmCursorMEvS, rep.Drain.CursorVsGenerator,
-		rep.Sweep.StreamingSeconds, rep.Sweep.CachedWarmSeconds, rep.Sweep.SpeedupWarm, *out)
+		rep.Sweep.StreamingSeconds, rep.Sweep.CachedWarmSeconds, rep.Sweep.SpeedupWarm,
+		rep.Sweep.ParallelWarmSeconds, rep.Sweep.Workers, rep.Sweep.SpeedupParallel, *out)
 }
 
 // drain pulls every event out of src through the batch interface,
@@ -167,17 +177,24 @@ func sweepBench(events int64) sweepReport {
 	}
 	cold := run(cached)
 	warm := run(cached)
+
+	par := cached
+	par.Workers = runtime.GOMAXPROCS(0)
+	parallel := run(par)
 	st := cached.ReplayCache.Stats()
 
 	return sweepReport{
-		Experiments:       names,
-		StreamingSeconds:  streaming,
-		CachedColdSeconds: cold,
-		CachedWarmSeconds: warm,
-		SpeedupCold:       streaming / cold,
-		SpeedupWarm:       streaming / warm,
-		CacheStreams:      st.Entries,
-		CacheMiB:          float64(st.Bytes) / (1 << 20),
-		CacheHits:         st.Hits,
+		Experiments:         names,
+		StreamingSeconds:    streaming,
+		CachedColdSeconds:   cold,
+		CachedWarmSeconds:   warm,
+		SpeedupCold:         streaming / cold,
+		SpeedupWarm:         streaming / warm,
+		Workers:             par.Workers,
+		ParallelWarmSeconds: parallel,
+		SpeedupParallel:     warm / parallel,
+		CacheStreams:        st.Entries,
+		CacheMiB:            float64(st.Bytes) / (1 << 20),
+		CacheHits:           st.Hits,
 	}
 }

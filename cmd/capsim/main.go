@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	capsim -experiment fig5 [-events N] [-parallel N]
+//	capsim -experiment fig5 [-events N] [-workers N]
 //	capsim -experiment fig5,fig7,baselines
 //	capsim -experiment all
 //	capsim -list
@@ -36,6 +36,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
 	"syscall"
@@ -43,111 +44,13 @@ import (
 	"capred"
 )
 
-// tabler is any experiment result that renders a figure table.
-type tabler interface{ String() string }
-
-var experiments = map[string]struct {
-	desc string
-	run  func(capred.ExperimentConfig) (tabler, []capred.TraceFailure)
-}{
-	"fig5": {"prediction rate & accuracy of stride, CAP, hybrid per suite",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.Fig5(c)
-			return r.Table(), r.Failed()
-		}},
-	"fig6": {"hybrid prediction rate vs LB entries/associativity",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.Fig6(c)
-			return r.Table(), r.Failed()
-		}},
-	"fig7": {"per-trace speedup over no address prediction (timing model)",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.Fig7(c)
-			return r.Table(), r.Failed()
-		}},
-	"fig8": {"hybrid selector state distribution and correct-selection rate",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.Fig8(c)
-			return r.Table(), r.Failed()
-		}},
-	"fig9": {"correct predictions vs history length, ± global correlation",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.Fig9(c)
-			return r.Table(), r.Failed()
-		}},
-	"fig10": {"influence of LT tags and path info on CAP",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.Fig10(c)
-			return r.Table(), r.Failed()
-		}},
-	"fig11": {"influence of the prediction gap on rate and accuracy",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.Fig11(c)
-			return r.Table(), r.Failed()
-		}},
-	"fig12": {"per-suite speedup, immediate vs prediction gap 8",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.Fig12(c)
-			return r.Table(), r.Failed()
-		}},
-	"update-policy": {"§4.3 LT update policies",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.RunUpdatePolicy(c)
-			return r.Table(), r.Failed()
-		}},
-	"lt-size": {"§4.2 hybrid rate vs LT entries",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.RunLTSize(c)
-			return r.Table(), r.Failed()
-		}},
-	"baselines": {"§1 predictor family ladder",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.RunBaselines(c)
-			return r.Table(), r.Failed()
-		}},
-	"control": {"§3.6 control-based predictors vs CAP",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.RunControlBased(c)
-			return r.Table(), r.Failed()
-		}},
-	"ablations": {"design-choice ablations beyond the paper's figures",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.RunAblations(c)
-			return r.Table(), r.Failed()
-		}},
-	"profile-assist": {"§6 future work: profile-guided load classification",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.RunProfileAssist(c)
-			return r.Table(), r.Failed()
-		}},
-	"addr-vs-value": {"§1: address vs load-value predictability",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.RunAddressVsValue(c)
-			return r.Table(), r.Failed()
-		}},
-	"prefetch": {"§1.1: data prefetching vs address prediction",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.RunPrefetch(c)
-			return r.Table(), r.Failed()
-		}},
-	"classes": {"§2: per-pattern-class coverage of each predictor",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.RunClassCoverage(c)
-			return r.Table(), r.Failed()
-		}},
-	"wrong-path": {"§5.4: wrong-path predictions with and without squash recovery",
-		func(c capred.ExperimentConfig) (tabler, []capred.TraceFailure) {
-			r := capred.RunWrongPath(c)
-			return r.Table(), r.Failed()
-		}},
-}
-
+// names lists the registered experiment names, sorted.
 func names() []string {
-	out := make([]string, 0, len(experiments))
-	for n := range experiments {
-		out = append(out, n)
+	exps := capred.Experiments()
+	out := make([]string, 0, len(exps))
+	for _, e := range exps {
+		out = append(out, e.Name)
 	}
-	sort.Strings(out)
 	return out
 }
 
@@ -222,7 +125,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var (
 		exp      = fs.String("experiment", "", "comma-separated experiments to run (or 'all')")
 		events   = fs.Int64("events", 400_000, "instructions per trace")
-		parallel = fs.Int("parallel", 0, "concurrent trace simulations (0 = NumCPU)")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines sharding each experiment's (trace, config) grid; 1 = serial")
 		retries  = fs.Int("retries", 0, "retries for transient trace-source failures")
 		inject   = fs.String("inject", "", "fault injection: trace=mode[,trace=mode] (modes: decode, truncate, panic)")
 		useCache = fs.Bool("replay-cache", true, "materialise each trace once and replay it across experiments")
@@ -235,15 +138,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *list {
-		for _, n := range names() {
-			fmt.Fprintf(stdout, "%-14s %s\n", n, experiments[n].desc)
+		for _, e := range capred.Experiments() {
+			fmt.Fprintf(stdout, "%-14s %s\n", e.Name, e.Desc)
 		}
 		return 0
 	}
 
 	cfg := capred.ExperimentConfig{
 		EventsPerTrace: *events,
-		Parallelism:    *parallel,
+		Workers:        *workers,
 		SourceRetries:  *retries,
 		Ctx:            ctx,
 	}
@@ -265,7 +168,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			if n == "" {
 				continue
 			}
-			if _, ok := experiments[n]; !ok {
+			if _, ok := capred.ExperimentByName(n); !ok {
 				fmt.Fprintf(stderr, "capsim: unknown experiment %q; use -list\n", n)
 				return 2
 			}
@@ -284,8 +187,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// all failures at the end and exit non-zero if any occurred.
 	failed := map[string]int{}
 	for _, n := range selected {
-		t, fails := experiments[n].run(cfg)
-		fmt.Fprintln(stdout, t)
+		e, _ := capred.ExperimentByName(n)
+		r := e.Run(cfg)
+		fmt.Fprintln(stdout, r.Table())
+		fails := r.Failed()
 		if len(fails) > 0 {
 			failed[n] = len(fails)
 			reportFailures(stderr, n, fails)

@@ -15,18 +15,18 @@ func TestEveryExperimentRuns(t *testing.T) {
 		t.Skip("integration sweep")
 	}
 	cfg := capred.ExperimentConfig{EventsPerTrace: 4000}
-	for _, name := range names() {
-		name := name
-		t.Run(name, func(t *testing.T) {
-			tab, fails := experiments[name].run(cfg)
-			out := tab.String()
+	for _, e := range capred.Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			r := e.Run(cfg)
+			out := r.Table().String()
 			if len(out) == 0 {
 				t.Fatal("empty table")
 			}
 			if !strings.Contains(out, "\n") {
 				t.Fatalf("table has no rows:\n%s", out)
 			}
-			if len(fails) != 0 {
+			if fails := r.Failed(); len(fails) != 0 {
 				t.Fatalf("clean run reported failures: %v", fails)
 			}
 		})
@@ -34,9 +34,12 @@ func TestEveryExperimentRuns(t *testing.T) {
 }
 
 func TestRegistryDescriptions(t *testing.T) {
-	for _, name := range names() {
-		if experiments[name].desc == "" {
-			t.Errorf("experiment %s has no description", name)
+	for _, e := range capred.Experiments() {
+		if e.Desc == "" {
+			t.Errorf("experiment %s has no description", e.Name)
+		}
+		if _, ok := capred.ExperimentByName(e.Name); !ok {
+			t.Errorf("experiment %s not resolvable by name", e.Name)
 		}
 	}
 }

@@ -51,7 +51,8 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 	}
 	tallies := make([]tally, len(specs))
 
-	errs := parallelTry(cfg, len(specs), func(i int) error {
+	g := newGrid(cfg)
+	g.addPass("class-coverage", specs, func(i int) error {
 		spec := specs[i]
 		// Both passes run inside one perTrace scope so the deadline spans
 		// the whole two-pass job and a retry restarts it from scratch with
@@ -115,6 +116,7 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 			return nil
 		})
 	})
+	fails := g.run()
 
 	// Aggregate (failed traces contribute nothing).
 	loads := make(map[predictor.LoadClass]int64)
@@ -143,7 +145,7 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 		ClassShare: make(map[predictor.LoadClass]float64),
 		Coverage:   make([]map[predictor.LoadClass]float64, len(factories)),
 	}
-	out.absorb(len(specs), failuresOf(specs, "class-coverage", errs))
+	out.absorb(g.size(), fails)
 	for _, c := range classOrder {
 		if total > 0 {
 			out.ClassShare[c] = float64(loads[c]) / float64(total)

@@ -100,16 +100,17 @@ type Fig5Result struct {
 
 // Fig5 reproduces Figure 5: prediction rate and accuracy of the enhanced
 // stride, stand-alone CAP, and hybrid predictors across the eight suites.
+// All three passes shard across one worker pool.
 func Fig5(cfg Config) Fig5Result {
 	var r Fig5Result
-	n := len(workload.Traces())
-	var fails []TraceFailure
-	r.Stride, r.AvgS, fails = runSuites(cfg, "stride", strideFactory, 0)
-	r.absorb(n, fails)
-	r.CAP, r.AvgC, fails = runSuites(cfg, "cap", capFactory, 0)
-	r.absorb(n, fails)
-	r.Hybrid, r.AvgH, fails = runSuites(cfg, "hybrid", hybridFactory, 0)
-	r.absorb(n, fails)
+	g := newGrid(cfg)
+	ps := g.addSuitePass("stride", strideFactory, 0)
+	pc := g.addSuitePass("cap", capFactory, 0)
+	ph := g.addSuitePass("hybrid", hybridFactory, 0)
+	r.absorb(g.size(), g.run())
+	r.Stride, r.AvgS = ps.merge()
+	r.CAP, r.AvgC = pc.merge()
+	r.Hybrid, r.AvgH = ph.merge()
 	return r
 }
 
@@ -159,17 +160,21 @@ type Fig6Result struct {
 // number of LB entries and associativity.
 func Fig6(cfg Config) Fig6Result {
 	r := Fig6Result{Geometries: Fig6Geometries()}
-	n := len(workload.Traces())
-	for _, g := range r.Geometries {
-		g := g
+	g := newGrid(cfg)
+	passes := make([]*suitePass, len(r.Geometries))
+	for i, geom := range r.Geometries {
+		geom := geom
 		f := func() predictor.Predictor {
 			hc := predictor.DefaultHybridConfig()
-			hc.CAP.LBEntries = g.Entries
-			hc.CAP.LBWays = g.Ways
+			hc.CAP.LBEntries = geom.Entries
+			hc.CAP.LBWays = geom.Ways
 			return predictor.NewHybrid(hc)
 		}
-		suites, avg, fails := runSuites(cfg, "LB "+g.String(), f, 0)
-		r.absorb(n, fails)
+		passes[i] = g.addSuitePass("LB "+geom.String(), f, 0)
+	}
+	r.absorb(g.size(), g.run())
+	for _, p := range passes {
+		suites, avg := p.merge()
 		r.Suites = append(r.Suites, suites)
 		r.Avgs = append(r.Avgs, avg)
 	}
@@ -228,7 +233,8 @@ func Fig7(cfg Config) Fig7Result {
 	specs := workload.Traces()
 	rows := make([]Fig7Row, len(specs))
 	done := make([]bool, len(specs))
-	errs := parallelTry(cfg, len(specs), func(i int) error {
+	g := newGrid(cfg)
+	g.addPass("timing", specs, func(i int) error {
 		spec := specs[i]
 		mcfg := cpu.DefaultConfig()
 		base, err := runTimed(cfg, spec, mcfg, nil, 0)
@@ -253,7 +259,7 @@ func Fig7(cfg Config) Fig7Result {
 		return nil
 	})
 	var r Fig7Result
-	r.absorb(len(specs), failuresOf(specs, "timing", errs))
+	r.absorb(g.size(), g.run())
 	var ss, hs float64
 	for i, row := range rows {
 		if !done[i] {
@@ -334,7 +340,12 @@ type Fig9Result struct {
 // is used (every prediction is a speculative access).
 func Fig9(cfg Config) Fig9Result {
 	r := Fig9Result{Lengths: Fig9Lengths()}
-	n := len(workload.Traces())
+	g := newGrid(cfg)
+	type pass struct {
+		sp *suitePass
+		gc bool
+	}
+	var passes []pass
 	for _, gc := range []bool{true, false} {
 		for _, hl := range r.Lengths {
 			hl := hl
@@ -349,13 +360,16 @@ func Fig9(cfg Config) Fig9Result {
 				return predictor.NewCAP(cc)
 			}
 			stage := fmt.Sprintf("hist %d gc=%v", hl, gc)
-			_, avg, fails := runSuites(cfg, stage, f, 0)
-			r.absorb(n, fails)
-			if gc {
-				r.With = append(r.With, avg.CorrectSpecRate())
-			} else {
-				r.Without = append(r.Without, avg.CorrectSpecRate())
-			}
+			passes = append(passes, pass{g.addSuitePass(stage, f, 0), gc})
+		}
+	}
+	r.absorb(g.size(), g.run())
+	for _, p := range passes {
+		_, avg := p.sp.merge()
+		if p.gc {
+			r.With = append(r.With, avg.CorrectSpecRate())
+		} else {
+			r.Without = append(r.Without, avg.CorrectSpecRate())
 		}
 	}
 	return r
@@ -419,8 +433,9 @@ type Fig10Result struct {
 // indications) on the stand-alone CAP predictor.
 func Fig10(cfg Config) Fig10Result {
 	r := Fig10Result{Variants: Fig10Variants()}
-	n := len(workload.Traces())
-	for _, v := range r.Variants {
+	g := newGrid(cfg)
+	passes := make([]*suitePass, len(r.Variants))
+	for i, v := range r.Variants {
 		v := v
 		f := func() predictor.Predictor {
 			cc := predictor.DefaultCAPConfig()
@@ -430,8 +445,11 @@ func Fig10(cfg Config) Fig10Result {
 			}
 			return predictor.NewCAP(cc)
 		}
-		_, avg, fails := runSuites(cfg, v.Name, f, 0)
-		r.absorb(n, fails)
+		passes[i] = g.addSuitePass(v.Name, f, 0)
+	}
+	r.absorb(g.size(), g.run())
+	for _, p := range passes {
+		_, avg := p.merge()
 		r.Counters = append(r.Counters, avg)
 	}
 	return r
@@ -467,8 +485,10 @@ type Fig11Result struct {
 // predictors.
 func Fig11(cfg Config) Fig11Result {
 	r := Fig11Result{Gaps: Fig11Gaps()}
-	n := len(workload.Traces())
-	for _, gap := range r.Gaps {
+	g := newGrid(cfg)
+	sPasses := make([]*suitePass, len(r.Gaps))
+	hPasses := make([]*suitePass, len(r.Gaps))
+	for gi, gap := range r.Gaps {
 		gap := gap
 		spec := gap > 0
 		sf := func() predictor.Predictor {
@@ -481,10 +501,13 @@ func Fig11(cfg Config) Fig11Result {
 			hc.Speculative = spec
 			return predictor.NewHybrid(hc)
 		}
-		_, avgS, failsS := runSuites(cfg, fmt.Sprintf("stride gap %d", gap), sf, gap)
-		r.absorb(n, failsS)
-		_, avgH, failsH := runSuites(cfg, fmt.Sprintf("hybrid gap %d", gap), hf, gap)
-		r.absorb(n, failsH)
+		sPasses[gi] = g.addSuitePass(fmt.Sprintf("stride gap %d", gap), sf, gap)
+		hPasses[gi] = g.addSuitePass(fmt.Sprintf("hybrid gap %d", gap), hf, gap)
+	}
+	r.absorb(g.size(), g.run())
+	for gi := range r.Gaps {
+		_, avgS := sPasses[gi].merge()
+		_, avgH := hPasses[gi].merge()
 		r.Stride = append(r.Stride, avgS)
 		r.Hybrid = append(r.Hybrid, avgH)
 	}
@@ -531,13 +554,25 @@ func Fig12(cfg Config) Fig12Result {
 	rows := make([]Fig12Row, len(suites)+1)
 	var totals [5]float64 // base, strideImm, strideGap, hybridImm, hybridGap
 
+	// Every suite's per-trace timing runs register into one grid, so the
+	// pool stays busy across suite boundaries.
+	type suiteJob struct {
+		specs  []workload.TraceSpec
+		cycles [][5]int64
+		done   []bool
+	}
+	jobs := make([]suiteJob, len(suites))
+	g := newGrid(cfg)
 	for si, suite := range suites {
 		specs := workload.BySuite(suite)
-		var base, stImm, stGap, hyImm, hyGap int64
-		cycles := make([][5]int64, len(specs))
-		done := make([]bool, len(specs))
-		errs := parallelTry(cfg, len(specs), func(i int) error {
-			spec := specs[i]
+		jobs[si] = suiteJob{
+			specs:  specs,
+			cycles: make([][5]int64, len(specs)),
+			done:   make([]bool, len(specs)),
+		}
+		job := &jobs[si]
+		g.addPass("timing", specs, func(i int) error {
+			spec := job.specs[i]
 			mcfg := cpu.DefaultConfig()
 			run := func(f Factory, gap int) (int64, error) {
 				res, err := runTimed(cfg, spec, mcfg, f, gap)
@@ -564,14 +599,17 @@ func Fig12(cfg Config) Fig12Result {
 				if err != nil {
 					return err
 				}
-				cycles[i][v] = c
+				job.cycles[i][v] = c
 			}
-			done[i] = true
+			job.done[i] = true
 			return nil
 		})
-		r.absorb(len(specs), failuresOf(specs, "timing", errs))
-		for i, c := range cycles {
-			if !done[i] {
+	}
+	r.absorb(g.size(), g.run())
+	for si, suite := range suites {
+		var base, stImm, stGap, hyImm, hyGap int64
+		for i, c := range jobs[si].cycles {
+			if !jobs[si].done[i] {
 				continue
 			}
 			base += c[0]

@@ -6,9 +6,7 @@ package sim
 import (
 	"context"
 	"fmt"
-	"runtime/debug"
 	"strings"
-	"sync"
 
 	"capred/internal/trace"
 	"capred/internal/workload"
@@ -72,55 +70,6 @@ func (s FailureSet) Footer() string {
 		b.WriteString(f.String())
 	}
 	return b.String()
-}
-
-// failuresOf pairs per-index errors from parallelTry with their specs.
-func failuresOf(specs []workload.TraceSpec, stage string, errs []error) []TraceFailure {
-	var out []TraceFailure
-	for i, err := range errs {
-		if err != nil {
-			out = append(out, TraceFailure{
-				Trace: specs[i].Name, Suite: specs[i].Suite, Stage: stage, Err: err,
-			})
-		}
-	}
-	return out
-}
-
-// parallelTry runs fn(i) for i in [0,n) under the config's worker bound,
-// isolating each index: a panic is recovered into a *PanicError and a
-// cancelled context fails indices that have not started yet, so one bad
-// trace (or a ^C) can never take down the whole sweep.
-func parallelTry(cfg Config, n int, fn func(int) error) []error {
-	errs := make([]error, n)
-	ctx := cfg.context()
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.workers())
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				errs[i] = ctx.Err()
-				return
-			}
-			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				return
-			}
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = &PanicError{Value: r, Stack: debug.Stack()}
-				}
-			}()
-			errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	return errs
 }
 
 // context returns the config's context, defaulting to Background.

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"capred/internal/trace"
+)
+
+var (
+	updateGolden = flag.Bool("update", false,
+		"rewrite the golden files under testdata/ from this run's serial output")
+	goldenWorkers = flag.Int("golden-workers", 4,
+		"worker count for the parallel leg of the equivalence test")
+)
+
+// goldenEvents keeps the golden sweep fast while still exercising every
+// table renderer and every driver pass; determinism does not depend on
+// scale, so a small budget pins the same properties the full sweep has.
+const goldenEvents = 20_000
+
+// goldenConfig is the configuration both legs of the equivalence suite
+// run: only the worker count differs, which is exactly the claim the
+// goldens enforce.
+func goldenConfig(workers int) Config {
+	return Config{
+		EventsPerTrace: goldenEvents,
+		Workers:        workers,
+		ReplayCache:    trace.NewReplayCache(0),
+	}
+}
+
+// renderAll runs every registered experiment at the golden budget and
+// returns name → rendered table (with the failure footer, which must be
+// empty on a clean run).
+func renderAll(workers int) (map[string]string, error) {
+	cfg := goldenConfig(workers)
+	out := make(map[string]string)
+	for _, e := range Experiments() {
+		r := e.Run(cfg)
+		if fails := r.Failed(); len(fails) != 0 {
+			return nil, fmt.Errorf("%s (workers=%d): unexpected failures: %v", e.Name, workers, fails)
+		}
+		out[e.Name] = r.Table().String()
+	}
+	return out, nil
+}
+
+// serialTables memoises the serial reference render: both golden
+// comparison and the serial leg of the equivalence test need it, and one
+// full sweep is expensive enough to share.
+var serialTables struct {
+	once sync.Once
+	out  map[string]string
+	err  error
+}
+
+func serialRender(t *testing.T) map[string]string {
+	t.Helper()
+	serialTables.once.Do(func() {
+		serialTables.out, serialTables.err = renderAll(1)
+	})
+	if serialTables.err != nil {
+		t.Fatal(serialTables.err)
+	}
+	return serialTables.out
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+".golden")
+}
+
+// TestGoldenTables renders every experiment table serially and diffs it
+// against the checked-in golden. Regenerate with:
+//
+//	go test ./internal/sim -run TestGoldenTables -update
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	tables := serialRender(t)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			got := tables[e.Name]
+			path := goldenPath(e.Name)
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("table drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}
+
+// TestSerialParallelEquivalence is the determinism contract: the
+// parallel scheduler must produce byte-identical tables to the serial
+// reference path at any worker count. Run under -race in CI so the
+// equivalence proof doubles as a data-race check on the shard isolation.
+func TestSerialParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep, twice")
+	}
+	workers := *goldenWorkers
+	if workers <= 1 {
+		// workers=1 in the CI matrix pins the serial leg against the
+		// goldens only; the comparison below would be trivially true.
+		workers = 2
+	}
+	serial := serialRender(t)
+	parallel, err := renderAll(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range Experiments() {
+		if serial[e.Name] != parallel[e.Name] {
+			t.Errorf("%s: workers=%d table differs from serial\n--- serial ---\n%s\n--- workers=%d ---\n%s",
+				e.Name, workers, serial[e.Name], workers, parallel[e.Name])
+		}
+	}
+}

@@ -31,7 +31,8 @@ func Prefetch(cfg Config) PrefetchResult {
 	}
 	rows := make([]row, len(specs))
 
-	errs := parallelTry(cfg, len(specs), func(i int) error {
+	g := newGrid(cfg)
+	g.addPass("prefetch", specs, func(i int) error {
 		spec := specs[i]
 		run := func(v int) (cpu.Result, error) {
 			mcfg := cpu.DefaultConfig()
@@ -58,6 +59,7 @@ func Prefetch(cfg Config) PrefetchResult {
 		rows[i].done = true
 		return nil
 	})
+	fails := g.run()
 
 	var cycles [variants]int64
 	var l1 [variants]float64
@@ -83,7 +85,7 @@ func Prefetch(cfg Config) PrefetchResult {
 		"prefetch + address prediction",
 	}
 	out := PrefetchResult{}
-	out.absorb(len(specs), failuresOf(specs, "prefetch", errs))
+	out.absorb(g.size(), fails)
 	for v := 0; v < variants; v++ {
 		out.Names = append(out.Names, names[v])
 		out.Speedups = append(out.Speedups, safeDiv(float64(cycles[0]), float64(cycles[v])))

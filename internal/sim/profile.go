@@ -39,7 +39,8 @@ func ProfileAssist(cfg Config) ProfileAssistResult {
 	}
 	cells := make([]cell, len(specs))
 
-	errs := parallelTry(cfg, len(specs), func(i int) error {
+	g := newGrid(cfg)
+	g.addPass("profile-assist", specs, func(i int) error {
 		spec := specs[i]
 		// The training pass and all four variants share one perTrace
 		// scope: the deadline covers the whole job, and a retry restarts
@@ -101,7 +102,7 @@ func ProfileAssist(cfg Config) ProfileAssistResult {
 			"hybrid 512 LT + profile",
 		},
 	}
-	r.absorb(len(specs), failuresOf(specs, "profile-assist", errs))
+	r.absorb(g.size(), g.run())
 	r.Counters = make([]metrics.Mean, 4)
 	for _, cell := range cells {
 		if !cell.done {

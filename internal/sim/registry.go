@@ -1,0 +1,84 @@
+// The experiment registry: one entry per paper figure/table driver, so
+// the CLI, the benchmark sweep and the golden-output regression harness
+// all iterate the same list instead of each hard-coding the roster.
+package sim
+
+import (
+	"sort"
+
+	"capred/internal/report"
+)
+
+// Result is the shape every experiment result shares: a table renderer
+// and the failure list accumulated by its embedded FailureSet.
+type Result interface {
+	Table() *report.Table
+	Failed() []TraceFailure
+}
+
+// Experiment couples a driver's CLI name and description with a runner
+// returning its result behind the common interface.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(Config) Result
+}
+
+// experimentList registers every driver.
+func experimentList() []Experiment {
+	return []Experiment{
+		{"fig5", "prediction rate & accuracy of stride, CAP, hybrid per suite",
+			func(c Config) Result { return Fig5(c) }},
+		{"fig6", "hybrid prediction rate vs LB entries/associativity",
+			func(c Config) Result { return Fig6(c) }},
+		{"fig7", "per-trace speedup over no address prediction (timing model)",
+			func(c Config) Result { return Fig7(c) }},
+		{"fig8", "hybrid selector state distribution and correct-selection rate",
+			func(c Config) Result { return Fig8(c) }},
+		{"fig9", "correct predictions vs history length, ± global correlation",
+			func(c Config) Result { return Fig9(c) }},
+		{"fig10", "influence of LT tags and path info on CAP",
+			func(c Config) Result { return Fig10(c) }},
+		{"fig11", "influence of the prediction gap on rate and accuracy",
+			func(c Config) Result { return Fig11(c) }},
+		{"fig12", "per-suite speedup, immediate vs prediction gap 8",
+			func(c Config) Result { return Fig12(c) }},
+		{"update-policy", "§4.3 LT update policies",
+			func(c Config) Result { return UpdatePolicy(c) }},
+		{"lt-size", "§4.2 hybrid rate vs LT entries",
+			func(c Config) Result { return LTSize(c) }},
+		{"baselines", "§1 predictor family ladder",
+			func(c Config) Result { return Baselines(c) }},
+		{"control", "§3.6 control-based predictors vs CAP",
+			func(c Config) Result { return ControlBased(c) }},
+		{"ablations", "design-choice ablations beyond the paper's figures",
+			func(c Config) Result { return Ablations(c) }},
+		{"profile-assist", "§6 future work: profile-guided load classification",
+			func(c Config) Result { return ProfileAssist(c) }},
+		{"addr-vs-value", "§1: address vs load-value predictability",
+			func(c Config) Result { return AddressVsValue(c) }},
+		{"prefetch", "§1.1: data prefetching vs address prediction",
+			func(c Config) Result { return Prefetch(c) }},
+		{"classes", "§2: per-pattern-class coverage of each predictor",
+			func(c Config) Result { return ClassCoverage(c) }},
+		{"wrong-path", "§5.4: wrong-path predictions with and without squash recovery",
+			func(c Config) Result { return WrongPath(c) }},
+	}
+}
+
+// Experiments returns every registered experiment, sorted by name.
+func Experiments() []Experiment {
+	out := experimentList()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ExperimentByName looks an experiment up by its CLI name.
+func ExperimentByName(name string) (Experiment, bool) {
+	for _, e := range experimentList() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

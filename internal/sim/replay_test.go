@@ -90,10 +90,10 @@ func TestCacheBudgetFallbackKeepsResultsIdentical(t *testing.T) {
 }
 
 // TestCachedParallelReplay replays the same cached traces from many
-// concurrent trace runs (Parallelism drives goroutines); under -race this
+// concurrent trace runs (Workers drives goroutines); under -race this
 // pins that shared cursors are race-free.
 func TestCachedParallelReplay(t *testing.T) {
-	cfg := cachedCfg(Config{EventsPerTrace: 10_000, Parallelism: 8}, 0)
+	cfg := cachedCfg(Config{EventsPerTrace: 10_000, Workers: 8}, 0)
 	// Two passes: the first materialises, the second replays concurrently.
 	for pass := 0; pass < 2; pass++ {
 		runs, fails := runAll(cfg, workload.Traces(), "replay", hybridFactory, 0)

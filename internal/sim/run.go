@@ -7,7 +7,6 @@ package sim
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"time"
 
 	"capred/internal/metrics"
@@ -23,8 +22,14 @@ import (
 type Config struct {
 	// EventsPerTrace bounds each trace (instructions, all kinds).
 	EventsPerTrace int64
-	// Parallelism bounds concurrent trace simulations; 0 means NumCPU.
-	Parallelism int
+	// Workers bounds the goroutines the scheduler shards an experiment's
+	// (trace × configuration) grid across. 0 (and 1) select the serial
+	// reference path: shards run in registration order on the calling
+	// goroutine. Every worker count produces bit-identical tables — each
+	// shard holds its own predictor instance and replay cursor, writes
+	// only its own result slot, and results merge in shard order after
+	// the pool drains (see scheduler.go).
+	Workers int
 
 	// Ctx, when non-nil, cancels in-flight trace simulations: traces
 	// that have not completed fail with the context's error and the
@@ -65,11 +70,13 @@ func DefaultConfig() Config {
 	return Config{EventsPerTrace: 400_000}
 }
 
-func (c Config) workers() int {
-	if c.Parallelism > 0 {
-		return c.Parallelism
+// schedWorkers resolves the configured worker count for the scheduler;
+// anything below 2 is the serial path.
+func (c Config) schedWorkers() int {
+	if c.Workers > 1 {
+		return c.Workers
 	}
-	return runtime.NumCPU()
+	return 1
 }
 
 // Factory builds a fresh predictor instance for one trace run.
@@ -224,13 +231,15 @@ func (c Config) perTrace(spec workload.TraceSpec, body func(ctx context.Context,
 }
 
 // runAll simulates every trace in specs with a fresh predictor from the
-// factory, in parallel, preserving spec order in the result. A failing
-// trace — source error, panic anywhere in its predictor or factory,
-// cancellation, deadline — is isolated into a TraceFailure; transient
-// source errors are retried up to cfg.SourceRetries times.
+// factory, sharded across the config's workers, preserving spec order in
+// the result. A failing trace — source error, panic anywhere in its
+// predictor or factory, cancellation, deadline — is isolated into a
+// TraceFailure; transient source errors are retried up to
+// cfg.SourceRetries times.
 func runAll(cfg Config, specs []workload.TraceSpec, stage string, f Factory, gapDepth int) ([]traceRun, []TraceFailure) {
 	out := make([]traceRun, len(specs))
-	errs := parallelTry(cfg, len(specs), func(i int) error {
+	g := newGrid(cfg)
+	g.addPass(stage, specs, func(i int) error {
 		spec := specs[i]
 		// Record the spec up front so even a panic mid-run leaves the slot
 		// attributed to its trace.
@@ -244,7 +253,7 @@ func runAll(cfg Config, specs []workload.TraceSpec, stage string, f Factory, gap
 			return nil
 		})
 	})
-	return out, failuresOf(specs, stage, errs)
+	return out, g.run()
 }
 
 // bySuite groups trace runs into per-suite merged counters plus the

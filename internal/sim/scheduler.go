@@ -1,0 +1,184 @@
+// The parallel sharded experiment scheduler. Every experiment is a grid
+// of independent (configuration pass × trace) cells — exactly the
+// embarrassingly-parallel shape of the paper's evaluation — and this
+// file turns that grid into shards executed across a bounded worker
+// pool.
+//
+// Determinism: output tables are bit-identical at every worker count.
+// Three properties make that structural rather than lucky:
+//
+//  1. Shards are independent. Each shard builds its own predictor
+//     instance(s) from a fresh factory call and opens its own trace
+//     source — with a ReplayCache configured, a private replay cursor
+//     over the cache's immutable shared bytes. No mutable state is
+//     shared between shards.
+//  2. Each shard writes only its own pre-allocated result slot, so the
+//     completion order of shards cannot influence what any slot holds.
+//  3. All merging (suite pooling, equal-weight means, failure lists)
+//     happens after the pool drains, iterating the slots in shard
+//     registration order. Floating-point accumulation therefore runs in
+//     one fixed order regardless of scheduling.
+//
+// The resilience policy composes per shard: perTrace installs the
+// config's deadline and transient-retry loop inside the shard, a panic
+// anywhere in a shard is recovered into a *PanicError for that shard
+// alone, and cancellation fails the shards that have not started while
+// the ones in flight stop at their next batch boundary.
+package sim
+
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"capred/internal/metrics"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// shard is one (configuration pass, trace) cell of an experiment grid.
+type shard struct {
+	stage string
+	spec  workload.TraceSpec
+	run   func() error
+}
+
+// grid accumulates an experiment's full work grid before execution, so
+// every pass of a multi-configuration sweep shards across the same
+// worker pool instead of running pass-by-pass behind barriers.
+type grid struct {
+	cfg    Config
+	shards []shard
+}
+
+func newGrid(cfg Config) *grid { return &grid{cfg: cfg} }
+
+// addPass registers one configuration pass over specs; body(i) performs
+// the i-th trace's work and must write results only to slot i of
+// whatever the caller pre-allocated (see the determinism contract at the
+// top of the file).
+func (g *grid) addPass(stage string, specs []workload.TraceSpec, body func(i int) error) {
+	for i := range specs {
+		i := i
+		g.shards = append(g.shards, shard{
+			stage: stage,
+			spec:  specs[i],
+			run:   func() error { return body(i) },
+		})
+	}
+}
+
+// suitePass is the handle addSuitePass returns: per-trace runs to be
+// merged into per-suite counters once the grid has drained.
+type suitePass struct {
+	runs []traceRun
+}
+
+// addSuitePass registers the standard figure pass — every trace of the
+// roster through one predictor factory — and returns the handle to merge
+// its rows after run.
+func (g *grid) addSuitePass(stage string, f Factory, gapDepth int) *suitePass {
+	specs := workload.Traces()
+	sp := &suitePass{runs: make([]traceRun, len(specs))}
+	cfg := g.cfg
+	g.addPass(stage, specs, func(i int) error {
+		spec := specs[i]
+		// Record the spec up front so even a panic mid-run leaves the
+		// slot attributed to its trace.
+		sp.runs[i] = traceRun{Spec: spec}
+		return cfg.perTrace(spec, func(ctx context.Context, open func() trace.Source) error {
+			c, err := RunTraceContext(ctx, open(), cfg.factoryFor(spec, f)(), gapDepth)
+			if err != nil {
+				return err
+			}
+			sp.runs[i] = traceRun{Spec: spec, C: c, ok: true}
+			return nil
+		})
+	})
+	return sp
+}
+
+// merge pools the pass's surviving runs per suite and folds them into
+// the equal-weight average, in trace-roster order.
+func (sp *suitePass) merge() (map[string]metrics.Counters, metrics.Mean) {
+	return bySuite(sp.runs)
+}
+
+// size is the number of registered shards — what FailureSet.Attempted
+// should account for.
+func (g *grid) size() int { return len(g.shards) }
+
+// run executes every registered shard under the config's worker count
+// and returns the failures in shard registration order.
+func (g *grid) run() []TraceFailure {
+	errs := runShards(g.cfg, g.shards)
+	var fails []TraceFailure
+	for i, err := range errs {
+		if err != nil {
+			fails = append(fails, TraceFailure{
+				Trace: g.shards[i].spec.Name,
+				Suite: g.shards[i].spec.Suite,
+				Stage: g.shards[i].stage,
+				Err:   err,
+			})
+		}
+	}
+	return fails
+}
+
+// runShards is the scheduler core: it executes shards across
+// cfg.schedWorkers() goroutines (serially, in order, on the calling
+// goroutine for Workers <= 1) and returns per-shard errors in shard
+// order. Workers claim shard indices from an atomic cursor, so no shard
+// runs twice and an idle worker immediately picks up the next cell of
+// whatever pass still has work. Each shard is isolated: a panic becomes
+// that shard's *PanicError, and once the config's context is done,
+// not-yet-started shards fail with its error instead of running.
+func runShards(cfg Config, shards []shard) []error {
+	errs := make([]error, len(shards))
+	ctx := cfg.context()
+	runOne := func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		errs[i] = shards[i].run()
+	}
+
+	workers := cfg.schedWorkers()
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		// Serial reference path: the golden harness diffs every parallel
+		// run against this.
+		for i := range shards {
+			runOne(i)
+		}
+		return errs
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}

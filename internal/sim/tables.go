@@ -6,7 +6,6 @@ import (
 	"capred/internal/metrics"
 	"capred/internal/predictor"
 	"capred/internal/report"
-	"capred/internal/workload"
 )
 
 // --- §4.3: link-table update policy ---
@@ -26,16 +25,20 @@ func UpdatePolicy(cfg Config) UpdatePolicyResult {
 		predictor.UpdateUnlessStrideCorrect,
 		predictor.UpdateUnlessStrideSelected,
 	}}
-	n := len(workload.Traces())
-	for _, pol := range r.Policies {
+	g := newGrid(cfg)
+	passes := make([]*suitePass, len(r.Policies))
+	for i, pol := range r.Policies {
 		pol := pol
 		f := func() predictor.Predictor {
 			hc := predictor.DefaultHybridConfig()
 			hc.UpdatePolicy = pol
 			return predictor.NewHybrid(hc)
 		}
-		_, avg, fails := runSuites(cfg, pol.String(), f, 0)
-		r.absorb(n, fails)
+		passes[i] = g.addSuitePass(pol.String(), f, 0)
+	}
+	r.absorb(g.size(), g.run())
+	for _, p := range passes {
+		_, avg := p.merge()
 		r.Counters = append(r.Counters, avg)
 	}
 	return r
@@ -66,16 +69,20 @@ type LTSizeResult struct {
 // steadily increases from 1K-entry to 8K-entry link tables.
 func LTSize(cfg Config) LTSizeResult {
 	r := LTSizeResult{Sizes: []int{1024, 2048, 4096, 8192}}
-	nTraces := len(workload.Traces())
-	for _, n := range r.Sizes {
+	g := newGrid(cfg)
+	passes := make([]*suitePass, len(r.Sizes))
+	for i, n := range r.Sizes {
 		n := n
 		f := func() predictor.Predictor {
 			hc := predictor.DefaultHybridConfig()
 			hc.CAP.LTEntries = n
 			return predictor.NewHybrid(hc)
 		}
-		_, avg, fails := runSuites(cfg, fmt.Sprintf("LT %d", n), f, 0)
-		r.absorb(nTraces, fails)
+		passes[i] = g.addSuitePass(fmt.Sprintf("LT %d", n), f, 0)
+	}
+	r.absorb(g.size(), g.run())
+	for _, p := range passes {
+		_, avg := p.merge()
 		r.Counters = append(r.Counters, avg)
 	}
 	return r
@@ -106,18 +113,22 @@ type BaselinesResult struct {
 // of loads, stride adds ≈13%, CAP and the hybrid sit above.
 func Baselines(cfg Config) BaselinesResult {
 	r := BaselinesResult{}
-	nTraces := len(workload.Traces())
+	g := newGrid(cfg)
+	var passes []*suitePass
 	add := func(name string, f Factory) {
-		_, avg, fails := runSuites(cfg, name, f, 0)
-		r.absorb(nTraces, fails)
 		r.Names = append(r.Names, name)
-		r.Counters = append(r.Counters, avg)
+		passes = append(passes, g.addSuitePass(name, f, 0))
 	}
 	add("last", func() predictor.Predictor { return predictor.NewLast(predictor.DefaultLastConfig()) })
 	add("stride", func() predictor.Predictor { return predictor.NewStride(predictor.BasicStrideConfig()) })
 	add("stride+", strideFactory)
 	add("cap", capFactory)
 	add("hybrid", hybridFactory)
+	r.absorb(g.size(), g.run())
+	for _, p := range passes {
+		_, avg := p.merge()
+		r.Counters = append(r.Counters, avg)
+	}
 	return r
 }
 
@@ -146,12 +157,11 @@ type ControlBasedResult struct {
 // call-path address predictors are no substitute for CAP.
 func ControlBased(cfg Config) ControlBasedResult {
 	r := ControlBasedResult{}
-	nTraces := len(workload.Traces())
+	g := newGrid(cfg)
+	var passes []*suitePass
 	add := func(name string, f Factory) {
-		_, avg, fails := runSuites(cfg, name, f, 0)
-		r.absorb(nTraces, fails)
 		r.Names = append(r.Names, name)
-		r.Counters = append(r.Counters, avg)
+		passes = append(passes, g.addSuitePass(name, f, 0))
 	}
 	add("gshare-addr", func() predictor.Predictor {
 		return predictor.NewControl(predictor.DefaultControlConfig(false))
@@ -160,6 +170,11 @@ func ControlBased(cfg Config) ControlBasedResult {
 		return predictor.NewControl(predictor.DefaultControlConfig(true))
 	})
 	add("cap", capFactory)
+	r.absorb(g.size(), g.run())
+	for _, p := range passes {
+		_, avg := p.merge()
+		r.Counters = append(r.Counters, avg)
+	}
 	return r
 }
 
@@ -188,12 +203,11 @@ type AblationsResult struct {
 // on/off/external, static vs dynamic selector, and shift(m) variations.
 func Ablations(cfg Config) AblationsResult {
 	r := AblationsResult{}
-	nTraces := len(workload.Traces())
+	g := newGrid(cfg)
+	var passes []*suitePass
 	add := func(name string, f Factory) {
-		_, avg, fails := runSuites(cfg, name, f, 0)
-		r.absorb(nTraces, fails)
 		r.Names = append(r.Names, name)
-		r.Counters = append(r.Counters, avg)
+		passes = append(passes, g.addSuitePass(name, f, 0))
 	}
 	add("hybrid (baseline)", hybridFactory)
 	add("hybrid, no PF bits", func() predictor.Predictor {
@@ -227,6 +241,11 @@ func Ablations(cfg Config) AblationsResult {
 		cc.LTWays = 2
 		return predictor.NewCAP(cc)
 	})
+	r.absorb(g.size(), g.run())
+	for _, p := range passes {
+		_, avg := p.merge()
+		r.Counters = append(r.Counters, avg)
+	}
 	return r
 }
 

@@ -63,7 +63,8 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 	}
 	rows := make([]row, len(specs))
 
-	errs := parallelTry(cfg, len(specs), func(i int) error {
+	g := newGrid(cfg)
+	g.addPass("addr-vs-value", specs, func(i int) error {
 		spec := specs[i]
 		// The whole per-trace measurement runs under perTrace and
 		// accumulates into a local row, so a retry restarts from fresh
@@ -125,6 +126,7 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 			return nil
 		})
 	})
+	fails := g.run()
 
 	// Aggregate with equal weight per trace, like the figure tables'
 	// "Average" row: each surviving trace contributes one sample per
@@ -146,7 +148,7 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 	}
 
 	out := AddressVsValueResult{}
-	out.absorb(len(specs), failuresOf(specs, "addr-vs-value", errs))
+	out.absorb(g.size(), fails)
 	push := func(name string, rate, correct, acc float64) {
 		out.Names = append(out.Names, name)
 		out.Rates = append(out.Rates, rate)

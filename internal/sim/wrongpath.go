@@ -157,7 +157,8 @@ func WrongPath(cfg Config) WrongPathResult {
 		counters[m] = make([]metrics.Counters, len(specs))
 	}
 	done := make([]bool, len(specs))
-	errs := parallelTry(cfg, len(specs), func(i int) error {
+	g := newGrid(cfg)
+	g.addPass("wrong-path", specs, func(i int) error {
 		f := func() predictor.Predictor {
 			hc := predictor.DefaultHybridConfig()
 			hc.Speculative = true
@@ -183,7 +184,7 @@ func WrongPath(cfg Config) WrongPathResult {
 	})
 
 	out := WrongPathResult{Modes: modes, Counters: make([]metrics.Mean, len(modes))}
-	out.absorb(len(specs), failuresOf(specs, "wrong-path", errs))
+	out.absorb(g.size(), g.run())
 	for m := range modes {
 		for i := range specs {
 			if !done[i] {
