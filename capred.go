@@ -170,6 +170,9 @@ var (
 	Limit = trace.NewLimit
 	// CollectStats consumes a source and summarises it.
 	CollectStats = trace.Collect
+	// TopLoads returns the hottest static loads of a source by dynamic
+	// execution count.
+	TopLoads = trace.TopLoads
 	// AsBatch adapts any Source to batch delivery.
 	AsBatch = trace.AsBatch
 	// NewReplayCache builds a replay cache with a byte budget (0 = no

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"capred"
+)
+
+// lockedBuffer lets the test read run's output while run still writes it.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+var addrRe = regexp.MustCompile(`listening on (\S+)`)
+
+// startServer runs the binary's entry point on a free port and returns
+// its base URL plus a shutdown func yielding the exit code.
+func startServer(t *testing.T, args ...string) (string, func() int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr lockedBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &stdout, &stderr)
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	var base string
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never reported its address\nstdout: %s\nstderr: %s", stdout.String(), stderr.String())
+		}
+		if m := addrRe.FindStringSubmatch(stdout.String()); m != nil {
+			base = "http://" + m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return base, func() int {
+		cancel()
+		select {
+		case code := <-done:
+			if !strings.Contains(stderr.String(), "drained cleanly") && code == 0 {
+				t.Errorf("clean exit without drain message:\n%s", stderr.String())
+			}
+			return code
+		case <-time.After(60 * time.Second):
+			t.Fatalf("server did not drain\nstderr: %s", stderr.String())
+			return -1
+		}
+	}
+}
+
+func TestServeStreamAndDrain(t *testing.T) {
+	base, shutdown := startServer(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// One short session over the wire, checked against the offline run.
+	spec, ok := capred.TraceByName("INT_xli")
+	if !ok {
+		t.Fatal("INT_xli missing from the roster")
+	}
+	var evs []capred.Event
+	src := capred.Limit(spec.Open(), 2_000)
+	for {
+		ev, more := src.Next()
+		if !more {
+			break
+		}
+		evs = append(evs, ev)
+	}
+	var enc bytes.Buffer
+	w := capred.NewTraceWriter(&enc)
+	for _, ev := range evs {
+		if err := w.Emit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	resp, err = http.Post(base+"/v1/sessions", "application/json", strings.NewReader(`{"predictor":"hybrid"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.ID == "" {
+		t.Fatalf("create session: %d %+v", resp.StatusCode, created)
+	}
+
+	resp, err = http.Post(base+"/v1/sessions/"+created.ID+"/events", "application/octet-stream", bytes.NewReader(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post events: %d", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest("DELETE", base+"/v1/sessions/"+created.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final struct {
+		Counters capred.Counters `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	want, err := capred.RunTrace(capred.NewTraceReader(bytes.NewReader(enc.Bytes())), capred.NewHybrid(capred.DefaultHybridConfig()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Counters != want {
+		t.Fatalf("served counters %+v != offline %+v", final.Counters, want)
+	}
+
+	if code := shutdown(); code != 0 {
+		t.Fatalf("exit code %d after graceful drain", code)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr lockedBuffer
+	if code := run(context.Background(), []string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version exit %d: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "capserve ") {
+		t.Fatalf("-version output %q", stdout.String())
+	}
+}
+
+func TestUsageAndListenErrors(t *testing.T) {
+	var out lockedBuffer
+	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &out); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &out, &out); code != 1 {
+		t.Fatalf("bad addr: exit %d", code)
+	}
+}
+
+func TestDrainRejectsNewSessionsOverWire(t *testing.T) {
+	base, shutdown := startServer(t)
+
+	// Hold a session open so drain has in-flight state to respect.
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(`{"predictor":"stride"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	codes := make(chan int, 1)
+	go func() {
+		// Poll until drain mode rejects creates; the first non-201 wins.
+		for i := 0; i < 2000; i++ {
+			r, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(`{"predictor":"cap"}`))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+			if r.StatusCode != http.StatusCreated {
+				codes <- r.StatusCode
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		codes <- 0
+	}()
+
+	if code := shutdown(); code != 0 {
+		t.Fatalf("drain exit code %d", code)
+	}
+	select {
+	case got := <-codes:
+		// -1 (connection refused after full shutdown) is acceptable; what
+		// must never happen is a hang or a non-429 error while draining.
+		if got != http.StatusTooManyRequests && got != -1 {
+			t.Fatalf("create during drain: got %d, want 429 (or refused)", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain probe never returned")
+	}
+}

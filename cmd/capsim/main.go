@@ -42,6 +42,7 @@ import (
 	"syscall"
 
 	"capred"
+	"capred/internal/buildinfo"
 )
 
 // names lists the registered experiment names, sorted.
@@ -132,11 +133,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		budget   = fs.Int64("cache-budget", 512, "replay cache budget in MiB (0 = unlimited)")
 		cacheLog = fs.Bool("cache-stats", false, "print replay cache statistics to stderr on exit")
 		list     = fs.Bool("list", false, "list available experiments")
+		version  = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("capsim"))
+		return 0
+	}
 	if *list {
 		for _, e := range capred.Experiments() {
 			fmt.Fprintf(stdout, "%-14s %s\n", e.Name, e.Desc)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -41,5 +43,15 @@ func TestRegistryDescriptions(t *testing.T) {
 		if _, ok := capred.ExperimentByName(e.Name); !ok {
 			t.Errorf("experiment %s not resolvable by name", e.Name)
 		}
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(context.Background(), []string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version exit %d: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "capsim ") {
+		t.Fatalf("-version output %q", stdout.String())
 	}
 }

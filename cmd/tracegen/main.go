@@ -13,9 +13,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"capred"
+	"capred/internal/buildinfo"
 )
 
 // writeTrace streams src into a freshly-created trace file at path. On
@@ -55,25 +57,36 @@ func writeTrace(path string, src capred.Source) (n int64, err error) {
 	return n, nil
 }
 
-func main() {
+// run is the testable entry point: parses args, writes the requested
+// trace, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name   = flag.String("trace", "", "trace name, e.g. INT_xli")
-		events = flag.Int64("events", 1_000_000, "instructions to generate")
-		out    = flag.String("o", "", "output file (default <trace>.capt)")
-		list   = flag.Bool("list", false, "list trace names")
+		name    = fs.String("trace", "", "trace name, e.g. INT_xli")
+		events  = fs.Int64("events", 1_000_000, "instructions to generate")
+		out     = fs.String("o", "", "output file (default <trace>.capt)")
+		list    = fs.Bool("list", false, "list trace names")
+		version = fs.Bool("version", false, "print version and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("tracegen"))
+		return 0
+	}
 	if *list {
 		for _, s := range capred.Traces() {
-			fmt.Println(s.Name)
+			fmt.Fprintln(stdout, s.Name)
 		}
-		return
+		return 0
 	}
 	spec, ok := capred.TraceByName(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tracegen: unknown trace %q; use -list\n", *name)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "tracegen: unknown trace %q; use -list\n", *name)
+		return 2
 	}
 	path := *out
 	if path == "" {
@@ -81,8 +94,13 @@ func main() {
 	}
 	n, err := writeTrace(path, capred.Limit(spec.Open(), *events))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "tracegen: %v\n", err)
+		return 1
 	}
-	fmt.Printf("wrote %d events of %s to %s\n", n, spec.Name, path)
+	fmt.Fprintf(stdout, "wrote %d events of %s to %s\n", n, spec.Name, path)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"capred"
@@ -60,5 +62,25 @@ func TestWriteTraceRemovesFileOnEmitError(t *testing.T) {
 	}
 	if _, err := os.Stat(dir); err != nil {
 		t.Errorf("directory was removed: %v", err)
+	}
+}
+
+func TestRunVersionAndList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version exit %d", code)
+	}
+	if !strings.HasPrefix(stdout.String(), "tracegen ") {
+		t.Fatalf("-version output %q", stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	if !strings.Contains(stdout.String(), "INT_go") {
+		t.Fatalf("-list output missing INT_go:\n%s", stdout.String())
+	}
+	if code := run([]string{"-trace", "NO_SUCH"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown trace exit %d, want 2", code)
 	}
 }

@@ -5,92 +5,77 @@
 // Usage:
 //
 //	traceinfo -i int_xli.capt [-top 10]
+//
+// Any trace-source error — bad magic, truncated or corrupt event stream,
+// I/O failure — aborts with a non-zero exit code; partial statistics are
+// never presented as a complete summary.
+//
+// Exit codes: 0 clean; 1 trace or I/O error; 2 usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"capred"
+	"capred/internal/buildinfo"
 )
 
-func main() {
+// run is the testable entry point: parses args, summarises the trace,
+// and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in  = flag.String("i", "", "input trace file")
-		top = flag.Int("top", 0, "also list the N hottest static loads")
+		in      = fs.String("i", "", "input trace file")
+		top     = fs.Int("top", 0, "also list the N hottest static loads")
+		version = fs.Bool("version", false, "print version and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("traceinfo"))
+		return 0
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "traceinfo: -i required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "traceinfo: -i required")
+		return 2
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "traceinfo: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 
 	stats, err := capred.CollectStats(capred.NewTraceReader(f))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "traceinfo: %v\n", err)
+		return 1
 	}
-	fmt.Print(stats)
+	fmt.Fprint(stdout, stats)
 
 	if *top > 0 {
 		if _, err := f.Seek(0, 0); err != nil {
-			fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "traceinfo: %v\n", err)
+			return 1
 		}
-		ips, counts, err := topLoads(f, *top)
+		ips, counts, err := capred.TopLoads(capred.NewTraceReader(f), *top)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "traceinfo: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "traceinfo: %v\n", err)
+			return 1
 		}
-		fmt.Printf("top %d static loads:\n", len(ips))
+		fmt.Fprintf(stdout, "top %d static loads:\n", len(ips))
 		for i, ip := range ips {
-			fmt.Printf("  %#010x  %d\n", ip, counts[i])
+			fmt.Fprintf(stdout, "  %#010x  %d\n", ip, counts[i])
 		}
 	}
+	return 0
 }
 
-func topLoads(f *os.File, n int) ([]uint32, []int64, error) {
-	src := capred.NewTraceReader(f)
-	counts := map[uint32]int64{}
-	for {
-		ev, ok := src.Next()
-		if !ok {
-			break
-		}
-		if ev.Kind == capred.KindLoad {
-			counts[ev.IP]++
-		}
-	}
-	if err := src.Err(); err != nil {
-		return nil, nil, err
-	}
-	var ips []uint32
-	for ip := range counts {
-		ips = append(ips, ip)
-	}
-	// Selection of the top n by count (n is small).
-	for i := 0; i < len(ips) && i < n; i++ {
-		best := i
-		for j := i + 1; j < len(ips); j++ {
-			if counts[ips[j]] > counts[ips[best]] {
-				best = j
-			}
-		}
-		ips[i], ips[best] = ips[best], ips[i]
-	}
-	if len(ips) > n {
-		ips = ips[:n]
-	}
-	out := make([]int64, len(ips))
-	for i, ip := range ips {
-		out[i] = counts[ip]
-	}
-	return ips, out, nil
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

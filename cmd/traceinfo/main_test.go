@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"capred"
@@ -40,24 +42,80 @@ func writeTempTrace(t *testing.T) string {
 	return path
 }
 
-func TestTopLoads(t *testing.T) {
+func TestRunSummarisesTrace(t *testing.T) {
 	path := writeTempTrace(t)
-	f, err := os.Open(path)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-i", path, "-top", "5"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "events: 20000") {
+		t.Errorf("missing event count in:\n%s", out)
+	}
+	if !strings.Contains(out, "static loads:") {
+		t.Errorf("missing static load summary in:\n%s", out)
+	}
+	if !strings.Contains(out, "top 5 static loads:") {
+		t.Errorf("missing top-loads section in:\n%s", out)
+	}
+}
+
+func TestRunFailsOnTruncatedTrace(t *testing.T) {
+	path := writeTempTrace(t)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	ips, counts, err := topLoads(f, 5)
-	if err != nil {
+	trunc := filepath.Join(t.TempDir(), "trunc.capt")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if len(ips) == 0 || len(ips) != len(counts) {
-		t.Fatalf("topLoads returned %d ips, %d counts", len(ips), len(counts))
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-i", trunc}, &stdout, &stderr); code != 1 {
+		t.Fatalf("truncated trace: exit %d (stdout %q), want 1", code, stdout.String())
 	}
-	for i := 1; i < len(counts); i++ {
-		if counts[i] > counts[i-1] {
-			t.Errorf("counts not descending: %v", counts)
-		}
+	if !strings.Contains(stderr.String(), "truncated") {
+		t.Errorf("stderr %q does not name the truncation", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "events:") {
+		t.Errorf("partial stats printed despite the error:\n%s", stdout.String())
+	}
+}
+
+func TestRunFailsOnBadMagic(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.capt")
+	if err := os.WriteFile(bad, []byte("not a trace file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-i", bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad magic: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "magic") {
+		t.Errorf("stderr %q does not name the bad magic", stderr.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{}, &out, &out); code != 2 {
+		t.Fatalf("missing -i: exit %d, want 2", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &out); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-i", "/no/such/file.capt"}, &out, &out); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version exit %d", code)
+	}
+	if !strings.HasPrefix(stdout.String(), "traceinfo ") {
+		t.Fatalf("-version output %q", stdout.String())
 	}
 }
 

@@ -1,0 +1,62 @@
+// Package buildinfo renders the one-line version banner every binary
+// prints for -version, sourced from the build metadata the Go toolchain
+// embeds (module version, VCS revision, dirty flag). Deployments of
+// capserve in particular need to be identifiable from the running
+// binary alone.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns the version banner for the named binary, e.g.
+//
+//	capserve (devel) go1.22.5 linux/amd64 3f9c2d1a8b07-dirty (2026-08-05T12:00:00Z)
+//
+// Fields that the build did not record (no VCS stamp, stripped build
+// info) are omitted rather than faked.
+func String(name string) string {
+	bi, ok := debug.ReadBuildInfo()
+	return render(name, bi, ok)
+}
+
+// render is the testable core of String.
+func render(name string, bi *debug.BuildInfo, ok bool) string {
+	version := "(unknown)"
+	var rev, at string
+	dirty := false
+	if ok && bi != nil {
+		version = bi.Main.Version
+		if version == "" {
+			version = "(devel)"
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.time":
+				at = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s %s/%s", name, version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		b.WriteString(" " + rev)
+		if dirty {
+			b.WriteString("-dirty")
+		}
+	}
+	if at != "" {
+		b.WriteString(" (" + at + ")")
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStringAlwaysIdentifies(t *testing.T) {
+	s := String("capserve")
+	if !strings.HasPrefix(s, "capserve ") {
+		t.Fatalf("banner %q does not lead with the binary name", s)
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Fatalf("banner %q missing the Go version", s)
+	}
+	if !strings.Contains(s, runtime.GOOS+"/"+runtime.GOARCH) {
+		t.Fatalf("banner %q missing the platform", s)
+	}
+}
+
+func TestRenderWithVCSStamp(t *testing.T) {
+	bi := &debug.BuildInfo{
+		Main: debug.Module{Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.time", Value: "2026-08-05T00:00:00Z"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}
+	s := render("traceinfo", bi, true)
+	for _, want := range []string{"traceinfo v1.2.3", "0123456789ab-dirty", "(2026-08-05T00:00:00Z)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("banner %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "0123456789abcdef") {
+		t.Errorf("banner %q should truncate the revision to 12 chars", s)
+	}
+}
+
+func TestRenderWithoutBuildInfo(t *testing.T) {
+	s := render("capsim", nil, false)
+	if !strings.Contains(s, "(unknown)") {
+		t.Fatalf("banner %q should admit the version is unknown", s)
+	}
+}

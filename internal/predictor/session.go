@@ -1,0 +1,45 @@
+package predictor
+
+// Session is a step-wise façade over a predictor: it owns the global
+// branch-history and call-path registers that RunTrace maintains
+// internally, and exposes the per-event steps — branch outcome, call
+// site, load — one at a time. It exists for callers that do not hold a
+// whole trace.Source, such as a server session fed events over the
+// network: stepping a Session over an event stream performs exactly the
+// operations RunTrace's immediate-update loop performs, so the counters
+// a caller records are bit-identical to an offline run over the same
+// events.
+type Session struct {
+	p    Predictor
+	ghr  GHR
+	path PathHist
+}
+
+// NewSession wraps p with fresh history registers.
+func NewSession(p Predictor) *Session { return &Session{p: p} }
+
+// Predictor returns the wrapped predictor.
+func (s *Session) Predictor() Predictor { return s.p }
+
+// Branch shifts a branch outcome into the global history register.
+func (s *Session) Branch(taken bool) { s.ghr.Update(taken) }
+
+// Call mixes a call-site IP into the path-history register.
+func (s *Session) Call(ip uint32) { s.path.Push(ip) }
+
+// Ref assembles the LoadRef for a dynamic load under the current
+// history registers — everything the front end knows before the
+// effective address resolves.
+func (s *Session) Ref(ip uint32, offset int32) LoadRef {
+	return LoadRef{IP: ip, Offset: offset, GHR: s.ghr.Value(), Path: s.path.Value()}
+}
+
+// Load predicts one dynamic load and immediately resolves it against the
+// actual effective address (the paper's immediate-update mode),
+// returning the prediction for the caller to record.
+func (s *Session) Load(ip uint32, offset int32, actual uint32) Prediction {
+	ref := s.Ref(ip, offset)
+	pr := s.p.Predict(ref)
+	s.p.Resolve(ref, pr, actual)
+	return pr
+}

@@ -1,0 +1,48 @@
+package predictor
+
+import "testing"
+
+// TestSessionTracksHistory verifies the façade maintains the same GHR
+// and path registers a manual driver would.
+func TestSessionTracksHistory(t *testing.T) {
+	s := NewSession(NewCAP(DefaultCAPConfig()))
+	var ghr GHR
+	var path PathHist
+	outcomes := []bool{true, false, true, true}
+	for _, taken := range outcomes {
+		s.Branch(taken)
+		ghr.Update(taken)
+	}
+	calls := []uint32{0x400100, 0x500040}
+	for _, ip := range calls {
+		s.Call(ip)
+		path.Push(ip)
+	}
+	ref := s.Ref(0x400200, 8)
+	if ref.GHR != ghr.Value() || ref.Path != path.Value() {
+		t.Fatalf("Ref registers diverge: got GHR %#x Path %#x, want %#x %#x",
+			ref.GHR, ref.Path, ghr.Value(), path.Value())
+	}
+	if ref.IP != 0x400200 || ref.Offset != 8 {
+		t.Fatalf("Ref load fields wrong: %+v", ref)
+	}
+}
+
+// TestSessionLoadResolves checks Load performs a Predict/Resolve pair:
+// after seeing the same load repeatedly, a last-address predictor must
+// start predicting its address, which requires the Resolve half to have
+// run.
+func TestSessionLoadResolves(t *testing.T) {
+	s := NewSession(NewLast(DefaultLastConfig()))
+	const ip, addr = 0x400100, 0x8000
+	var predicted bool
+	for i := 0; i < 64; i++ {
+		pr := s.Load(ip, 0, addr)
+		if pr.Predicted && pr.Addr == addr {
+			predicted = true
+		}
+	}
+	if !predicted {
+		t.Fatal("constant load never predicted: Resolve not reaching the predictor")
+	}
+}

@@ -1,0 +1,344 @@
+package server
+
+// The async experiment job queue: any registry experiment can be
+// submitted as a job, polled for status and progress, and its rendered
+// table fetched once done. Jobs run on the existing sharded scheduler
+// under the established resilience policy — per-trace deadlines,
+// bounded transient retries, cancellation, per-shard panic isolation
+// into *PanicError — so a misbehaving trace degrades a job to partial
+// results with a failure footer instead of taking the server down.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"capred/internal/sim"
+	"capred/internal/trace"
+)
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobRequest is the body of POST /v1/jobs.
+type JobRequest struct {
+	// Experiment is a registry name (see GET /v1/experiments).
+	Experiment string `json:"experiment"`
+	// Events overrides the per-trace instruction budget (0 = server default).
+	Events int64 `json:"events,omitempty"`
+	// Workers overrides the scheduler's worker-goroutine count for this
+	// job (0 = server default). Results are bit-identical at any count.
+	Workers int `json:"workers,omitempty"`
+}
+
+// job is one queued/running/finished experiment run.
+type job struct {
+	ID  string
+	Req JobRequest
+
+	mu          sync.Mutex
+	state       JobState
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	table       string
+	failures    []string // rendered TraceFailure lines
+	errMsg      string   // terminal error for failed jobs
+	shardsDone  atomic.Int64
+	shardsTotal atomic.Int64
+}
+
+// JobStatus is the wire rendering of a job.
+type JobStatus struct {
+	ID          string   `json:"id"`
+	Experiment  string   `json:"experiment"`
+	Events      int64    `json:"events"`
+	Workers     int      `json:"workers"`
+	State       JobState `json:"state"`
+	SubmittedAt string   `json:"submitted_at"`
+	StartedAt   string   `json:"started_at,omitempty"`
+	FinishedAt  string   `json:"finished_at,omitempty"`
+	ShardsDone  int64    `json:"shards_done"`
+	ShardsTotal int64    `json:"shards_total"`
+	Failures    []string `json:"failures,omitempty"`
+	Error       string   `json:"error,omitempty"`
+}
+
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:          j.ID,
+		Experiment:  j.Req.Experiment,
+		Events:      j.Req.Events,
+		Workers:     j.Req.Workers,
+		State:       j.state,
+		SubmittedAt: rfc3339(j.submitted),
+		StartedAt:   rfc3339(j.started),
+		FinishedAt:  rfc3339(j.finished),
+		ShardsDone:  j.shardsDone.Load(),
+		ShardsTotal: j.shardsTotal.Load(),
+		Failures:    append([]string(nil), j.failures...),
+		Error:       j.errMsg,
+	}
+}
+
+// errQueueFull reports job-queue backpressure (429 + Retry-After).
+var errQueueFull = errors.New("job queue full")
+
+// jobQueue accepts, schedules and retains jobs. Completed jobs stay
+// queryable for the life of the process (they are small: a rendered
+// table and some timestamps).
+type jobQueue struct {
+	events        int64 // default per-trace budget
+	workers       int   // default scheduler workers
+	traceTimeout  time.Duration
+	sourceRetries int
+	replay        *trace.ReplayCache // shared across jobs: same trace+budget streams replay for free
+	now           func() time.Time
+
+	queue  chan *job
+	ctx    context.Context // cancels running jobs on hard shutdown
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool // queue channel closed; no further submissions
+	jobs   map[string]*job
+	order  []string
+
+	// Observability hooks, wired by the server.
+	onQueueWait func(time.Duration)
+	onRun       func(time.Duration, JobState)
+}
+
+func newJobQueue(cfg Config) *jobQueue {
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &jobQueue{
+		events:        cfg.JobEvents,
+		workers:       cfg.Workers,
+		traceTimeout:  cfg.TraceTimeout,
+		sourceRetries: cfg.SourceRetries,
+		now:           cfg.now(),
+		queue:         make(chan *job, cfg.JobQueueDepth),
+		ctx:           ctx,
+		cancel:        cancel,
+		jobs:          make(map[string]*job),
+	}
+	if cfg.ReplayCacheBudget != 0 {
+		q.replay = trace.NewReplayCache(cfg.ReplayCacheBudget)
+	}
+	for i := 0; i < cfg.JobRunners; i++ {
+		q.wg.Add(1)
+		go q.runner()
+	}
+	return q
+}
+
+// submit enqueues a job, failing fast with errQueueFull on backpressure.
+func (q *jobQueue) submit(req JobRequest) (*job, error) {
+	if _, ok := sim.ExperimentByName(req.Experiment); !ok {
+		return nil, fmt.Errorf("unknown experiment %q", req.Experiment)
+	}
+	if req.Events < 0 || req.Workers < 0 {
+		return nil, fmt.Errorf("events and workers must be non-negative")
+	}
+	if req.Events == 0 {
+		req.Events = q.events
+	}
+	if req.Workers == 0 {
+		req.Workers = q.workers
+	}
+	j := &job{ID: newID("j"), Req: req, state: JobQueued, submitted: q.now()}
+	// The send happens under q.mu so it can never race the close in stop:
+	// it is non-blocking, so holding the lock across it is safe.
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, errQueueFull
+	}
+	select {
+	case q.queue <- j:
+		q.jobs[j.ID] = j
+		q.order = append(q.order, j.ID)
+		return j, nil
+	default:
+		return nil, errQueueFull
+	}
+}
+
+// get returns a job by ID.
+func (q *jobQueue) get(id string) (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// list returns every job's status in submission order.
+func (q *jobQueue) list() []JobStatus {
+	q.mu.Lock()
+	ids := append([]string(nil), q.order...)
+	q.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := q.get(id); ok {
+			out = append(out, j.status())
+		}
+	}
+	return out
+}
+
+// depth returns the number of queued-but-not-started jobs.
+func (q *jobQueue) depth() int { return len(q.queue) }
+
+// table returns a finished job's rendered table.
+func (j *job) renderedTable() (string, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.table, j.state == JobDone
+}
+
+// runner is one job-executing goroutine. Jobs run one at a time per
+// runner; inside a job, the sharded scheduler fans out across the
+// configured worker goroutines. Runners exit when stop closes the queue
+// channel, after running (or, post-cancellation, fast-failing) whatever
+// was still queued.
+func (q *jobQueue) runner() {
+	defer q.wg.Done()
+	for j := range q.queue {
+		q.runJob(j)
+	}
+}
+
+// failUnstarted marks a job that will never run (shutdown beat it).
+func (q *jobQueue) failUnstarted(j *job) {
+	j.mu.Lock()
+	j.state = JobFailed
+	j.errMsg = "server shut down before the job started"
+	j.finished = q.now()
+	j.mu.Unlock()
+}
+
+func (q *jobQueue) runJob(j *job) {
+	if q.ctx.Err() != nil {
+		q.failUnstarted(j)
+		return
+	}
+	exp, ok := sim.ExperimentByName(j.Req.Experiment)
+	if !ok { // validated at submit; unreachable unless the registry shrank
+		return
+	}
+	start := q.now()
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = start
+	j.mu.Unlock()
+	if q.onQueueWait != nil {
+		q.onQueueWait(start.Sub(j.submitted))
+	}
+
+	cfg := sim.Config{
+		EventsPerTrace: j.Req.Events,
+		Workers:        j.Req.Workers,
+		Ctx:            q.ctx,
+		TraceTimeout:   q.traceTimeout,
+		SourceRetries:  q.sourceRetries,
+		ReplayCache:    q.replay,
+		Progress: func(done, total int) {
+			j.shardsDone.Store(int64(done))
+			j.shardsTotal.Store(int64(total))
+		},
+	}
+
+	table, failures, err := runExperiment(exp, cfg)
+
+	end := q.now()
+	j.mu.Lock()
+	j.finished = end
+	j.failures = failures
+	switch {
+	case err != nil:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	case q.ctx.Err() != nil:
+		// Cancelled mid-run: the scheduler returned partial results; a
+		// drained job must not masquerade as a clean one.
+		j.state = JobFailed
+		j.table = table
+		j.errMsg = fmt.Sprintf("cancelled: %v", q.ctx.Err())
+	default:
+		j.state = JobDone
+		j.table = table
+	}
+	state := j.state
+	j.mu.Unlock()
+	if q.onRun != nil {
+		q.onRun(end.Sub(start), state)
+	}
+}
+
+// runExperiment executes one experiment, converting a panic that escapes
+// the scheduler's per-shard isolation (e.g. in a table renderer) into an
+// error instead of a server crash.
+func runExperiment(exp sim.Experiment, cfg sim.Config) (table string, failures []string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	res := exp.Run(cfg)
+	for _, f := range res.Failed() {
+		failures = append(failures, f.String())
+	}
+	return res.Table().String(), failures, nil
+}
+
+// stop shuts the queue down: the channel closes (submit starts returning
+// errQueueFull), running and queued jobs get until ctx's deadline to
+// complete, then the scheduler context is cancelled — running jobs abort
+// into the failed state and still-queued jobs fast-fail. Idempotent.
+func (q *jobQueue) stop(ctx context.Context) {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.queue)
+	}
+	q.mu.Unlock()
+	finished := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		q.cancel()
+		<-finished
+	}
+	q.cancel() // release the context either way
+	// With zero runners nothing drains the closed channel; fail the
+	// leftovers so no job reads "queued" forever.
+	for j := range q.queue {
+		q.failUnstarted(j)
+	}
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"capred/internal/sim"
+)
+
+// waitForJob polls until the job leaves the queued/running states.
+func waitForJob(t *testing.T, j *job) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := j.status()
+		if st.State == JobDone || st.State == JobFailed {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish: %+v", j.ID, j.status())
+	return JobStatus{}
+}
+
+func TestJobRunsExperimentBitIdentical(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 4
+	q := newJobQueue(cfg)
+	defer q.stop(context.Background())
+
+	j, err := q.submit(JobRequest{Experiment: "baselines"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	st := waitForJob(t, j)
+	if st.State != JobDone {
+		t.Fatalf("job state: %+v", st)
+	}
+	if st.ShardsTotal == 0 || st.ShardsDone != st.ShardsTotal {
+		t.Fatalf("progress never completed: done %d of %d", st.ShardsDone, st.ShardsTotal)
+	}
+
+	got, ok := j.renderedTable()
+	if !ok {
+		t.Fatal("renderedTable not available on a done job")
+	}
+	offline := sim.DefaultConfig()
+	offline.EventsPerTrace = cfg.JobEvents
+	exp, _ := sim.ExperimentByName("baselines")
+	want := exp.Run(offline).Table().String()
+	if got != want {
+		t.Fatalf("job table differs from offline run:\n--- job ---\n%s\n--- offline ---\n%s", got, want)
+	}
+}
+
+func TestJobSubmitValidation(t *testing.T) {
+	q := newJobQueue(testConfig())
+	defer q.stop(context.Background())
+	if _, err := q.submit(JobRequest{Experiment: "no-such-figure"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := q.submit(JobRequest{Experiment: "baselines", Events: -1}); err == nil {
+		t.Fatal("negative events accepted")
+	}
+}
+
+func TestJobQueueBackpressureAndShutdown(t *testing.T) {
+	cfg := testConfig()
+	cfg.JobRunners = 0 // nothing consumes: the queue holds jobs forever
+	cfg.JobQueueDepth = 1
+	q := newJobQueue(cfg)
+
+	j, err := q.submit(JobRequest{Experiment: "baselines"})
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if _, err := q.submit(JobRequest{Experiment: "baselines"}); !errors.Is(err, errQueueFull) {
+		t.Fatalf("second submit: got %v, want errQueueFull", err)
+	}
+
+	q.stop(context.Background())
+	if _, err := q.submit(JobRequest{Experiment: "baselines"}); !errors.Is(err, errQueueFull) {
+		t.Fatalf("submit after stop: got %v, want errQueueFull", err)
+	}
+	st := j.status()
+	if st.State != JobFailed || !strings.Contains(st.Error, "shut down") {
+		t.Fatalf("queued job after shutdown: %+v, want failed with shutdown error", st)
+	}
+}
+
+func TestJobListOrder(t *testing.T) {
+	cfg := testConfig()
+	cfg.JobRunners = 0
+	cfg.JobQueueDepth = 4
+	q := newJobQueue(cfg)
+	defer q.stop(context.Background())
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, err := q.submit(JobRequest{Experiment: "baselines"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	list := q.list()
+	if len(list) != 3 {
+		t.Fatalf("list length: got %d, want 3", len(list))
+	}
+	for i, st := range list {
+		if st.ID != ids[i] {
+			t.Fatalf("list[%d] = %s, want %s (submission order)", i, st.ID, ids[i])
+		}
+	}
+	if got := q.depth(); got != 3 {
+		t.Fatalf("queue depth: got %d, want 3", got)
+	}
+}

@@ -1,0 +1,144 @@
+package server
+
+// Named predictor configurations a session can bind to, plus the knobs
+// the paper's evaluation turns: confidence thresholds, CAP history
+// length, LT tag bits, the pollution-free field width, and the hybrid's
+// LT update policy. Unset knobs keep the paper's §4.2 defaults.
+
+import (
+	"fmt"
+
+	"capred/internal/predictor"
+)
+
+// SessionConfig is the body of POST /v1/sessions: the predictor kind, an
+// optional prediction gap, and optional knob overrides (nil keeps the
+// named configuration's default).
+type SessionConfig struct {
+	// Predictor names the configuration: last, stride, stride-basic, cap
+	// or hybrid.
+	Predictor string `json:"predictor"`
+	// Gap, when positive, runs the session in the paper's pipelined mode:
+	// resolutions arrive Gap dynamic loads after their predictions.
+	Gap int `json:"gap,omitempty"`
+
+	ConfThreshold *uint8 `json:"conf_threshold,omitempty"` // speculation confidence threshold
+	HistoryLen    *int   `json:"history_len,omitempty"`    // CAP base-address history depth
+	TagBits       *int   `json:"tag_bits,omitempty"`       // CAP LT tag width (0 disables)
+	PFBits        *int   `json:"pf_bits,omitempty"`        // CAP pollution-free field width (0 disables)
+	// UpdatePolicy selects the hybrid's LT update policy: "always",
+	// "unless-stride-correct" or "unless-stride-selected".
+	UpdatePolicy string `json:"update_policy,omitempty"`
+}
+
+// PredictorKinds lists the predictor configurations sessions can bind
+// to, in a stable order (it seeds the per-kind metric series).
+func PredictorKinds() []string {
+	return []string{"last", "stride", "stride-basic", "cap", "hybrid"}
+}
+
+// updatePolicies maps the wire names onto the §4.3 policies.
+var updatePolicies = map[string]predictor.UpdatePolicy{
+	"always":                 predictor.UpdateAlways,
+	"unless-stride-correct":  predictor.UpdateUnlessStrideCorrect,
+	"unless-stride-selected": predictor.UpdateUnlessStrideSelected,
+}
+
+// validate rejects malformed session configurations with a message fit
+// for the HTTP 400 body.
+func (c SessionConfig) validate() error {
+	switch c.Predictor {
+	case "last", "stride", "stride-basic", "cap", "hybrid":
+	case "":
+		return fmt.Errorf("predictor is required (one of %v)", PredictorKinds())
+	default:
+		return fmt.Errorf("unknown predictor %q (one of %v)", c.Predictor, PredictorKinds())
+	}
+	if c.Gap < 0 || c.Gap > 256 {
+		return fmt.Errorf("gap must be in [0, 256], got %d", c.Gap)
+	}
+	if c.Gap > 0 && c.Predictor == "last" {
+		return fmt.Errorf("predictor %q has no pipelined (gap) mode", c.Predictor)
+	}
+	if c.HistoryLen != nil && (*c.HistoryLen < 1 || *c.HistoryLen > 16) {
+		return fmt.Errorf("history_len must be in [1, 16], got %d", *c.HistoryLen)
+	}
+	if c.TagBits != nil && (*c.TagBits < 0 || *c.TagBits > 16) {
+		return fmt.Errorf("tag_bits must be in [0, 16], got %d", *c.TagBits)
+	}
+	if c.PFBits != nil && (*c.PFBits < 0 || *c.PFBits > 8) {
+		return fmt.Errorf("pf_bits must be in [0, 8], got %d", *c.PFBits)
+	}
+	if c.UpdatePolicy != "" {
+		if c.Predictor != "hybrid" {
+			return fmt.Errorf("update_policy applies to the hybrid predictor only")
+		}
+		if _, ok := updatePolicies[c.UpdatePolicy]; !ok {
+			return fmt.Errorf("unknown update_policy %q", c.UpdatePolicy)
+		}
+	}
+	hasCAP := c.Predictor == "cap" || c.Predictor == "hybrid"
+	if !hasCAP && (c.HistoryLen != nil || c.TagBits != nil || c.PFBits != nil) {
+		return fmt.Errorf("history_len, tag_bits and pf_bits apply to cap and hybrid only")
+	}
+	return nil
+}
+
+// build constructs a fresh predictor instance for the configuration.
+// Every call returns an independent instance, so concurrent sessions
+// never share predictor state.
+func (c SessionConfig) build() (predictor.Predictor, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	speculative := c.Gap > 0
+	applyCAP := func(cfg *predictor.CAPConfig) {
+		if c.ConfThreshold != nil {
+			cfg.ConfThreshold = *c.ConfThreshold
+		}
+		if c.HistoryLen != nil {
+			cfg.HistoryLen = *c.HistoryLen
+		}
+		if c.TagBits != nil {
+			cfg.TagBits = *c.TagBits
+		}
+		if c.PFBits != nil {
+			cfg.PFBits = *c.PFBits
+		}
+		cfg.Speculative = speculative
+	}
+	switch c.Predictor {
+	case "last":
+		cfg := predictor.DefaultLastConfig()
+		if c.ConfThreshold != nil {
+			cfg.ConfThreshold = *c.ConfThreshold
+		}
+		return predictor.NewLast(cfg), nil
+	case "stride", "stride-basic":
+		cfg := predictor.DefaultStrideConfig()
+		if c.Predictor == "stride-basic" {
+			cfg = predictor.BasicStrideConfig()
+		}
+		if c.ConfThreshold != nil {
+			cfg.ConfThreshold = *c.ConfThreshold
+		}
+		cfg.Speculative = speculative
+		return predictor.NewStride(cfg), nil
+	case "cap":
+		cfg := predictor.DefaultCAPConfig()
+		applyCAP(&cfg)
+		return predictor.NewCAP(cfg), nil
+	case "hybrid":
+		cfg := predictor.DefaultHybridConfig()
+		applyCAP(&cfg.CAP)
+		if c.ConfThreshold != nil {
+			cfg.Stride.ConfThreshold = *c.ConfThreshold
+		}
+		if c.UpdatePolicy != "" {
+			cfg.UpdatePolicy = updatePolicies[c.UpdatePolicy]
+		}
+		cfg.Speculative = speculative
+		return predictor.NewHybrid(cfg), nil
+	}
+	return nil, fmt.Errorf("unknown predictor %q", c.Predictor)
+}

@@ -1,0 +1,88 @@
+package server
+
+// Shared helpers: realistic event streams from the workload generator,
+// encoded in the v3 binary format, plus the offline reference runs the
+// server's counters must match bit for bit.
+
+import (
+	"bytes"
+	"testing"
+
+	"capred/internal/metrics"
+	"capred/internal/sim"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// collectEvents materialises n events of the idx-th workload trace.
+func collectEvents(t *testing.T, idx int, n int64) []trace.Event {
+	t.Helper()
+	specs := workload.Traces()
+	src := trace.NewLimit(specs[idx%len(specs)].Open(), n)
+	evs := make([]trace.Event, 0, n)
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		evs = append(evs, ev)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("workload source: %v", err)
+	}
+	return evs
+}
+
+// encodeTrace renders evs as a v3 binary stream, header included.
+func encodeTrace(t *testing.T, evs []trace.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	for _, ev := range evs {
+		if err := w.Emit(ev); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// chunks splits data into size-byte pieces, deliberately ignoring event
+// boundaries so every test exercises the decoder's tail buffering.
+func chunks(data []byte, size int) [][]byte {
+	var out [][]byte
+	for len(data) > 0 {
+		n := min(size, len(data))
+		out = append(out, data[:n])
+		data = data[n:]
+	}
+	return out
+}
+
+// offlineCounters runs the same events through the offline RunTrace path
+// with a fresh predictor built from cfg — the reference the server's
+// session counters must equal exactly.
+func offlineCounters(t *testing.T, cfg SessionConfig, evs []trace.Event) metrics.Counters {
+	t.Helper()
+	p, err := cfg.build()
+	if err != nil {
+		t.Fatalf("build %+v: %v", cfg, err)
+	}
+	c, err := sim.RunTrace(trace.NewSliceSource(evs), p, cfg.Gap)
+	if err != nil {
+		t.Fatalf("offline run: %v", err)
+	}
+	return c
+}
+
+// testConfig is DefaultConfig shrunk for tests: no janitor goroutine,
+// small job budgets.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SweepInterval = 0
+	cfg.JobEvents = 1_000
+	cfg.ReplayCacheBudget = 1 << 20
+	return cfg
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestProgressCallback: the scheduler reports one completion per grid
+// cell, the final call sees done == total, and the callback's presence
+// does not change the result tables.
+func TestProgressCallback(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		var calls []int
+		total := -1
+		cfg := DefaultConfig()
+		cfg.EventsPerTrace = 2_000
+		cfg.Workers = workers
+		cfg.Progress = func(done, tot int) {
+			mu.Lock()
+			calls = append(calls, done)
+			total = tot
+			mu.Unlock()
+		}
+		withProgress := Baselines(cfg)
+
+		cfg.Progress = nil
+		plain := Baselines(cfg)
+		if withProgress.Table().String() != plain.Table().String() {
+			t.Fatalf("workers %d: progress callback changed the result table", workers)
+		}
+
+		mu.Lock()
+		if total <= 0 {
+			t.Fatalf("workers %d: progress never reported a total", workers)
+		}
+		if len(calls) != total {
+			t.Fatalf("workers %d: %d progress calls for %d cells", workers, len(calls), total)
+		}
+		max := 0
+		for _, d := range calls {
+			if d > max {
+				max = d
+			}
+		}
+		mu.Unlock()
+		if max != total {
+			t.Fatalf("workers %d: max done %d never reached total %d", workers, max, total)
+		}
+	}
+}

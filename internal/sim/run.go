@@ -10,7 +10,6 @@ import (
 	"time"
 
 	"capred/internal/metrics"
-	"capred/internal/pipeline"
 	"capred/internal/predictor"
 	"capred/internal/trace"
 	"capred/internal/workload"
@@ -42,6 +41,13 @@ type Config struct {
 	// SourceRetries bounds re-runs of a trace whose source failed with a
 	// transient error (trace.IsTransient). 0 disables retries.
 	SourceRetries int
+
+	// Progress, when non-nil, is invoked by the scheduler as grid shards
+	// complete: done counts finished (trace × configuration) cells of the
+	// current pass, total the cells the pass registered. Calls may arrive
+	// concurrently from worker goroutines; the callback must be fast and
+	// thread-safe. The serving layer uses it to report job progress.
+	Progress func(done, total int)
 
 	// ReplayCache, when non-nil, materialises each trace's event stream
 	// once (in the compact trace encoding) and replays it on later
@@ -101,61 +107,16 @@ func RunTrace(src trace.Source, p predictor.Predictor, gapDepth int) (metrics.Co
 // Next blocks (e.g. a stalled feed) must itself honour ctx — see
 // trace.NewHang — since a blocked Next cannot be interrupted here.
 func RunTraceContext(ctx context.Context, src trace.Source, p predictor.Predictor, gapDepth int) (metrics.Counters, error) {
-	var (
-		c    metrics.Counters
-		ghr  predictor.GHR
-		path predictor.PathHist
-	)
-	if gapDepth == 0 {
-		// Immediate-update mode is the bulk of every sweep; predicting and
-		// resolving inline skips the gap queue's bookkeeping per load.
-		err := forEachBatch(ctx, src, func(evs []trace.Event) {
-			for _, ev := range evs {
-				switch ev.Kind {
-				case trace.KindBranch:
-					ghr.Update(ev.Taken)
-				case trace.KindCall:
-					path.Push(ev.IP)
-				case trace.KindLoad:
-					ref := predictor.LoadRef{
-						IP:     ev.IP,
-						Offset: ev.Offset,
-						GHR:    ghr.Value(),
-						Path:   path.Value(),
-					}
-					pr := p.Predict(ref)
-					p.Resolve(ref, pr, ev.Addr)
-					c.Record(pr, ev.Addr)
-				}
-			}
-		})
-		return c, err
-	}
-	gap := pipeline.New(p, gapDepth)
-	err := forEachBatch(ctx, src, func(evs []trace.Event) {
-		for _, ev := range evs {
-			switch ev.Kind {
-			case trace.KindBranch:
-				ghr.Update(ev.Taken)
-			case trace.KindCall:
-				path.Push(ev.IP)
-			case trace.KindLoad:
-				ref := predictor.LoadRef{
-					IP:     ev.IP,
-					Offset: ev.Offset,
-					GHR:    ghr.Value(),
-					Path:   path.Value(),
-				}
-				pr := gap.Process(ref, ev.Addr)
-				c.Record(pr, ev.Addr)
-			}
-		}
-	})
+	// RunTrace and the step-wise serving path (server sessions fed events
+	// over the network) share one per-event code path — the Stepper — so
+	// their counters agree bit-for-bit by construction.
+	st := NewStepper(p, gapDepth)
+	err := forEachBatch(ctx, src, st.StepBatch)
 	if err != nil {
-		return c, err
+		return st.C, err
 	}
-	gap.Drain()
-	return c, nil
+	st.Finish()
+	return st.C, nil
 }
 
 // batchLen is the event-delivery granularity of the hot loops: large

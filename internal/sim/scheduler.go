@@ -138,7 +138,14 @@ func (g *grid) run() []TraceFailure {
 func runShards(cfg Config, shards []shard) []error {
 	errs := make([]error, len(shards))
 	ctx := cfg.context()
+	var done atomic.Int64
 	runOne := func(i int) {
+		// Progress reporting is observational only: it must not perturb
+		// scheduling or results, so it fires after the shard's slot is
+		// final, counting completions (not slot indices) monotonically.
+		if cfg.Progress != nil {
+			defer func() { cfg.Progress(int(done.Add(1)), len(shards)) }()
+		}
 		if err := ctx.Err(); err != nil {
 			errs[i] = err
 			return

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"capred/internal/metrics"
+	"capred/internal/pipeline"
+	"capred/internal/predictor"
+	"capred/internal/trace"
+)
+
+// Stepper drives one predictor over an externally-supplied event stream
+// with exactly RunTrace's semantics: history-register maintenance,
+// prediction, resolution and counter recording per event. RunTrace
+// itself steps through here, so a consumer that feeds a Stepper the same
+// events — the serving path, which receives them over the network —
+// accumulates bit-identical counters by construction rather than by
+// parallel-implementation discipline.
+type Stepper struct {
+	sess *predictor.Session
+	gap  *pipeline.Gap // non-nil when operating under a prediction gap
+	C    metrics.Counters
+}
+
+// NewStepper wraps p for step-wise driving. gapDepth 0 is the paper's
+// immediate-update mode; a positive depth defers resolutions by that
+// many dynamic loads (the predictor must then be built in speculative
+// mode, as for RunTrace).
+func NewStepper(p predictor.Predictor, gapDepth int) *Stepper {
+	s := &Stepper{sess: predictor.NewSession(p)}
+	if gapDepth > 0 {
+		s.gap = pipeline.New(p, gapDepth)
+	}
+	return s
+}
+
+// Step processes one event.
+func (s *Stepper) Step(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindBranch:
+		s.sess.Branch(ev.Taken)
+	case trace.KindCall:
+		s.sess.Call(ev.IP)
+	case trace.KindLoad:
+		var pr predictor.Prediction
+		if s.gap == nil {
+			pr = s.sess.Load(ev.IP, ev.Offset, ev.Addr)
+		} else {
+			pr = s.gap.Process(s.sess.Ref(ev.IP, ev.Offset), ev.Addr)
+		}
+		s.C.Record(pr, ev.Addr)
+	}
+}
+
+// StepBatch processes a batch of events in order.
+func (s *Stepper) StepBatch(evs []trace.Event) {
+	for _, ev := range evs {
+		s.Step(ev)
+	}
+}
+
+// Finish resolves the predictions still in flight inside the prediction
+// gap; it is a no-op in immediate mode. Call it once, at clean end of
+// stream, as RunTrace does.
+func (s *Stepper) Finish() {
+	if s.gap != nil {
+		s.gap.Drain()
+	}
+}

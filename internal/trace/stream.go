@@ -1,0 +1,278 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// StreamDecoder decodes the binary trace format incrementally from
+// arbitrarily-segmented chunks of one logical stream — the shape of a
+// network ingest path, where a session's events arrive across many
+// request bodies split at whatever byte boundaries the transport chose.
+// The delta-compression state persists across Feed calls, so the
+// concatenation of all chunks decodes to exactly the events a Reader or
+// a replay cursor would produce over the whole stream at once.
+//
+// Bytes that form an incomplete trailing event are buffered until the
+// next Feed supplies the rest; the buffer is bounded by the largest
+// possible encoded event (a few tens of bytes), since every varint is
+// capped at ten bytes before it is rejected as overlong. Only Close can
+// tell truncation apart from "more chunks coming", so the decoder
+// reports a mid-event stream end when the caller declares the stream
+// finished, exactly like Reader does at a file's EOF.
+type StreamDecoder struct {
+	st      deltaState
+	tail    []byte // owned buffer of an incomplete trailing event (or header)
+	started bool   // header consumed
+	err     error
+	events  int64
+}
+
+// NewStreamDecoder returns a decoder expecting the standard file header
+// at the start of the stream.
+func NewStreamDecoder() *StreamDecoder { return &StreamDecoder{} }
+
+// Events returns the number of events decoded so far.
+func (d *StreamDecoder) Events() int64 { return d.events }
+
+// Buffered returns the number of bytes held back as an incomplete
+// trailing event.
+func (d *StreamDecoder) Buffered() int { return len(d.tail) }
+
+// Err returns the first error encountered, or nil.
+func (d *StreamDecoder) Err() error { return d.err }
+
+// Feed appends chunk to the stream and decodes every complete event in
+// it, appending them to dst and returning the extended slice. chunk is
+// not retained. Once the decoder has failed, Feed keeps returning the
+// same error.
+func (d *StreamDecoder) Feed(dst []Event, chunk []byte) ([]Event, error) {
+	if d.err != nil {
+		return dst, d.err
+	}
+	data := chunk
+	if len(d.tail) > 0 {
+		d.tail = append(d.tail, chunk...)
+		data = d.tail
+	}
+	pos := 0
+	if !d.started {
+		if len(data) < 5 {
+			d.keepTail(data, 0)
+			return dst, nil
+		}
+		if [4]byte(data[:4]) != magic {
+			d.err = ErrBadMagic
+			return dst, d.err
+		}
+		if data[4] != formatVersion {
+			d.err = fmt.Errorf("%w: %d", ErrBadVersion, data[4])
+			return dst, d.err
+		}
+		d.started = true
+		pos = 5
+	}
+	for pos < len(data) {
+		ev, next, err := decodeStreamEvent(data, pos, &d.st)
+		if err == errShortEvent {
+			break
+		}
+		if err != nil {
+			d.err = err
+			d.tail = nil
+			return dst, d.err
+		}
+		dst = append(dst, ev)
+		d.events++
+		pos = next
+	}
+	d.keepTail(data, pos)
+	return dst, nil
+}
+
+// keepTail retains data[pos:] in the decoder-owned tail buffer. data may
+// be the tail buffer itself (overlapping copy is fine) or the caller's
+// chunk (which must be copied, not aliased).
+func (d *StreamDecoder) keepTail(data []byte, pos int) {
+	rem := data[pos:]
+	if len(rem) == 0 {
+		d.tail = d.tail[:0]
+		return
+	}
+	if d.tail == nil {
+		d.tail = make([]byte, 0, 64)
+	}
+	d.tail = d.tail[:0]
+	d.tail = append(d.tail, rem...)
+}
+
+// Close declares the end of the stream. It returns an error when the
+// stream ended in the middle of an event — or before a complete header,
+// which mirrors Reader treating a short header as ErrBadMagic — and nil
+// on a clean event boundary.
+func (d *StreamDecoder) Close() error {
+	if d.err != nil {
+		return d.err
+	}
+	if !d.started {
+		d.err = ErrBadMagic
+		return d.err
+	}
+	if len(d.tail) > 0 {
+		d.err = errTruncatedEvent
+		return d.err
+	}
+	return nil
+}
+
+// streamChunk is the read granularity of DecodeStream: large enough to
+// amortise the read syscall, small enough to bound per-call latency.
+const streamChunk = 32 << 10
+
+// DecodeStream reads r to EOF, decoding complete events and invoking fn
+// on each decoded batch; it is the reader-based batch-decode entry point
+// the serving path drains request bodies through. Decoder state persists
+// across calls, so one session may span many readers. fn must not retain
+// the batch slice. A non-nil fn error aborts the read and is returned
+// verbatim; decode errors are also latched in the decoder.
+func (d *StreamDecoder) DecodeStream(r io.Reader, fn func([]Event) error) error {
+	if d.err != nil {
+		return d.err
+	}
+	var buf [streamChunk]byte
+	var evs []Event
+	for {
+		n, rerr := r.Read(buf[:])
+		if n > 0 {
+			var err error
+			evs, err = d.Feed(evs[:0], buf[:n])
+			if err != nil {
+				return err
+			}
+			if len(evs) > 0 && fn != nil {
+				if err := fn(evs); err != nil {
+					return err
+				}
+			}
+		}
+		if rerr == io.EOF {
+			return nil
+		}
+		if rerr != nil {
+			d.err = rerr
+			return rerr
+		}
+	}
+}
+
+// decodeStreamEvent decodes one event at data[pos:], advancing the delta
+// state. It returns errShortEvent — without touching st — when data ends
+// before the event does, so the caller can retry once more bytes arrive.
+func decodeStreamEvent(data []byte, pos int, st *deltaState) (Event, int, error) {
+	// Decode against a scratch copy of the state: a short event must not
+	// leave half-advanced deltas behind for the retry.
+	scratch := *st
+	kb := data[pos]
+	pos++
+	ev := Event{Kind: Kind(kb &^ takenBit)}
+	if !ev.Kind.Valid() {
+		return Event{}, 0, fmt.Errorf("trace: invalid event kind %d", kb)
+	}
+	u, pos, err := streamUvarint(data, pos)
+	if err != nil {
+		return Event{}, 0, err
+	}
+	scratch.prevIP += zigzag32(u)
+	ev.IP = scratch.prevIP
+	addr := func() error {
+		u, pos, err = streamUvarint(data, pos)
+		if err == nil {
+			scratch.prevAddr[ev.Kind] += zigzag32(u)
+			ev.Addr = scratch.prevAddr[ev.Kind]
+		}
+		return err
+	}
+	switch ev.Kind {
+	case KindLoad, KindStore:
+		if err := addr(); err != nil {
+			return Event{}, 0, err
+		}
+		if ev.Kind == KindLoad {
+			if pos+4 > len(data) {
+				return Event{}, 0, errShortEvent
+			}
+			ev.Val = uint32(data[pos]) | uint32(data[pos+1])<<8 |
+				uint32(data[pos+2])<<16 | uint32(data[pos+3])<<24
+			pos += 4
+		}
+		if u, pos, err = streamUvarint(data, pos); err != nil {
+			return Event{}, 0, err
+		}
+		ev.Offset = int32(zigzag32(u))
+		if u, pos, err = streamUvarint(data, pos); err != nil {
+			return Event{}, 0, err
+		}
+		ev.Src1 = uint32(u)
+		if u, pos, err = streamUvarint(data, pos); err != nil {
+			return Event{}, 0, err
+		}
+		ev.Src2 = uint32(u)
+	case KindBranch:
+		if err := addr(); err != nil {
+			return Event{}, 0, err
+		}
+		ev.Taken = kb&takenBit != 0
+		if u, pos, err = streamUvarint(data, pos); err != nil {
+			return Event{}, 0, err
+		}
+		ev.Src1 = uint32(u)
+	case KindCall, KindReturn:
+		if err := addr(); err != nil {
+			return Event{}, 0, err
+		}
+	case KindALU:
+		if u, pos, err = streamUvarint(data, pos); err != nil {
+			return Event{}, 0, err
+		}
+		ev.Src1 = uint32(u)
+		if u, pos, err = streamUvarint(data, pos); err != nil {
+			return Event{}, 0, err
+		}
+		ev.Src2 = uint32(u)
+		if pos >= len(data) {
+			return Event{}, 0, errShortEvent
+		}
+		ev.Lat = data[pos]
+		pos++
+	}
+	*st = scratch
+	return ev, pos, nil
+}
+
+// errShortEvent reports that the chunk ends before the current event
+// does; unlike errTruncatedEvent it is recoverable — the decoder waits
+// for the next chunk.
+var errShortEvent = fmt.Errorf("trace: event continues past chunk")
+
+// streamUvarint decodes an unsigned varint at data[pos:], distinguishing
+// "ran out of bytes" (errShortEvent) from an overlong encoding, which is
+// corruption no further bytes can repair.
+func streamUvarint(data []byte, pos int) (uint64, int, error) {
+	var v uint64
+	var s uint
+	for i := pos; i < len(data); i++ {
+		b := data[i]
+		if b < 0x80 {
+			if s == 63 && b > 1 {
+				return 0, 0, errTruncatedEvent // overflows uint64
+			}
+			return v | uint64(b)<<s, i + 1, nil
+		}
+		v |= uint64(b&0x7f) << s
+		s += 7
+		if s >= 64 {
+			return 0, 0, errTruncatedEvent
+		}
+	}
+	return 0, 0, errShortEvent
+}

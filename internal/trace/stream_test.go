@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// encodeEvents renders evs in the binary format, header included.
+func encodeEvents(t *testing.T, evs []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, ev := range evs {
+		if err := w.Emit(ev); err != nil {
+			t.Fatalf("Emit: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// randomEvents builds a deterministic pseudo-random event mix.
+func randomEvents(seed int64, n int) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{
+			Kind:   Kind(rng.Intn(int(numKinds))),
+			IP:     rng.Uint32(),
+			Addr:   rng.Uint32(),
+			Val:    rng.Uint32(),
+			Offset: int32(rng.Uint32()),
+			Taken:  rng.Intn(2) == 0,
+			Src1:   rng.Uint32() % 1024,
+			Src2:   rng.Uint32() % 1024,
+			Lat:    uint8(rng.Intn(20)),
+		}
+	}
+	return evs
+}
+
+// feedAll drives a StreamDecoder over data in fixed-size chunks.
+func feedAll(t *testing.T, data []byte, chunk int) ([]Event, error) {
+	t.Helper()
+	d := NewStreamDecoder()
+	var out []Event
+	for pos := 0; pos < len(data); pos += chunk {
+		end := pos + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		var err error
+		out, err = d.Feed(out, data[pos:end])
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, d.Close()
+}
+
+func TestStreamDecoderChunkSizes(t *testing.T) {
+	evs := randomEvents(7, 500)
+	data := encodeEvents(t, evs)
+	for _, chunk := range []int{1, 2, 3, 5, 7, 64, 4096, len(data)} {
+		got, err := feedAll(t, data, chunk)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if len(got) != len(evs) {
+			t.Fatalf("chunk %d: decoded %d events, want %d", chunk, len(got), len(evs))
+		}
+		for i := range evs {
+			if got[i] != canonical(evs[i]) {
+				t.Fatalf("chunk %d: event %d = %+v, want %+v", chunk, i, got[i], canonical(evs[i]))
+			}
+		}
+	}
+}
+
+func TestStreamDecoderEmptyStream(t *testing.T) {
+	data := encodeEvents(t, nil) // header only
+	got, err := feedAll(t, data, 2)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("header-only stream: got %d events, err %v", len(got), err)
+	}
+}
+
+func TestStreamDecoderBadHeader(t *testing.T) {
+	if _, err := feedAll(t, []byte("XXXX\x03rest"), 3); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+	if _, err := feedAll(t, []byte{'C', 'A', 'P', 'T', 99}, 2); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: got %v", err)
+	}
+	// A stream that ends before a full header is indistinguishable from a
+	// non-trace stream.
+	if _, err := feedAll(t, []byte("CAP"), 1); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("short header: got %v", err)
+	}
+	if _, err := feedAll(t, nil, 1); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("empty stream: got %v", err)
+	}
+}
+
+func TestStreamDecoderTruncatedTail(t *testing.T) {
+	evs := randomEvents(11, 50)
+	data := encodeEvents(t, evs)
+	for cut := len(data) - 1; cut > len(data)-10 && cut > 5; cut-- {
+		got, err := feedAll(t, data[:cut], 7)
+		if err == nil {
+			t.Fatalf("cut at %d: no error from truncated stream", cut)
+		}
+		if len(got) >= len(evs) {
+			t.Fatalf("cut at %d: decoded %d events from truncated stream of %d", cut, len(got), len(evs))
+		}
+	}
+}
+
+func TestStreamDecoderInvalidKind(t *testing.T) {
+	data := append(encodeEvents(t, randomEvents(3, 4)), 0x17) // kind 23 is invalid
+	_, err := feedAll(t, data, 3)
+	if err == nil {
+		t.Fatal("invalid kind byte not rejected")
+	}
+}
+
+func TestStreamDecoderErrorLatches(t *testing.T) {
+	d := NewStreamDecoder()
+	if _, err := d.Feed(nil, []byte("XXXXXXXX")); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("first Feed: %v", err)
+	}
+	if _, err := d.Feed(nil, encodeEvents(t, randomEvents(1, 3))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("error did not latch: %v", err)
+	}
+	if err := d.Close(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("Close after error: %v", err)
+	}
+}
+
+// TestStreamDecoderDecodeStream drains an io.Reader in batches and must
+// agree with the in-memory decode of the same bytes.
+func TestStreamDecoderDecodeStream(t *testing.T) {
+	evs := randomEvents(23, 3000)
+	data := encodeEvents(t, evs)
+	d := NewStreamDecoder()
+	var got []Event
+	err := d.DecodeStream(iotest{r: bytes.NewReader(data), step: 13}, func(batch []Event) error {
+		got = append(got, batch...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("DecodeStream: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != canonical(evs[i]) {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+	if d.Events() != int64(len(evs)) {
+		t.Fatalf("Events() = %d, want %d", d.Events(), len(evs))
+	}
+}
+
+// TestStreamDecoderSpansReaders: one logical stream split across two
+// readers (two request bodies) decodes seamlessly.
+func TestStreamDecoderSpansReaders(t *testing.T) {
+	evs := randomEvents(29, 200)
+	data := encodeEvents(t, evs)
+	cut := len(data) / 2
+	d := NewStreamDecoder()
+	var got []Event
+	collect := func(batch []Event) error { got = append(got, batch...); return nil }
+	if err := d.DecodeStream(bytes.NewReader(data[:cut]), collect); err != nil {
+		t.Fatalf("first body: %v", err)
+	}
+	if err := d.DecodeStream(bytes.NewReader(data[cut:]), collect); err != nil {
+		t.Fatalf("second body: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+	}
+}
+
+func TestStreamDecoderFnError(t *testing.T) {
+	data := encodeEvents(t, randomEvents(31, 100))
+	d := NewStreamDecoder()
+	sentinel := errors.New("stop")
+	err := d.DecodeStream(bytes.NewReader(data), func([]Event) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("fn error not propagated: %v", err)
+	}
+}
+
+// iotest delivers at most step bytes per Read, forcing chunk reassembly.
+type iotest struct {
+	r    io.Reader
+	step int
+}
+
+func (s iotest) Read(p []byte) (int, error) {
+	if len(p) > s.step {
+		p = p[:s.step]
+	}
+	return s.r.Read(p)
+}
+
+// memDecodeAll decodes data (header + events, no padding) through the
+// replay cache's in-memory cursor, the package's reference decoder.
+func memDecodeAll(data []byte) ([]Event, error) {
+	padded := append(append([]byte{}, data...), make([]byte, replayPad)...)
+	r := newMemReader(padded)
+	var out []Event
+	var buf [256]Event
+	for {
+		n, ok := r.NextBatch(buf[:])
+		out = append(out, buf[:n]...)
+		if !ok {
+			break
+		}
+	}
+	return out, r.Err()
+}
+
+// FuzzStreamDecoder cross-checks the chunked stream decoder against the
+// in-memory reference cursor over identical bytes: same events, and
+// errors on the same inputs — including truncated and corrupt tails. The
+// one tolerated divergence: on a truncated tail the padded in-memory
+// cursor may emit a final garbage event decoded out of its padding
+// before flagging the error; the stream decoder never emits it.
+func FuzzStreamDecoder(f *testing.F) {
+	valid := func(n int) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < n; i++ {
+			_ = w.Emit(Event{
+				Kind: Kind(rng.Intn(int(numKinds))), IP: rng.Uint32(), Addr: rng.Uint32(),
+				Val: rng.Uint32(), Offset: int32(rng.Uint32()), Taken: i%2 == 0,
+				Src1: rng.Uint32() % 512, Src2: rng.Uint32() % 512, Lat: uint8(i),
+			})
+		}
+		_ = w.Close()
+		return buf.Bytes()
+	}
+	f.Add(valid(20), uint8(3))
+	f.Add(valid(5)[:20], uint8(1))          // truncated mid-event
+	f.Add(append(valid(2), 0x42), uint8(4)) // corrupt tail kind
+	f.Add([]byte("CAPT\x03"), uint8(1))
+	f.Add([]byte("CAPT\x02"), uint8(2))
+	f.Add([]byte{}, uint8(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		step := int(chunk)%64 + 1
+		want, wantErr := memDecodeAll(data)
+
+		d := NewStreamDecoder()
+		var got []Event
+		var gotErr error
+		for pos := 0; pos < len(data) && gotErr == nil; pos += step {
+			end := pos + step
+			if end > len(data) {
+				end = len(data)
+			}
+			got, gotErr = d.Feed(got, data[pos:end])
+		}
+		if gotErr == nil {
+			gotErr = d.Close()
+		}
+
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error divergence: mem=%v stream=%v", wantErr, gotErr)
+		}
+		if wantErr == nil {
+			if len(got) != len(want) {
+				t.Fatalf("decoded %d events, reference %d", len(got), len(want))
+			}
+		} else {
+			// Reference may have emitted one extra padding-built event.
+			if len(want)-len(got) > 1 || len(got) > len(want) {
+				t.Fatalf("on error: decoded %d events, reference %d", len(got), len(want))
+			}
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("event %d: stream %+v, reference %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
