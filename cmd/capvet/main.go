@@ -1,0 +1,129 @@
+// Command capvet runs the project's static analyzer suite: the
+// invariants behind the repo's determinism, error-drain, and
+// concurrency guarantees, enforced at build time. See DESIGN.md §12
+// for the catalogue and internal/analysis for the analyzers.
+//
+// Usage:
+//
+//	capvet [-json] [-list] [package patterns...]
+//
+// Patterns are interpreted against the enclosing module: "./..."
+// (the default) vets every package, "./internal/..." a subtree,
+// "./internal/sim" one package. Test files and testdata directories
+// are never analyzed.
+//
+// A finding can be suppressed with an in-source directive carrying a
+// mandatory reason:
+//
+//	// capvet:ignore <analyzer> <reason>
+//
+// Exit codes: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"capred/internal/analysis"
+	"capred/internal/buildinfo"
+)
+
+// jsonReport is the -json output schema: the findings plus their
+// count, so "clean" serialises as an explicit zero rather than null.
+type jsonReport struct {
+	Findings []analysis.Diagnostic `json:"findings"`
+	Count    int                   `json:"count"`
+}
+
+// run is the testable entry point: parses args, vets the module
+// enclosing the working directory, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("capvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as JSON")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		version = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("capvet"))
+		return 0
+	}
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "capvet: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "capvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(stderr, "capvet: %v\n", err)
+		return 2
+	}
+	pkgs, err = analysis.Match(pkgs, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "capvet: %v\n", err)
+		return 2
+	}
+
+	diags := analysis.Run(loader, pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{Findings: diags, Count: len(diags)}); err != nil {
+			fmt.Fprintf(stderr, "capvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod, so capvet behaves identically from any directory inside the
+// module.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"capred/internal/analysis"
+)
+
+// chdir switches the working directory for one test and restores it
+// afterwards. (testing.T.Chdir needs go >= 1.24 in go.mod, which this
+// module doesn't declare.)
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// writeModule lays out a throwaway module under a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestCleanTreeExitsZero locks the CI contract: the repo's own tree
+// must vet clean. Running from the package directory exercises the
+// walk-up-to-go.mod behaviour at the same time.
+func TestCleanTreeExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, &stdout, &stderr)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run should print nothing, got:\n%s", &stdout)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"internal/foo/foo.go": `package foo
+
+import "fmt"
+
+func Loud() { fmt.Println("hi") }
+`,
+	})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "noprint") || !strings.Contains(out, "internal/foo/foo.go:5") {
+		t.Errorf("finding not reported as file:line: analyzer:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"internal/foo/foo.go": `package foo
+
+import "fmt"
+
+func Loud() { fmt.Println("hi") }
+`,
+	})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	var rep struct {
+		Findings []analysis.Diagnostic `json:"findings"`
+		Count    int                   `json:"count"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not the documented JSON schema: %v\n%s", err, &stdout)
+	}
+	if rep.Count != len(rep.Findings) || rep.Count == 0 {
+		t.Fatalf("count %d inconsistent with %d findings", rep.Count, len(rep.Findings))
+	}
+	d := rep.Findings[0]
+	if d.Analyzer != "noprint" || d.File != "internal/foo/foo.go" || d.Line != 5 || d.Message == "" {
+		t.Errorf("finding fields wrong: %+v", d)
+	}
+}
+
+func TestJSONCleanHasExplicitZero(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":              "module tmpmod\n\ngo 1.22\n",
+		"internal/foo/foo.go": "package foo\n\nfunc Quiet() int { return 1 }\n",
+	})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, `"count": 0`) {
+		t.Errorf("clean JSON should carry an explicit zero count:\n%s", out)
+	}
+}
+
+func TestLoadErrorExitsTwo(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":              "module tmpmod\n\ngo 1.22\n",
+		"internal/foo/foo.go": "package foo\n\nfunc Broken() {\n", // unclosed body
+	})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr:\n%s", code, &stderr)
+	}
+	if stderr.Len() == 0 {
+		t.Error("load error should be explained on stderr")
+	}
+}
+
+func TestUnmatchedPatternExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./no/such/tree/..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr:\n%s", code, &stderr)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestListAndVersion(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list: exit %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	for _, name := range []string{"determinism", "drain", "goisolate", "atomicfield", "noprint"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, &stdout)
+		}
+	}
+	stdout.Reset()
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-version: exit %d, want 0", code)
+	}
+	if stdout.Len() == 0 {
+		t.Error("-version printed nothing")
+	}
+}

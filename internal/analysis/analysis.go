@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and ignore directives.
+	Name string
+	// Doc is the one-line invariant statement shown by capvet -list.
+	Doc string
+	// Scope, when non-nil, restricts the analyzer to packages whose
+	// module-relative path it accepts. nil means every package.
+	Scope func(relPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"` // module-relative
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String renders the finding as file:line:col: analyzer: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Pkg   *Package
+	Facts *Facts
+	Fset  *token.FileSet
+
+	analyzer *Analyzer
+	sink     *[]Diagnostic
+	relFile  func(string) string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.sink = append(*p.sink, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      position,
+		File:     p.relFile(position.Filename),
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Drain, GoIsolate, AtomicField, NoPrint}
+}
+
+// underAny builds a Scope accepting packages at or under any of the
+// given module-relative roots.
+func underAny(roots ...string) func(string) bool {
+	return func(rel string) bool {
+		for _, r := range roots {
+			if rel == r || strings.HasPrefix(rel, r+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// IgnorePrefix introduces a suppression directive comment:
+//
+//	// capvet:ignore <analyzer> <reason>
+//
+// The directive suppresses findings of the named analyzer on the
+// directive's own line and on the line immediately below it (so it can
+// sit at the end of the offending line or alone on the line above).
+// The reason is mandatory: a suppression nobody can re-evaluate later
+// is how invariants rot, so a directive without one is itself a
+// finding.
+const IgnorePrefix = "capvet:ignore"
+
+// directive is one parsed capvet:ignore comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+// directivesIn extracts every capvet:ignore directive from a file.
+func directivesIn(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, IgnorePrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			d := directive{pos: fset.Position(c.Pos())}
+			if len(fields) > 0 {
+				d.analyzer = fields[0]
+				d.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over pkgs and returns the surviving
+// findings sorted by position. Facts are computed over the whole
+// package set first so cross-package classification (recovery
+// wrappers, atomically-accessed fields, drain-protected callees) is
+// available to every pass. Ignore directives are applied last; a
+// directive missing its analyzer name or reason is reported under the
+// driver's own name.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := BuildFacts(l, pkgs)
+	relFile := func(name string) string {
+		if rel, err := filepathRel(l.ModuleRoot, name); err == nil {
+			return rel
+		}
+		return name
+	}
+
+	var diags []Diagnostic
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+		for _, pkg := range pkgs {
+			if a.Scope != nil && !a.Scope(pkg.RelPath) {
+				continue
+			}
+			pass := &Pass{
+				Pkg: pkg, Facts: facts, Fset: l.Fset,
+				analyzer: a, sink: &diags, relFile: relFile,
+			}
+			a.Run(pass)
+		}
+	}
+
+	// Collect directives, validate them, and filter the findings.
+	type lineKey struct {
+		file string
+		line int
+	}
+	suppress := make(map[lineKey]map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range directivesIn(l.Fset, f) {
+				if d.analyzer == "" || !known[d.analyzer] || d.reason == "" {
+					diags = append(diags, Diagnostic{
+						Analyzer: "capvet",
+						Pos:      d.pos,
+						File:     relFile(d.pos.Filename),
+						Line:     d.pos.Line,
+						Col:      d.pos.Column,
+						Message: fmt.Sprintf("malformed %s directive: need %q with a known analyzer and a non-empty reason",
+							IgnorePrefix, IgnorePrefix+" <analyzer> <reason>"),
+					})
+					continue
+				}
+				file := relFile(d.pos.Filename)
+				for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+					k := lineKey{file, line}
+					if suppress[k] == nil {
+						suppress[k] = make(map[string]bool)
+					}
+					suppress[k][d.analyzer] = true
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if s := suppress[lineKey{d.File, d.Line}]; s != nil && s[d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// AtomicField guards the server's budget/eviction counters and the
+// scheduler's shard cursor: a struct field that is read or written
+// through sync/atomic anywhere must be accessed that way everywhere.
+// One plain `s.n++` next to an atomic.AddInt64(&s.n, 1) is a data race
+// the race detector only catches when the schedule cooperates; the
+// analyzer catches it on every build.
+//
+// Fields of the atomic.Int64-style wrapper types are safe by
+// construction (their only operations are methods) and need no facts.
+// Intentional plain access — say, reading a counter after the worker
+// pool has drained — takes a capvet:ignore directive with the reason
+// spelled out.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields touched via sync/atomic must be accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := fieldOf(info, sel)
+			if fv == nil {
+				return true
+			}
+			atomicAt, isAtomic := pass.Facts.atomicFields[fv]
+			if !isAtomic || pass.Facts.atomicUses[sel.Pos()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to field %q, which is accessed via sync/atomic at %s:%d; mixed access is a data race",
+				fv.Name(), atomicAt.Filename, atomicAt.Line)
+			return true
+		})
+	}
+}

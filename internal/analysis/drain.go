@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Drain guards PR 1's silent-truncation fix: every error produced by
+// the trace source/decoder layer and the simulation drain loops must
+// reach a check. Counters from a stream that ended on a decode error
+// look plausible while undercounting every rate, so a single dropped
+// error reintroduces the exact bug class that PR fixed by hand.
+//
+// Flagged forms, for any drain-protected callee (see
+// Facts.DrainProtected):
+//
+//   - the call as a bare statement, go statement, or defer (all
+//     results discarded);
+//   - the error result assigned to the blank identifier;
+//   - the error assigned to a variable that is overwritten before any
+//     statement reads it.
+var Drain = &Analyzer{
+	Name: "drain",
+	Doc:  "errors from trace sources, decoders and drain loops must be checked",
+	Run:  runDrain,
+}
+
+func runDrain(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkDiscardedCall(pass, n.X, "")
+			case *ast.GoStmt:
+				checkDiscardedCall(pass, n.Call, "go statement ")
+			case *ast.DeferStmt:
+				checkDiscardedCall(pass, n.Call, "deferred ")
+			case *ast.AssignStmt:
+				checkBlankError(pass, n)
+			case *ast.BlockStmt:
+				checkOverwrittenError(pass, file, n.List)
+			case *ast.CaseClause:
+				checkOverwrittenError(pass, file, n.Body)
+			case *ast.CommClause:
+				checkOverwrittenError(pass, file, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// protectedCallee returns the drain-protected function a call invokes,
+// or nil.
+func protectedCallee(pass *Pass, expr ast.Expr) *types.Func {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || !pass.Facts.DrainProtected(fn) {
+		return nil
+	}
+	return fn
+}
+
+// qualifiedName renders pkg.Func or (pkg.Recv).Method for messages.
+func qualifiedName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if r := recvNamed(sig); r != "" {
+		return r + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// checkDiscardedCall flags a protected call whose results vanish.
+func checkDiscardedCall(pass *Pass, expr ast.Expr, how string) {
+	if fn := protectedCallee(pass, expr); fn != nil {
+		pass.Reportf(expr.Pos(),
+			"%scall discards the error from %s; a dropped source error silently truncates the stream",
+			how, qualifiedName(fn))
+	}
+}
+
+// checkBlankError flags `..., _ := protected(...)` where the blank
+// identifier lands on the error result.
+func checkBlankError(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+		return
+	}
+	fn := protectedCallee(pass, as.Rhs[0])
+	if fn == nil {
+		return
+	}
+	// DrainProtected guarantees the error is the last result, so the
+	// last assignment target is the error's landing spot.
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	pass.Reportf(as.Pos(),
+		"error from %s assigned to _; check it — a dropped source error silently truncates the stream",
+		qualifiedName(fn))
+}
+
+// checkOverwrittenError scans a straight statement list for the
+// shadow/overwrite pattern: an error variable receives a protected
+// call's result, then is written again before any statement reads it.
+func checkOverwrittenError(pass *Pass, file *ast.File, stmts []ast.Stmt) {
+	info := pass.Pkg.Info
+	for i, stmt := range stmts {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			continue
+		}
+		fn := protectedCallee(pass, as.Rhs[0])
+		if fn == nil {
+			continue
+		}
+		errID, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+		if !ok || errID.Name == "_" {
+			continue
+		}
+		obj := info.Defs[errID]
+		if obj == nil {
+			obj = info.Uses[errID]
+		}
+		if obj == nil {
+			continue
+		}
+		for _, later := range stmts[i+1:] {
+			if readsObject(info, later, obj) {
+				break
+			}
+			if w, pos := writesObject(info, later, obj); w {
+				pass.Reportf(pos,
+					"error from %s is overwritten before it was checked (assigned at line %d)",
+					qualifiedName(fn), pass.Fset.Position(as.Pos()).Line)
+				break
+			}
+		}
+	}
+}
+
+// writesObject reports whether stmt assigns to obj at its top level
+// (without also reading it), returning the write position.
+func writesObject(info *types.Info, stmt ast.Stmt, obj types.Object) (bool, token.Pos) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false, 0
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				return true, id.Pos()
+			}
+		}
+	}
+	return false, 0
+}
+
+// readsObject reports whether stmt mentions obj anywhere except as a
+// bare assignment target — any appearance in an expression, condition,
+// argument, RHS, or nested statement counts as a read, keeping the
+// overwrite check conservative.
+func readsObject(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
+	writeTargets := make(map[*ast.Ident]bool)
+	if as, ok := stmt.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				writeTargets[id] = true
+			}
+		}
+	}
+	read := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if read {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || writeTargets[id] {
+			return true
+		}
+		if info.Uses[id] == obj {
+			read = true
+		}
+		return true
+	})
+	return read
+}

@@ -1,0 +1,320 @@
+// Package analysis implements capvet, the project-specific static
+// analyzer suite. It enforces the invariants the repo's correctness
+// story rests on — deterministic tables, drained error channels,
+// isolated goroutines, consistent atomics, silent libraries — at
+// build time instead of leaving them to golden tests and review
+// discipline. See DESIGN.md §12 for the invariant catalogue.
+//
+// The suite is stdlib-only: packages are discovered by walking the
+// module tree, parsed with go/parser, and type-checked with go/types.
+// Standard-library imports resolve through the compiler's source
+// importer, module-local imports through the same loader recursively,
+// so every analyzer sees full type information without any external
+// driver dependency.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path the package was type-checked under.
+	Path string
+	// RelPath is the module-relative path ("" for the module root
+	// package, "internal/sim" for capred/internal/sim). Analyzer scopes
+	// are expressed against RelPath so they hold in any module — the
+	// real tree, the golden testdata packages, and the throwaway
+	// modules the exit-code tests build.
+	RelPath string
+	// Dir is the absolute directory the sources were read from.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks the packages of one module. It
+// implements types.Importer: module-local paths load recursively from
+// source, everything else defers to the toolchain's source importer.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleRoot string
+	ModulePath string
+
+	std     types.Importer
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // cycle guard
+}
+
+// NewLoader returns a loader rooted at moduleRoot, which must contain
+// a go.mod declaring the module path.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: abs,
+		ModulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("%s: no module declaration", gomod)
+}
+
+// Import implements types.Importer for the type-checker: module-local
+// import paths load (and cache) from source, "unsafe" maps to the
+// sentinel package, and everything else — the standard library — goes
+// through the compiler's source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rel, ok := l.relOf(path); ok {
+		p, err := l.loadDir(filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)), path, rel)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// relOf maps an import path inside the module to its module-relative
+// form.
+func (l *Loader) relOf(path string) (string, bool) {
+	if path == l.ModulePath {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// skipDir reports whether a directory subtree is excluded from module
+// walks: VCS metadata, tool state, and testdata (which intentionally
+// contains invariant violations).
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// LoadAll loads every package in the module, in deterministic
+// (path-sorted) order. Directories named testdata are skipped, like
+// the go tool does.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != l.ModuleRoot && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		has, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if has {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	out := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		path := l.ModulePath
+		if rel != "" {
+			path = l.ModulePath + "/" + rel
+		}
+		p, err := l.loadDir(dir, path, rel)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LoadDir loads the package in dir under a caller-chosen import path
+// and scope path. The golden-diagnostic harness uses it to load
+// testdata packages as if they lived at a scoped location (say,
+// internal/sim) without colliding with the real package there.
+func (l *Loader) LoadDir(dir, asPath, scopeAs string) (*Package, error) {
+	return l.loadDir(dir, asPath, scopeAs)
+}
+
+// hasGoFiles reports whether dir directly contains non-test Go files.
+func hasGoFiles(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// isSourceFile reports whether name is a Go file capvet analyzes:
+// buildable, non-test source.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+func (l *Loader) loadDir(dir, asPath, rel string) (*Package, error) {
+	if p, ok := l.pkgs[asPath]; ok {
+		return p, nil
+	}
+	if l.loading[asPath] {
+		return nil, fmt.Errorf("import cycle through %s", asPath)
+	}
+	l.loading[asPath] = true
+	defer delete(l.loading, asPath)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: no Go source files", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(asPath, l.Fset, files, info)
+	if typeErr != nil {
+		return nil, typeErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Path: asPath, RelPath: rel, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[asPath] = p
+	return p, nil
+}
+
+// Match filters pkgs by go-style package patterns interpreted against
+// the module root: "./..." (or "all") selects everything, "./x/..."
+// a subtree, "./x" (or "x") a single package, "." the root package.
+// A pattern that selects nothing is an error — a misspelled path must
+// not silently vet zero packages.
+func Match(pkgs []*Package, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected := make(map[*Package]bool)
+	for _, pat := range patterns {
+		norm := strings.TrimPrefix(pat, "./")
+		norm = strings.TrimSuffix(norm, "/")
+		n := 0
+		for _, p := range pkgs {
+			ok := false
+			switch {
+			case pat == "all" || norm == "...":
+				ok = true
+			case strings.HasSuffix(norm, "/..."):
+				base := strings.TrimSuffix(norm, "/...")
+				ok = p.RelPath == base || strings.HasPrefix(p.RelPath, base+"/")
+			case norm == "." || norm == "":
+				ok = p.RelPath == ""
+			default:
+				ok = p.RelPath == norm
+			}
+			if ok {
+				selected[p] = true
+				n++
+			}
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	out := make([]*Package, 0, len(selected))
+	for _, p := range pkgs {
+		if selected[p] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPrint keeps library packages silent: everything under internal/
+// except report (the one package whose job is rendering output) must
+// not write to the process's stdout/stderr. Output that bypasses the
+// report/table path escapes the golden-equivalence diffs and the
+// served-vs-offline byte comparisons — the exact channels the
+// determinism contract is proven on.
+var NoPrint = &Analyzer{
+	Name: "noprint",
+	Doc:  "library packages must not write to stdout/stderr",
+	Scope: func(rel string) bool {
+		if !strings.HasPrefix(rel, "internal/") {
+			return false
+		}
+		return rel != "internal/report" && !strings.HasPrefix(rel, "internal/report/")
+	},
+	Run: runNoPrint,
+}
+
+func runNoPrint(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isBuiltin(info, call.Fun, "print") || isBuiltin(info, call.Fun, "println") {
+				pass.Reportf(call.Pos(), "builtin %s writes to stderr; return the text or take an io.Writer",
+					ast.Unparen(call.Fun).(*ast.Ident).Name)
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "fmt":
+				switch fn.Name() {
+				case "Print", "Printf", "Println":
+					pass.Reportf(call.Pos(), "fmt.%s writes to stdout from a library package; return the text or take an io.Writer",
+						fn.Name())
+				case "Fprint", "Fprintf", "Fprintln":
+					if len(call.Args) > 0 && isStdStream(info, call.Args[0]) {
+						pass.Reportf(call.Pos(), "fmt.%s to os.%s from a library package; take an io.Writer instead",
+							fn.Name(), stdStreamName(info, call.Args[0]))
+					}
+				}
+			case "log":
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+					pass.Reportf(call.Pos(), "log.%s writes to the process default logger (stderr); inject a logger or writer",
+						fn.Name())
+				}
+			case "os":
+				// os.Stdout.Write-style method calls resolve to (*os.File)
+				// methods; catch them via the receiver expression below.
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isStdStream(info, sel.X) {
+				pass.Reportf(call.Pos(), "direct write to os.%s from a library package; take an io.Writer instead",
+					stdStreamName(info, sel.X))
+			}
+			return true
+		})
+	}
+}
+
+// isStdStream reports whether expr denotes os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, expr ast.Expr) bool {
+	return stdStreamName(info, expr) != ""
+}
+
+// stdStreamName returns "Stdout"/"Stderr" when expr denotes that os
+// variable, else "".
+func stdStreamName(info *types.Info, expr ast.Expr) string {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return ""
+	}
+	if obj.Name() == "Stdout" || obj.Name() == "Stderr" {
+		return obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,55 @@
+// Golden testdata for the atomicfield analyzer: a struct field touched
+// through sync/atomic anywhere must be accessed that way everywhere.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits  int64
+	total int64
+	mu    sync.Mutex
+	plain int64
+	gauge atomic.Int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1) // clean: the sanctioned access form
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.hits) // clean
+}
+
+func (c *counters) racy() int64 {
+	c.hits++      // want `plain access to field "hits"`
+	return c.hits // want `plain access to field "hits"`
+}
+
+func swapIn(c *counters, v int64) int64 {
+	old := atomic.SwapInt64(&c.total, v) // clean
+	return old
+}
+
+func (c *counters) racyWrite(v int64) {
+	c.total = v // want `plain access to field "total"`
+}
+
+func (c *counters) unrelated() int64 {
+	c.plain++ // clean: this field is never touched atomically
+	return c.plain
+}
+
+func (c *counters) typed() int64 {
+	c.gauge.Add(1)        // clean: atomic.Int64 has no plain-access form
+	return c.gauge.Load() // clean
+}
+
+func (c *counters) drained() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// capvet:ignore atomicfield read after the worker pool drained; no concurrent writers remain
+	return c.total // clean: suppressed with a recorded reason
+}

@@ -1,0 +1,106 @@
+// Golden testdata for the determinism analyzer. Loaded scoped as
+// internal/sim, where the invariant applies.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// table stands in for report.Table: Add appends an ordered row.
+type table struct{ rows []string }
+
+func (t *table) Add(cells ...string) { t.rows = append(t.rows, cells...) }
+
+func wallClock() time.Duration {
+	start := time.Now()   // want `time\.Now reads the wall clock`
+	_ = time.Since(start) // want `time\.Since reads the wall clock`
+	return time.Second    // clean: a duration constant is not a clock read
+}
+
+func globalRand(r *rand.Rand) int {
+	n := rand.Intn(8)    // want `global random source`
+	return n + r.Intn(8) // clean: explicitly seeded source
+}
+
+func mapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is random but the loop body appends`
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapKeysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // clean: the collected keys are sorted below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapCount(m map[string]int) int64 {
+	var total int64
+	for _, n := range m { // clean: integer addition commutes
+		total += int64(n)
+	}
+	return total
+}
+
+func mapFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `accumulates floating point`
+		sum += v
+	}
+	return sum
+}
+
+func mapPrint(m map[string]int, b *strings.Builder) {
+	for k, v := range m { // want `writes ordered output`
+		fmt.Fprintf(b, "%s=%d\n", k, v)
+	}
+}
+
+func mapTable(m map[string]int, t *table) {
+	for k := range m { // want `writes ordered output`
+		t.Add(k)
+	}
+}
+
+func mapSend(m map[string]int, ch chan string) {
+	for k := range m { // want `sends on a channel`
+		ch <- k
+	}
+}
+
+func sliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs { // clean: slices iterate in index order
+		out = append(out, x)
+	}
+	return out
+}
+
+func mapRekey(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { // clean: writing a map keyed by the range key commutes
+		out[k] = v
+	}
+	return out
+}
+
+func perIterationState(m map[string][]int) int {
+	total := 0
+	for _, vs := range m { // clean: the builder lives inside the iteration
+		var b strings.Builder
+		for _, v := range vs {
+			fmt.Fprintf(&b, "%d", v)
+		}
+		total += b.Len()
+	}
+	return total
+}

@@ -1,0 +1,98 @@
+// Golden testdata for the drain analyzer: every way an error from the
+// trace/sim drain contract can silently vanish, next to the checked
+// forms that must stay clean. Imports the real module packages so the
+// protected-callee classification runs against the true signatures.
+package drain
+
+import (
+	"capred/internal/predictor"
+	"capred/internal/sim"
+	"capred/internal/trace"
+)
+
+func discarded(src trace.Source, p predictor.Predictor) {
+	sim.RunTrace(src, p, 0) // want `call discards the error from sim\.RunTrace`
+	_ = src.Err()           // want `error from Source\.Err assigned to _`
+}
+
+func blanked(src trace.Source, p predictor.Predictor) {
+	c, _ := sim.RunTrace(src, p, 0) // want `error from sim\.RunTrace assigned to _`
+	_ = c
+}
+
+func checked(src trace.Source, p predictor.Predictor) error {
+	c, err := sim.RunTrace(src, p, 0) // clean: error checked
+	if err != nil {
+		return err
+	}
+	_ = c
+	return src.Err() // clean: error returned to the caller
+}
+
+func overwritten(a, b trace.Source, p predictor.Predictor) error {
+	_, err := sim.RunTrace(a, p, 0)
+	_, err = sim.RunTrace(b, p, 0) // want `error from sim\.RunTrace is overwritten before it was checked`
+	return err
+}
+
+func checkedBetween(a, b trace.Source, p predictor.Predictor) error {
+	_, err := sim.RunTrace(a, p, 0)
+	if err != nil { // clean: first error read before the second run
+		return err
+	}
+	_, err = sim.RunTrace(b, p, 0)
+	return err
+}
+
+func deferred(w *trace.Writer) {
+	defer w.Close() // want `deferred call discards the error from Writer\.Close`
+}
+
+func deferredChecked(w *trace.Writer, errp *error) {
+	defer func() { // clean: the deferred closure propagates the error
+		if err := w.Close(); err != nil && *errp == nil {
+			*errp = err
+		}
+	}()
+}
+
+func inGoroutine(src trace.Source, p predictor.Predictor) {
+	go sim.RunTrace(src, p, 0) // want `go statement call discards the error from sim\.RunTrace`
+}
+
+func flushes(w *trace.Writer, ev trace.Event) {
+	w.Emit(ev) // want `call discards the error from Writer\.Emit`
+	w.Flush()  // want `call discards the error from Writer\.Flush`
+}
+
+// memSource implements trace.Source outside internal/trace; its Err
+// is drain-protected through the interface-implementation rule.
+type memSource struct {
+	evs []trace.Event
+	pos int
+	err error
+}
+
+func (m *memSource) Next() (trace.Event, bool) {
+	if m.pos >= len(m.evs) {
+		return trace.Event{}, false
+	}
+	ev := m.evs[m.pos]
+	m.pos++
+	return ev, true
+}
+
+func (m *memSource) Err() error { return m.err }
+
+func implementsRule(m *memSource) {
+	m.Err() // want `call discards the error from memSource\.Err`
+}
+
+// plainError is an unprotected error producer: dropping it is still
+// bad style, but not this analyzer's invariant.
+func plainError() error { return nil }
+
+func unprotected() {
+	plainError() // clean: not part of the drain contract
+	_ = plainError()
+}

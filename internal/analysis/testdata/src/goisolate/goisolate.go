@@ -1,0 +1,66 @@
+// Golden testdata for the goisolate analyzer. Loaded scoped as
+// internal/sim, where every goroutine must be panic-isolated or
+// context-managed.
+package goisolate
+
+import "context"
+
+func bare(work func()) {
+	go func() { // want `goroutine has no panic isolation and no context`
+		work()
+	}()
+}
+
+func bareWithArgs(work func(int)) {
+	go func(n int) { // want `goroutine has no panic isolation and no context`
+		work(n)
+	}(7)
+}
+
+func withRecover(work func()) {
+	go func() { // clean: deferred recover isolates the panic
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		work()
+	}()
+}
+
+func withContext(ctx context.Context, work func()) {
+	go func(ctx context.Context) { // clean: context-managed worker
+		<-ctx.Done()
+		work()
+	}(ctx)
+}
+
+func viaWrapper(work func()) {
+	runOne := func() {
+		defer func() { _ = recover() }()
+		work()
+	}
+	go func() { // clean: everything runs through a recovering closure
+		for i := 0; i < 4; i++ {
+			runOne()
+		}
+	}()
+}
+
+func viaNamed(work func()) {
+	go func() { // clean: defers a named recoverer
+		defer swallowPanic()
+		work()
+	}()
+}
+
+// swallowPanic isolates a panic when invoked via defer.
+func swallowPanic() { _ = recover() }
+
+// namedWorker is spawned as a named function, not a literal; the
+// analyzer's contract covers `go func` literals only.
+func namedWorker() {}
+
+func spawnsNamed() {
+	go namedWorker() // clean: not a func literal
+}

@@ -1,0 +1,29 @@
+// Golden testdata for the capvet:ignore escape hatch, demonstrated
+// against noprint. The two legitimately silenced calls carry an
+// all-caps tag in their directive reasons; the test asserts nothing is
+// reported on or directly under those directives, that a directive
+// without a reason (or naming an unknown analyzer) silences nothing,
+// and that the malformed directives are themselves findings.
+package ignore
+
+import "fmt"
+
+func suppressedSameLine() {
+	fmt.Println("one") // capvet:ignore noprint demo output reviewed, SUPPRESSED
+
+	fmt.Println("survives-a")
+}
+
+func suppressedNextLine() {
+	// capvet:ignore noprint migration banner allowed for now, SUPPRESSED
+	fmt.Println("two")
+}
+
+func missingReason() {
+	// capvet:ignore noprint
+	fmt.Println("three")
+}
+
+func unknownAnalyzer() {
+	fmt.Println("four") // capvet:ignore nosuchcheck because reasons
+}

@@ -1,0 +1,32 @@
+// Golden testdata for the noprint analyzer: library packages stay
+// silent; output flows through returned values or injected writers.
+package noprint
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func shouty(x int) {
+	fmt.Println("x =", x)           // want `fmt\.Println writes to stdout`
+	fmt.Printf("x = %d\n", x)       // want `fmt\.Printf writes to stdout`
+	fmt.Fprintf(os.Stderr, "%d", x) // want `fmt\.Fprintf to os\.Stderr`
+	os.Stdout.WriteString("hello")  // want `direct write to os\.Stdout`
+	log.Printf("x = %d", x)         // want `log\.Printf writes to the process default logger`
+	println(x)                      // want `builtin println writes to stderr`
+}
+
+func quiet(w io.Writer, x int) error {
+	_, err := fmt.Fprintf(w, "x = %d\n", x) // clean: caller-supplied writer
+	return err
+}
+
+func rendered(x int) string {
+	return fmt.Sprintf("x = %d", x) // clean: returns the text
+}
+
+func ownLogger(l *log.Logger, x int) {
+	l.Printf("x = %d", x) // clean: injected logger, caller picked the sink
+}

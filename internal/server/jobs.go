@@ -325,6 +325,7 @@ func (q *jobQueue) stop(ctx context.Context) {
 	}
 	q.mu.Unlock()
 	finished := make(chan struct{})
+	// capvet:ignore goisolate pure waiter: only wg.Wait and a close run here, no user code can panic
 	go func() {
 		q.wg.Wait()
 		close(finished)

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Single entry point for the capvet static analyzer suite (DESIGN.md
+# §12): self-check the analyzers against their golden testdata and the
+# exit-code contract first, then vet the tree — so a broken analyzer
+# can never certify a broken tree. CI and the local verify flow both
+# call this script.
+#
+# Usage: scripts/capvet.sh [package patterns...]   (default ./...)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== capvet self-check (golden diagnostics + exit-code contract)"
+go test ./internal/analysis/ ./cmd/capvet/
+
+echo "== capvet ${*:-./...}"
+go run ./cmd/capvet "${@:-./...}"
+echo "capvet: clean"
