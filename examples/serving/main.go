@@ -15,11 +15,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"capred"
@@ -57,29 +59,93 @@ type jobView struct {
 	Error       string `json:"error,omitempty"`
 }
 
+// apiClient is a capserve client that cooperates with the server's
+// backpressure: 429 replies are retried after the server's Retry-After
+// hint (bounded attempts), and oversized event batches (413) are split
+// and resent in halves. Sleeping is injectable so tests can assert the
+// waits without waiting.
+type apiClient struct {
+	hc       *http.Client
+	sleep    func(time.Duration)
+	maxTries int // attempts per request before giving up on 429s
+}
+
+func newClient() *apiClient {
+	return &apiClient{hc: http.DefaultClient, sleep: time.Sleep, maxTries: 10}
+}
+
+// retryAfter parses the server's Retry-After hint (delay-seconds form);
+// absent or malformed hints fall back to half a second.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 500 * time.Millisecond
+}
+
+// statusError is a non-2xx reply, keeping the code inspectable.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
 // call issues one request and decodes the JSON reply into out (when
-// non-nil), failing loudly on any non-2xx status.
-func call(method, url string, body []byte, out any) error {
-	req, err := http.NewRequest(method, url, bytes.NewReader(body))
-	if err != nil {
+// non-nil). 429 responses are retried per the server's Retry-After;
+// any other non-2xx status fails with a *statusError.
+func (c *apiClient) call(method, url string, body []byte, out any) error {
+	var lastErr error
+	for try := 0; try < c.maxTries; try++ {
+		req, err := http.NewRequest(method, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			lastErr = &statusError{resp.StatusCode,
+				fmt.Sprintf("%s %s: %s: %s", method, url, resp.Status, bytes.TrimSpace(data))}
+			c.sleep(retryAfter(resp))
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			return &statusError{resp.StatusCode,
+				fmt.Sprintf("%s %s: %s: %s", method, url, resp.Status, bytes.TrimSpace(data))}
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(data, out)
+	}
+	return fmt.Errorf("gave up after %d attempts: %w", c.maxTries, lastErr)
+}
+
+// postEvents streams one chunk of v3 trace bytes at a session,
+// splitting the chunk in half on 413 (the server buffers partial
+// events across POSTs, so any byte split yields the same counters).
+// The final batch reply of the sequence is decoded into out.
+func (c *apiClient) postEvents(url string, data []byte, out *batchView) error {
+	err := c.call("POST", url, data, out)
+	var se *statusError
+	if err == nil || !errors.As(err, &se) ||
+		se.status != http.StatusRequestEntityTooLarge || len(data) < 2 {
 		return err
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
+	half := len(data) / 2
+	if err := c.postEvents(url, data[:half], out); err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, bytes.TrimSpace(data))
-	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(data, out)
+	return c.postEvents(url, data[half:], out)
 }
 
 // encodeTrace renders n events of the named trace in the v3 binary
@@ -120,11 +186,12 @@ func main() {
 	go srv.Serve(ln)
 	base := "http://" + ln.Addr().String()
 	fmt.Printf("capserve listening on %s\n\n", ln.Addr())
+	c := newClient()
 
 	// Open a session bound to the hybrid (stride + CAP) predictor.
 	body, _ := json.Marshal(map[string]any{"predictor": "hybrid"})
 	var sess sessionView
-	if err := call("POST", base+"/v1/sessions", body, &sess); err != nil {
+	if err := c.call("POST", base+"/v1/sessions", body, &sess); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("opened session %s (predictor=hybrid)\n", sess.ID)
@@ -137,7 +204,7 @@ func main() {
 	for off := 0; off < len(data); off += chunk {
 		end := min(off+chunk, len(data))
 		url := base + "/v1/sessions/" + sess.ID + "/events"
-		if err := call("POST", url, data[off:end], &last); err != nil {
+		if err := c.postEvents(url, data[off:end], &last); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -146,7 +213,7 @@ func main() {
 
 	// Close the session; the DELETE reply carries the final counters.
 	var final sessionView
-	if err := call("DELETE", base+"/v1/sessions/"+sess.ID, nil, &final); err != nil {
+	if err := c.call("DELETE", base+"/v1/sessions/"+sess.ID, nil, &final); err != nil {
 		log.Fatal(err)
 	}
 
@@ -173,13 +240,13 @@ func main() {
 	// fetch the rendered table.
 	body, _ = json.Marshal(server.JobRequest{Experiment: "baselines"})
 	var job jobView
-	if err := call("POST", base+"/v1/jobs", body, &job); err != nil {
+	if err := c.call("POST", base+"/v1/jobs", body, &job); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nsubmitted job %s (experiment=baselines)\n", job.ID)
 	for job.State == "queued" || job.State == "running" {
 		time.Sleep(100 * time.Millisecond)
-		if err := call("GET", base+"/v1/jobs/"+job.ID, nil, &job); err != nil {
+		if err := c.call("GET", base+"/v1/jobs/"+job.ID, nil, &job); err != nil {
 			log.Fatal(err)
 		}
 	}

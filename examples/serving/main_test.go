@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"capred"
+	"capred/internal/server"
+)
+
+// startServer runs capserve in-process and returns its base URL.
+func startServer(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return "http://" + ln.Addr().String()
+}
+
+// TestClientHonorsRetryAfter: a session-limited server answers 429 +
+// Retry-After; the client must wait the advertised delay and retry
+// until capacity frees up, not fail on the first 429.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.MaxSessions = 1
+	base := startServer(t, cfg)
+
+	c := newClient()
+	body, _ := json.Marshal(map[string]any{"predictor": "hybrid"})
+	var first sessionView
+	if err := c.call("POST", base+"/v1/sessions", body, &first); err != nil {
+		t.Fatalf("opening first session: %v", err)
+	}
+	// Feed the session a small valid batch so its close (drain) succeeds.
+	var bv batchView
+	if err := c.postEvents(base+"/v1/sessions/"+first.ID+"/events", encodeTrace(traceName, 100), &bv); err != nil {
+		t.Fatalf("priming first session: %v", err)
+	}
+
+	// The second open hits the session limit. The injected sleep records
+	// the server's hint and frees capacity by closing the first session,
+	// so the retry must then succeed.
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) {
+		slept = append(slept, d)
+		if err := c.call("DELETE", base+"/v1/sessions/"+first.ID, nil, nil); err != nil {
+			t.Errorf("closing first session: %v", err)
+		}
+	}
+	var second sessionView
+	if err := c.call("POST", base+"/v1/sessions", body, &second); err != nil {
+		t.Fatalf("second session never admitted: %v", err)
+	}
+	if len(slept) == 0 {
+		t.Fatal("client never backed off on 429")
+	}
+	// The server advertises Retry-After: 1.
+	if slept[0] != time.Second {
+		t.Fatalf("first backoff = %v, want 1s from the Retry-After header", slept[0])
+	}
+}
+
+// TestClientGivesUpAfterBudget: persistent 429s must end in an error
+// after maxTries, not an unbounded retry loop.
+func TestClientGivesUpAfterBudget(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.MaxSessions = 1
+	base := startServer(t, cfg)
+
+	c := newClient()
+	body, _ := json.Marshal(map[string]any{"predictor": "hybrid"})
+	var first sessionView
+	if err := c.call("POST", base+"/v1/sessions", body, &first); err != nil {
+		t.Fatal(err)
+	}
+
+	c.maxTries = 3
+	sleeps := 0
+	c.sleep = func(time.Duration) { sleeps++ } // capacity never frees
+	if err := c.call("POST", base+"/v1/sessions", body, nil); err == nil {
+		t.Fatal("expected an error once the retry budget was spent")
+	}
+	if sleeps != 3 {
+		t.Fatalf("slept %d times, want 3 (one per attempt)", sleeps)
+	}
+}
+
+// TestClientSplitsOversizedBatch: a server with a tiny body bound
+// answers 413; the client must split the batch and deliver every
+// event, ending with counters bit-identical to the offline run.
+func TestClientSplitsOversizedBatch(t *testing.T) {
+	const n = 20_000
+	cfg := server.DefaultConfig()
+	cfg.MaxBatchBytes = 512 // far below the test's chunk size
+	base := startServer(t, cfg)
+
+	c := newClient()
+	c.sleep = func(time.Duration) {}
+	body, _ := json.Marshal(map[string]any{"predictor": "hybrid"})
+	var sess sessionView
+	if err := c.call("POST", base+"/v1/sessions", body, &sess); err != nil {
+		t.Fatal(err)
+	}
+
+	// One oversized chunk (the whole trace); postEvents must recurse
+	// down to acceptable slices without dropping or reordering bytes.
+	data := encodeTrace(traceName, n)
+	var last batchView
+	if err := c.postEvents(base+"/v1/sessions/"+sess.ID+"/events", data, &last); err != nil {
+		t.Fatalf("streaming with splits: %v", err)
+	}
+	var final sessionView
+	if err := c.call("DELETE", base+"/v1/sessions/"+sess.ID, nil, &final); err != nil {
+		t.Fatal(err)
+	}
+
+	spec, _ := capred.TraceByName(traceName)
+	p := capred.NewHybrid(capred.DefaultHybridConfig())
+	want, err := capred.RunTrace(capred.Limit(spec.Open(), n), p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Counters != want {
+		t.Fatalf("split-streamed counters diverge from offline run:\nserved  %+v\noffline %+v",
+			final.Counters, want)
+	}
+}

@@ -91,16 +91,20 @@ func collectWants(t *testing.T, fset *token.FileSet, pkg *Package) map[string][]
 	return wants
 }
 
-// runGolden checks one analyzer against its testdata package: every
+// runGolden checks analyzers against their testdata package: every
 // want matched by exactly one diagnostic, zero diagnostics unmatched.
-func runGolden(t *testing.T, a *Analyzer, name, scopeAs string) {
+// Most testdata exercises one analyzer; packages whose scope several
+// analyzers share (internal/dist) pass them all together.
+func runGolden(t *testing.T, name, scopeAs string, as ...*Analyzer) {
 	t.Helper()
 	l := sharedLoader(t)
 	pkg := loadGolden(t, name, scopeAs)
-	if a.Scope != nil && !a.Scope(pkg.RelPath) {
-		t.Fatalf("testdata package scoped as %q is outside analyzer %s's scope", scopeAs, a.Name)
+	for _, a := range as {
+		if a.Scope != nil && !a.Scope(pkg.RelPath) {
+			t.Fatalf("testdata package scoped as %q is outside analyzer %s's scope", scopeAs, a.Name)
+		}
 	}
-	diags := Run(l, []*Package{pkg}, []*Analyzer{a})
+	diags := Run(l, []*Package{pkg}, as)
 	wants := collectWants(t, l.Fset, pkg)
 
 	matched := make([]bool, len(diags))
@@ -131,23 +135,32 @@ func runGolden(t *testing.T, a *Analyzer, name, scopeAs string) {
 }
 
 func TestDeterminismGolden(t *testing.T) {
-	runGolden(t, Determinism, "determinism", "internal/sim")
+	runGolden(t, "determinism", "internal/sim", Determinism)
 }
 
 func TestDrainGolden(t *testing.T) {
-	runGolden(t, Drain, "drain", "x")
+	runGolden(t, "drain", "x", Drain)
 }
 
 func TestGoIsolateGolden(t *testing.T) {
-	runGolden(t, GoIsolate, "goisolate", "internal/sim")
+	runGolden(t, "goisolate", "internal/sim", GoIsolate)
 }
 
 func TestAtomicFieldGolden(t *testing.T) {
-	runGolden(t, AtomicField, "atomicfield", "x")
+	runGolden(t, "atomicfield", "x", AtomicField)
 }
 
 func TestNoPrintGolden(t *testing.T) {
-	runGolden(t, NoPrint, "noprint", "internal/sim")
+	runGolden(t, "noprint", "internal/sim", NoPrint)
+}
+
+// TestDistFleetGolden pins the fleet package's analyzer coverage:
+// internal/dist sits in both the determinism and goisolate scopes, and
+// the dist testdata encodes the package's specific failure modes —
+// wall-clock lease arithmetic and unmanaged heartbeat goroutines —
+// next to their sanctioned counterparts.
+func TestDistFleetGolden(t *testing.T) {
+	runGolden(t, "dist", "internal/dist", Determinism, GoIsolate)
 }
 
 // TestScopeExcluded proves scoped analyzers stay silent outside their

@@ -1,0 +1,294 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"capred/internal/sim"
+)
+
+// chaosTransport wraps a transport with per-path faults. Each hook
+// returns true when it consumed the request (the fault replaced the
+// normal round trip).
+type chaosTransport struct {
+	base http.RoundTripper
+
+	mu sync.Mutex
+	// dropPaths maps a path substring to how many matching requests to
+	// drop (fail with a transport error). Negative means drop forever.
+	dropPaths map[string]int
+	// duplicatePath, when non-empty, sends matching requests twice and
+	// returns the second response.
+	duplicatePath string
+	duplicated    int
+	// corruptPath, when non-empty, flips a byte in matching response
+	// bodies.
+	corruptPath string
+	corrupted   int
+}
+
+func (c *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	c.mu.Lock()
+	for sub, n := range c.dropPaths {
+		if strings.Contains(req.URL.Path, sub) && n != 0 {
+			if n > 0 {
+				c.dropPaths[sub] = n - 1
+			}
+			c.mu.Unlock()
+			return nil, fmt.Errorf("chaos: dropped %s", req.URL.Path)
+		}
+	}
+	dup := c.duplicatePath != "" && strings.Contains(req.URL.Path, c.duplicatePath)
+	corrupt := c.corruptPath != "" && strings.Contains(req.URL.Path, c.corruptPath)
+	c.mu.Unlock()
+
+	if dup {
+		// Replay the body: duplicate delivery of an idempotent result.
+		body, err := req.GetBody()
+		if err != nil {
+			return nil, err
+		}
+		first := req.Clone(req.Context())
+		first.Body = body
+		if resp, err := c.base.RoundTrip(first); err == nil {
+			resp.Body.Close()
+			c.mu.Lock()
+			c.duplicated++
+			c.mu.Unlock()
+		}
+	}
+	resp, err := c.base.RoundTrip(req)
+	if err != nil || !corrupt {
+		return resp, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > 0 {
+		data[len(data)/2] ^= 0xff
+		c.mu.Lock()
+		c.corrupted++
+		c.mu.Unlock()
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(data))
+	resp.ContentLength = int64(len(data))
+	return resp, nil
+}
+
+// startChaosWorker runs one worker whose transport is chaos-wrapped.
+func startChaosWorker(t *testing.T, c *Coordinator, srv *httptest.Server, name string, chaos *chaosTransport) (*Worker, func()) {
+	t.Helper()
+	chaos.base = srv.Client().Transport
+	w := NewWorker(WorkerConfig{
+		Coordinator: srv.URL,
+		Name:        name,
+		Client:      &http.Client{Transport: chaos},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func(ctx context.Context) {
+		defer close(done)
+		w.Run(ctx)
+	}(ctx)
+	return w, func() {
+		cancel()
+		<-done
+	}
+}
+
+// TestChaosDuplicateResults: every result POST is delivered twice; the
+// duplicates must be detected by hash and discarded, and the table
+// must stay byte-identical.
+func TestChaosDuplicateResults(t *testing.T) {
+	cfg := sim.Config{EventsPerTrace: testEvents}
+	want := localTable(t, "fig5", cfg)
+
+	c := fastCoord(CoordConfig{LocalWorkers: -1})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	chaos := &chaosTransport{duplicatePath: "/dist/v1/result"}
+	_, stop := startChaosWorker(t, c, srv, "dup-worker", chaos)
+	defer stop()
+
+	if got := distTable(t, c, "fig5", cfg); got != want {
+		t.Errorf("table differs under duplicate delivery\nlocal:\n%s\ndist:\n%s", want, got)
+	}
+	st := c.Stats()
+	if st.Duplicates == 0 {
+		t.Errorf("no duplicates detected: %+v", st)
+	}
+	if st.HashMismatches != 0 {
+		t.Errorf("determinism alarm: duplicate results hashed differently: %+v", st)
+	}
+}
+
+// TestChaosHeartbeatLoss: all heartbeats are dropped under a short
+// lease, so leases expire mid-shard and shards are re-claimed. The
+// worker still completes and posts whole results (accepting a
+// complete result from an expired lease is safe — the computation is
+// deterministic), and the table stays byte-identical.
+func TestChaosHeartbeatLoss(t *testing.T) {
+	cfg := sim.Config{EventsPerTrace: testEvents}
+	want := localTable(t, "fig5", cfg)
+
+	c := fastCoord(CoordConfig{
+		Lease:        20 * time.Millisecond,
+		WorkerTTL:    time.Hour, // keep the worker registered: only its leases rot
+		LocalWorkers: -1,
+		MaxAttempts:  1 << 20, // re-claims must never exhaust the budget here
+	})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	chaos := &chaosTransport{dropPaths: map[string]int{"/dist/v1/heartbeat": -1}}
+	_, stop := startChaosWorker(t, c, srv, "mute-worker", chaos)
+	defer stop()
+
+	if got := distTable(t, c, "fig5", cfg); got != want {
+		t.Errorf("table differs under heartbeat loss\nlocal:\n%s\ndist:\n%s", want, got)
+	}
+}
+
+// TestChaosCorruptTraceFetch: fetched trace bytes are corrupted in
+// flight; the hash check must reject them and the worker regenerate
+// the stream locally, keeping the table byte-identical.
+func TestChaosCorruptTraceFetch(t *testing.T) {
+	cfg := sim.Config{EventsPerTrace: testEvents}
+	want := localTable(t, "fig5", cfg)
+
+	c := fastCoord(CoordConfig{LocalWorkers: -1})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	chaos := &chaosTransport{corruptPath: "/dist/v1/traces/"}
+	w, stop := startChaosWorker(t, c, srv, "corrupt-worker", chaos)
+	defer stop()
+
+	if got := distTable(t, c, "fig5", cfg); got != want {
+		t.Errorf("table differs under trace corruption\nlocal:\n%s\ndist:\n%s", want, got)
+	}
+	if st := w.Stats(); st.TraceLocal == 0 {
+		t.Errorf("worker never fell back to local generation: %+v", st)
+	}
+}
+
+// TestChaosAbandonedClaim: a vandal claims shards and vanishes without
+// ever heartbeating or posting. Its leases must expire, the shards
+// re-claim, and — once the vandal is pruned — the in-process fallback
+// finishes the grid bit-identically.
+func TestChaosAbandonedClaim(t *testing.T) {
+	cfg := sim.Config{EventsPerTrace: testEvents}
+	want := localTable(t, "fig5", cfg)
+
+	c := fastCoord(CoordConfig{
+		Lease:        20 * time.Millisecond,
+		WorkerTTL:    60 * time.Millisecond,
+		LocalWorkers: 2,
+		MaxAttempts:  1 << 20,
+	})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// The vandal claims over HTTP like a real worker, then sits on the
+	// lease. One claim is enough — it stops touching the coordinator so
+	// the TTL can prune it.
+	vandalDone := make(chan struct{})
+	go func(ctx context.Context) {
+		defer close(vandalDone)
+		w := NewWorker(WorkerConfig{Coordinator: srv.URL, Name: "vandal", Client: srv.Client()})
+		for i := 0; i < 200; i++ {
+			var resp claimResponse
+			if err := w.post(ctx, "/dist/v1/claim", claimRequest{Worker: "vandal"}, &resp); err != nil {
+				return
+			}
+			if resp.Shard != nil {
+				return // got a lease; now vanish
+			}
+			if retrySleep(ctx, 2*time.Millisecond) != nil {
+				return
+			}
+		}
+	}(context.Background())
+
+	got := distTable(t, c, "fig5", cfg)
+	<-vandalDone
+	if got != want {
+		t.Errorf("table differs after abandoned claim\nlocal:\n%s\ndist:\n%s", want, got)
+	}
+	if st := c.Stats(); st.Reclaims == 0 {
+		t.Errorf("abandoned lease never reclaimed: %+v", st)
+	}
+}
+
+// retrySleep is a tiny ctx-aware pause for the chaos helpers.
+func retrySleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// TestChaosWorkerDeathMidGrid: a worker is hard-stopped (context
+// cancelled, no drain) mid-grid while a second keeps running; the
+// survivor plus re-claims must finish the grid bit-identically.
+func TestChaosWorkerDeathMidGrid(t *testing.T) {
+	cfg := sim.Config{EventsPerTrace: testEvents}
+	want := localTable(t, "fig5", cfg)
+
+	c := fastCoord(CoordConfig{
+		Lease:       50 * time.Millisecond,
+		WorkerTTL:   150 * time.Millisecond,
+		MaxAttempts: 1 << 20,
+		// Local fallback stays armed in case the kill lands while the
+		// survivor holds nothing; it uses the same record path, so any
+		// mix of survivor/local execution is still byte-identical.
+		LocalWorkers: 1,
+	})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	victimCtx, killVictim := context.WithCancel(context.Background())
+	survivorCtx, stopSurvivor := context.WithCancel(context.Background())
+	defer stopSurvivor()
+	var wg sync.WaitGroup
+	for _, wk := range []struct {
+		name string
+		ctx  context.Context
+	}{{"victim", victimCtx}, {"survivor", survivorCtx}} {
+		w := NewWorker(WorkerConfig{Coordinator: srv.URL, Name: wk.name, Client: srv.Client()})
+		wg.Add(1)
+		go func(ctx context.Context, w *Worker) {
+			defer wg.Done()
+			w.Run(ctx)
+		}(wk.ctx, w)
+	}
+
+	// Kill the victim shortly into the grid: some of its leases die
+	// with it and must be re-claimed.
+	killed := make(chan struct{})
+	go func(ctx context.Context) {
+		defer close(killed)
+		retrySleep(ctx, 30*time.Millisecond)
+		killVictim()
+	}(context.Background())
+
+	got := distTable(t, c, "fig5", cfg)
+	<-killed
+	stopSurvivor()
+	wg.Wait()
+	if got != want {
+		t.Errorf("table differs after worker death\nlocal:\n%s\ndist:\n%s", want, got)
+	}
+}

@@ -1,0 +1,822 @@
+package dist
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"capred/internal/sim"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// CoordConfig tunes the coordinator's failure model.
+type CoordConfig struct {
+	// Lease bounds how long a claimed shard may go without a heartbeat
+	// before it is re-claimed. Default 10s.
+	Lease time.Duration
+	// WorkerTTL prunes workers that stop claiming/heartbeating.
+	// Default 3×Lease.
+	WorkerTTL time.Duration
+	// MaxAttempts bounds lease grants per shard; a shard still
+	// unfinished after that many leases fails with an attributed error
+	// instead of cycling forever. Default 3.
+	MaxAttempts int
+	// Tick paces lease-expiry and liveness checks. Default Lease/4,
+	// clamped to [10ms, 1s].
+	Tick time.Duration
+	// LocalWorkers is the in-process degraded-mode pool size used when
+	// no remote worker is available: 0 means 1, negative disables local
+	// fallback entirely.
+	LocalWorkers int
+	// LocalDelay is the grace period before degrading to local
+	// execution when no worker has EVER registered (once one has, a
+	// fleet that dies is taken over immediately). Default 3s.
+	LocalDelay time.Duration
+	// Now injects the clock (tests); nil uses the wall clock. The clock
+	// only drives leases and liveness — results never depend on it.
+	Now func() time.Time
+	// Logf, when non-nil, receives operational events (registrations,
+	// reclaims, duplicates, takeovers).
+	Logf func(format string, args ...any)
+}
+
+// CoordStats counts the coordinator's fault-handling activity.
+type CoordStats struct {
+	Registered     int64 // worker registrations
+	Claims         int64 // shard leases granted (incl. re-claims and local)
+	Results        int64 // results accepted and merged
+	Duplicates     int64 // late results for already-merged shards, discarded
+	HashMismatches int64 // duplicates whose body hash disagreed (determinism alarm)
+	Stale          int64 // results for finished grids, discarded
+	Reclaims       int64 // leases expired and shards returned to the pool
+	FailedShards   int64 // shards failed after MaxAttempts lease grants
+	LocalShards    int64 // shards executed by the in-process fallback
+	TraceFetches   int64 // trace streams served to workers
+}
+
+// String renders the stats as one report line.
+func (s CoordStats) String() string {
+	return fmt.Sprintf("fleet: %d registrations, %d leases, %d results (%d duplicate, %d stale, %d hash-mismatch), %d reclaims, %d failed shards, %d local shards, %d trace fetches",
+		s.Registered, s.Claims, s.Results, s.Duplicates, s.Stale, s.HashMismatches,
+		s.Reclaims, s.FailedShards, s.LocalShards, s.TraceFetches)
+}
+
+// Shard lease states.
+const (
+	shardPending = iota
+	shardLeased
+	shardDone
+	shardFailed
+)
+
+// shardState tracks one shard through the lease state machine:
+// pending → leased(worker, expiry, attempt#) → done(result, hash) or
+// failed(attributed error); an expired lease returns to pending.
+type shardState struct {
+	desc     ShardDesc
+	state    int
+	worker   string
+	local    bool // leased to the in-process fallback: no expiry
+	expires  time.Time
+	attempts int
+	result   sim.DistShardResult
+	hash     string
+	err      error
+}
+
+// gridRun is one RunGrid invocation's live state.
+type gridRun struct {
+	token      string
+	shards     []*shardState
+	remaining  int // pending + leased
+	completed  int // done + failed, for progress reporting
+	doneCh     chan struct{}
+	progress   func(done, total int)
+	graceUntil time.Time // local fallback holds off until here
+}
+
+// workerState tracks a registered worker's liveness.
+type workerState struct {
+	lastSeen time.Time
+	drained  bool
+}
+
+// Coordinator owns the shard pool, the lease state machine and the
+// content-addressed trace store. It implements sim.DistRunner: capsim
+// runs each experiment through RunExperiment, and every grid the
+// drivers register is dispatched to the fleet (or the local fallback)
+// and merged back in registration order.
+type Coordinator struct {
+	cfg    CoordConfig
+	traces *traceStore
+
+	mu             sync.Mutex
+	workers        map[string]*workerState
+	run            *gridRun
+	epoch          int
+	draining       bool
+	everRegistered bool
+	localActive    int
+	stats          CoordStats
+
+	// Current experiment context, set by RunExperiment for the grids
+	// its drivers register synchronously underneath it.
+	curExp sim.Experiment
+	curCfg sim.Config
+}
+
+// NewCoordinator returns a coordinator with cfg's failure model.
+func NewCoordinator(cfg CoordConfig) *Coordinator {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		traces:  newTraceStore(),
+		workers: make(map[string]*workerState),
+	}
+}
+
+func (c *Coordinator) now() time.Time {
+	return c.cfg.Now()
+}
+
+func (c *Coordinator) lease() time.Duration {
+	if c.cfg.Lease > 0 {
+		return c.cfg.Lease
+	}
+	return 10 * time.Second
+}
+
+func (c *Coordinator) workerTTL() time.Duration {
+	if c.cfg.WorkerTTL > 0 {
+		return c.cfg.WorkerTTL
+	}
+	return 3 * c.lease()
+}
+
+func (c *Coordinator) maxAttempts() int {
+	if c.cfg.MaxAttempts > 0 {
+		return c.cfg.MaxAttempts
+	}
+	return 3
+}
+
+func (c *Coordinator) tick() time.Duration {
+	if c.cfg.Tick > 0 {
+		return c.cfg.Tick
+	}
+	t := c.lease() / 4
+	if t < 10*time.Millisecond {
+		t = 10 * time.Millisecond
+	}
+	if t > time.Second {
+		t = time.Second
+	}
+	return t
+}
+
+func (c *Coordinator) localDelay() time.Duration {
+	if c.cfg.LocalDelay > 0 {
+		return c.cfg.LocalDelay
+	}
+	return 3 * time.Second
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Stats returns a snapshot of the fault-handling counters.
+func (c *Coordinator) Stats() CoordStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// RunExperiment runs one experiment with its grids dispatched through
+// the fleet. The result is byte-identical to e.Run(cfg) locally.
+func (c *Coordinator) RunExperiment(e sim.Experiment, cfg sim.Config) sim.Result {
+	c.mu.Lock()
+	c.curExp, c.curCfg = e, cfg
+	c.mu.Unlock()
+	return e.Run(sim.WithDist(cfg, c))
+}
+
+// BeginDrain tells the fleet to wind down: once the current run (if
+// any) finishes, claim responses carry drain=true and workers exit.
+func (c *Coordinator) BeginDrain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+}
+
+// WaitDrained blocks until every registered worker has been told to
+// drain or has gone stale, polling briefly, up to timeout. It returns
+// whether the fleet fully drained.
+func (c *Coordinator) WaitDrained(ctx context.Context, timeout time.Duration) bool {
+	const poll = 20 * time.Millisecond
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for i := int64(0); i <= int64(timeout/poll); i++ {
+		if c.allDrained() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+		}
+	}
+	return c.allDrained()
+}
+
+// allDrained reports whether no live worker remains undrained.
+func (c *Coordinator) allDrained() bool {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pruneWorkersLocked(now)
+	for _, w := range c.workers {
+		if !w.drained {
+			return false
+		}
+	}
+	return true
+}
+
+// RunGrid implements sim.DistRunner: register the shards, pump the
+// lease state machine until the grid drains (or ctx dies), then hand
+// each shard's result to merge in registration order.
+func (c *Coordinator) RunGrid(ctx context.Context, seq int, infos []sim.DistShardInfo,
+	merge func(i int, res sim.DistShardResult) error, progress func(done, total int)) []error {
+
+	errs := make([]error, len(infos))
+	if len(infos) == 0 {
+		return errs
+	}
+
+	c.mu.Lock()
+	exp, execCfg := c.curExp, c.curCfg
+	c.epoch++
+	token := fmt.Sprintf("%s.%d.%d", exp.Name, seq, c.epoch)
+	c.mu.Unlock()
+
+	// Materialise + hash the grid's traces up front (cached across
+	// grids and experiments), so every ShardDesc is content-addressed.
+	leaseMS := c.lease().Milliseconds()
+	shards := make([]*shardState, len(infos))
+	for i, info := range infos {
+		desc := ShardDesc{
+			Token:          token,
+			Experiment:     exp.Name,
+			Grid:           seq,
+			Index:          info.Index,
+			Stage:          info.Stage,
+			Trace:          info.Trace,
+			Suite:          info.Suite,
+			Events:         execCfg.EventsPerTrace,
+			SourceRetries:  execCfg.SourceRetries,
+			TraceTimeoutMS: execCfg.TraceTimeout.Milliseconds(),
+			LeaseMS:        leaseMS,
+		}
+		if h, err := c.traces.hashFor(info.Trace, execCfg.EventsPerTrace); err == nil {
+			desc.TraceHash = h
+		}
+		shards[i] = &shardState{desc: desc}
+	}
+	run := &gridRun{
+		token:     token,
+		shards:    shards,
+		remaining: len(shards),
+		doneCh:    make(chan struct{}),
+		progress:  progress,
+	}
+
+	c.mu.Lock()
+	c.run = run
+	c.mu.Unlock()
+	c.logf("dist: grid %s: %d shards", token, len(shards))
+
+	tick := time.NewTicker(c.tick())
+	defer tick.Stop()
+	cancelled := false
+pumping:
+	for {
+		c.pump(ctx, run, exp, execCfg)
+		select {
+		case <-run.doneCh:
+			break pumping
+		case <-ctx.Done():
+			cancelled = true
+			break pumping
+		case <-tick.C:
+		}
+	}
+
+	// Detach the run: any result arriving from here on is stale and
+	// discarded, so reading shard state below needs no lock.
+	c.mu.Lock()
+	c.run = nil
+	c.mu.Unlock()
+
+	for i, s := range run.shards {
+		switch s.state {
+		case shardDone:
+			errs[i] = merge(i, s.result)
+		case shardFailed:
+			errs[i] = s.err
+		default:
+			if cancelled {
+				errs[i] = ctx.Err()
+			} else {
+				errs[i] = &sim.RemoteError{Msg: "dist: shard did not complete"}
+			}
+		}
+	}
+	return errs
+}
+
+// pump advances the lease state machine: expire leases, prune dead
+// workers, and start the in-process fallback when the fleet is empty.
+func (c *Coordinator) pump(ctx context.Context, run *gridRun, exp sim.Experiment, execCfg sim.Config) {
+	now := c.now()
+	var fireProgress func()
+	var spawn int
+
+	c.mu.Lock()
+	if c.run == run {
+		c.pruneWorkersLocked(now)
+		c.expireLeasesLocked(run, now)
+		if run.graceUntil.IsZero() {
+			run.graceUntil = now.Add(c.localDelay())
+		}
+		pending := 0
+		for _, s := range run.shards {
+			if s.state == shardPending {
+				pending++
+			}
+		}
+		canDegrade := c.everRegistered || !now.Before(run.graceUntil)
+		if pending > 0 && len(c.workers) == 0 && c.localActive == 0 &&
+			c.cfg.LocalWorkers >= 0 && canDegrade {
+			spawn = c.cfg.LocalWorkers
+			if spawn == 0 {
+				spawn = 1
+			}
+			if spawn > pending {
+				spawn = pending
+			}
+			c.localActive = spawn
+		}
+		fireProgress = c.progressLocked(run)
+	}
+	c.mu.Unlock()
+
+	if fireProgress != nil {
+		fireProgress()
+	}
+	if spawn > 0 {
+		c.logf("dist: grid %s: no live workers, degrading to %d in-process runner(s)", run.token, spawn)
+		for i := 0; i < spawn; i++ {
+			go func(ctx context.Context, id int) {
+				c.localRun(ctx, run, exp, execCfg, fmt.Sprintf("local/%d", id))
+			}(ctx, i)
+		}
+	}
+}
+
+// pruneWorkersLocked drops workers that have not been heard from
+// within the TTL; their leases expire on their own schedule.
+func (c *Coordinator) pruneWorkersLocked(now time.Time) {
+	ttl := c.workerTTL()
+	for name, w := range c.workers {
+		if now.Sub(w.lastSeen) > ttl {
+			delete(c.workers, name)
+		}
+	}
+}
+
+// expireLeasesLocked returns timed-out shards to the pending pool, or
+// fails them once the attempt budget is spent.
+func (c *Coordinator) expireLeasesLocked(run *gridRun, now time.Time) {
+	for _, s := range run.shards {
+		if s.state != shardLeased || s.local || now.Before(s.expires) {
+			continue
+		}
+		if s.attempts >= c.maxAttempts() {
+			s.state = shardFailed
+			s.err = &sim.RemoteError{Msg: fmt.Sprintf(
+				"dist: shard %s/%d (%s) failed after %d lease attempts; last worker %q",
+				s.desc.Experiment, s.desc.Index, s.desc.Trace, s.attempts, s.worker)}
+			c.stats.FailedShards++
+			run.remaining--
+			run.completed++
+			c.finishLocked(run)
+		} else {
+			s.state = shardPending
+			c.stats.Reclaims++
+		}
+		c.logf("dist: grid %s: lease expired on shard %d (worker %q, attempt %d)",
+			run.token, s.desc.Index, s.worker, s.attempts)
+		s.worker = ""
+	}
+}
+
+// finishLocked closes the run's done channel once nothing remains.
+func (c *Coordinator) finishLocked(run *gridRun) {
+	if run.remaining == 0 {
+		select {
+		case <-run.doneCh:
+		default:
+			close(run.doneCh)
+		}
+	}
+}
+
+// progressLocked captures a progress callback invocation for firing
+// outside the lock, or nil when there is nothing to report.
+func (c *Coordinator) progressLocked(run *gridRun) func() {
+	if run.progress == nil {
+		return nil
+	}
+	done, total := run.completed, len(run.shards)
+	return func() { run.progress(done, total) }
+}
+
+// touchWorkerLocked refreshes (or creates) a worker's liveness record.
+func (c *Coordinator) touchWorkerLocked(name string, now time.Time) {
+	w := c.workers[name]
+	if w == nil {
+		w = &workerState{}
+		c.workers[name] = w
+	}
+	w.lastSeen = now
+}
+
+// register records a worker joining the fleet.
+func (c *Coordinator) register(name string) registerResponse {
+	now := c.now()
+	c.mu.Lock()
+	c.touchWorkerLocked(name, now)
+	c.everRegistered = true
+	c.stats.Registered++
+	c.mu.Unlock()
+	c.logf("dist: worker %q registered", name)
+	return registerResponse{PollMS: 100}
+}
+
+// claim leases the first pending shard to a worker, or reports how
+// long to wait / whether to drain.
+func (c *Coordinator) claim(worker string) claimResponse {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(worker, now)
+	run := c.run
+	var resp claimResponse
+	if run == nil {
+		if c.draining {
+			resp.Drain = true
+			if w := c.workers[worker]; w != nil {
+				w.drained = true
+			}
+		} else {
+			resp.RetryAfterMS = 200
+		}
+	} else if desc := c.claimShardLocked(run, worker, false, now); desc != nil {
+		resp.Shard = desc
+	} else {
+		// Shards may yet be re-claimed if a lease expires, so workers
+		// keep polling until the grid finishes.
+		resp.RetryAfterMS = 100
+	}
+	return resp
+}
+
+// claimShardLocked grants a lease on the first pending shard, failing
+// over-attempted shards as it scans.
+func (c *Coordinator) claimShardLocked(run *gridRun, worker string, local bool, now time.Time) *ShardDesc {
+	for _, s := range run.shards {
+		if s.state != shardPending {
+			continue
+		}
+		s.state = shardLeased
+		s.worker = worker
+		s.local = local
+		s.attempts++
+		s.expires = now.Add(c.lease())
+		c.stats.Claims++
+		desc := s.desc
+		return &desc
+	}
+	return nil
+}
+
+// heartbeat extends the worker's leases and reports which of its
+// claimed shards are no longer its own (revoked → stop computing).
+func (c *Coordinator) heartbeat(req heartbeatRequest) heartbeatResponse {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorkerLocked(req.Worker, now)
+	var resp heartbeatResponse
+	run := c.run
+	for _, ref := range req.Shards {
+		ok := false
+		if run != nil && run.token == ref.Token && ref.Index >= 0 && ref.Index < len(run.shards) {
+			s := run.shards[ref.Index]
+			if s.state == shardLeased && s.worker == req.Worker {
+				s.expires = now.Add(c.lease())
+				ok = true
+			}
+		}
+		if !ok {
+			resp.Revoked = append(resp.Revoked, ref)
+		}
+	}
+	resp.Drain = c.draining && run == nil
+	return resp
+}
+
+// submit records a shard result: the first one wins, duplicates are
+// hash-checked and discarded, stale tokens are dropped. local marks
+// the in-process fallback, which must not count as a live fleet
+// member (a registered "worker" suppresses degraded mode).
+func (c *Coordinator) submit(worker string, local bool, token string, index int, res sim.DistShardResult) string {
+	hash := resultHash(res)
+	now := c.now()
+	var fireProgress func()
+	status := statusStale
+
+	c.mu.Lock()
+	if !local {
+		c.touchWorkerLocked(worker, now)
+	}
+	run := c.run
+	if run != nil && run.token == token && index >= 0 && index < len(run.shards) {
+		s := run.shards[index]
+		switch s.state {
+		case shardDone:
+			c.stats.Duplicates++
+			status = statusDuplicate
+			if s.hash != hash {
+				c.stats.HashMismatches++
+				status = statusMismatch
+			}
+		case shardFailed:
+			// Already attributed; a late completion cannot be merged
+			// without reordering the failure set.
+			c.stats.Duplicates++
+			status = statusDuplicate
+		default:
+			s.state = shardDone
+			s.worker = worker
+			s.result = res
+			s.hash = hash
+			c.stats.Results++
+			run.remaining--
+			run.completed++
+			c.finishLocked(run)
+			fireProgress = c.progressLocked(run)
+			status = statusAccepted
+		}
+	} else {
+		c.stats.Stale++
+	}
+	c.mu.Unlock()
+
+	if fireProgress != nil {
+		fireProgress()
+	}
+	if status != statusAccepted {
+		c.logf("dist: result for %s/%d from %q: %s", token, index, worker, status)
+	}
+	return status
+}
+
+// resultHash canonically hashes a shard result for duplicate
+// comparison (json.Marshal is deterministic for these types).
+func resultHash(res sim.DistShardResult) string {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return "unhashable: " + err.Error()
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// localRun is the degraded-mode worker: it claims shards like a remote
+// worker but executes them in-process over the coordinator's own
+// config (replay cache, fault wrappers included), through the same
+// record path as the fleet.
+func (c *Coordinator) localRun(ctx context.Context, run *gridRun, exp sim.Experiment, execCfg sim.Config, name string) {
+	defer func() {
+		c.mu.Lock()
+		c.localActive--
+		c.mu.Unlock()
+	}()
+	for ctx.Err() == nil {
+		now := c.now()
+		c.mu.Lock()
+		var desc *ShardDesc
+		if c.run == run {
+			desc = c.claimShardLocked(run, name, true, now)
+		}
+		c.mu.Unlock()
+		if desc == nil {
+			return
+		}
+		res := execShard(ctx, exp, execCfg, *desc)
+		c.mu.Lock()
+		c.stats.LocalShards++
+		c.mu.Unlock()
+		c.submit(name, true, desc.Token, desc.Index, res)
+	}
+}
+
+// execShard runs one shard in-process, converting any panic that
+// escapes the sim layer into a wire panic so it is attributed, never
+// fatal.
+func execShard(ctx context.Context, exp sim.Experiment, execCfg sim.Config, desc ShardDesc) (out sim.DistShardResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = sim.DistShardResult{Panic: &sim.WireError{
+				Msg: fmt.Sprint(r), Panic: true, Stack: string(debug.Stack()),
+			}}
+		}
+	}()
+	cfg := execCfg
+	cfg.Ctx = ctx
+	res, err := sim.RunDistShard(exp, cfg, desc.Grid, desc.Index)
+	if err != nil {
+		return sim.DistShardResult{Panic: &sim.WireError{Msg: err.Error()}}
+	}
+	return res
+}
+
+// Handler returns the coordinator's HTTP API under /dist/v1/.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /dist/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		var req registerRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.register(req.Worker))
+	})
+	mux.HandleFunc("POST /dist/v1/claim", func(w http.ResponseWriter, r *http.Request) {
+		var req claimRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.claim(req.Worker))
+	})
+	mux.HandleFunc("POST /dist/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req heartbeatRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.heartbeat(req))
+	})
+	mux.HandleFunc("POST /dist/v1/result", func(w http.ResponseWriter, r *http.Request) {
+		var req resultRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, resultResponse{Status: c.submit(req.Worker, false, req.Token, req.Index, req.Result)})
+	})
+	mux.HandleFunc("GET /dist/v1/traces/{hash}", func(w http.ResponseWriter, r *http.Request) {
+		data, ok := c.traces.byHash(r.PathValue("hash"))
+		if !ok {
+			http.Error(w, "unknown trace hash", http.StatusNotFound)
+			return
+		}
+		c.mu.Lock()
+		c.stats.TraceFetches++
+		c.mu.Unlock()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	})
+	return mux
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// traceStore materialises each (trace, events) stream once into the
+// compact v3 encoding and serves it content-addressed by SHA-256.
+type traceStore struct {
+	mu      sync.Mutex
+	entries map[string]*traceEntry
+	hashes  map[string]*traceEntry
+}
+
+type traceEntry struct {
+	once sync.Once
+	data []byte
+	hash string
+	err  error
+}
+
+func newTraceStore() *traceStore {
+	return &traceStore{
+		entries: make(map[string]*traceEntry),
+		hashes:  make(map[string]*traceEntry),
+	}
+}
+
+// hashFor materialises (once) and content-addresses one trace stream.
+func (s *traceStore) hashFor(name string, events int64) (string, error) {
+	key := fmt.Sprintf("%s@%d", name, events)
+	s.mu.Lock()
+	e := s.entries[key]
+	if e == nil {
+		e = &traceEntry{}
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+
+	e.once.Do(func() {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			e.err = fmt.Errorf("dist: unknown trace %q", name)
+			return
+		}
+		data, err := encodeTrace(trace.NewLimit(spec.Open(), events))
+		if err != nil {
+			e.err = err
+			return
+		}
+		sum := sha256.Sum256(data)
+		e.data = data
+		e.hash = hex.EncodeToString(sum[:])
+	})
+	if e.err != nil {
+		return "", e.err
+	}
+	s.mu.Lock()
+	s.hashes[e.hash] = e
+	s.mu.Unlock()
+	return e.hash, nil
+}
+
+// byHash returns a materialised stream's bytes.
+func (s *traceStore) byHash(hash string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.hashes[hash]
+	if e == nil || e.err != nil {
+		return nil, false
+	}
+	return e.data, true
+}
+
+// encodeTrace drains src into the binary v3 encoding.
+func encodeTrace(src trace.Source) ([]byte, error) {
+	var buf writerBuffer
+	w := trace.NewWriter(&buf)
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Emit(ev); err != nil {
+			return nil, err
+		}
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.data, nil
+}
+
+// writerBuffer is a minimal append-only byte sink.
+type writerBuffer struct{ data []byte }
+
+func (b *writerBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}

@@ -1,0 +1,307 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"capred/internal/sim"
+	"capred/internal/trace"
+)
+
+// testEvents keeps the equivalence experiments fast while still
+// exercising thousands of predictions per shard.
+const testEvents = 5_000
+
+// equivExperiments covers every distinct leaf shape the drivers
+// serialise: plain counters (fig5), timed cpu results (fig7), the
+// classification tally (classes), the three-mode wrong-path loop, the
+// address/value rows and the profiled multi-variant cell.
+var equivExperiments = []string{
+	"fig5", "fig7", "classes", "wrong-path", "addr-vs-value", "profile-assist",
+}
+
+// localTable is the oracle: the experiment run entirely in-process, no
+// distribution seam installed. Plain-config oracles are cached across
+// tests (the run is deterministic, so one computation serves them all).
+func localTable(t *testing.T, name string, cfg sim.Config) string {
+	t.Helper()
+	e, ok := sim.ExperimentByName(name)
+	if !ok {
+		t.Fatalf("unknown experiment %q", name)
+	}
+	cacheable := cfg.WrapSource == nil && cfg.WrapSourceCtx == nil && cfg.WrapFactory == nil
+	key := fmt.Sprintf("%s@%d", name, cfg.EventsPerTrace)
+	if cacheable {
+		oracleMu.Lock()
+		got, ok := oracleTables[key]
+		oracleMu.Unlock()
+		if ok {
+			return got
+		}
+	}
+	got := e.Run(cfg).Table().String()
+	if cacheable {
+		oracleMu.Lock()
+		oracleTables[key] = got
+		oracleMu.Unlock()
+	}
+	return got
+}
+
+var (
+	oracleMu     sync.Mutex
+	oracleTables = map[string]string{}
+)
+
+func distTable(t *testing.T, c *Coordinator, name string, cfg sim.Config) string {
+	t.Helper()
+	e, ok := sim.ExperimentByName(name)
+	if !ok {
+		t.Fatalf("unknown experiment %q", name)
+	}
+	return c.RunExperiment(e, cfg).Table().String()
+}
+
+// fastCoord returns a coordinator tuned for test timescales.
+func fastCoord(cfg CoordConfig) *Coordinator {
+	if cfg.Lease == 0 {
+		cfg.Lease = 2 * time.Second
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 5 * time.Millisecond
+	}
+	if cfg.LocalDelay == 0 {
+		cfg.LocalDelay = time.Millisecond
+	}
+	return NewCoordinator(cfg)
+}
+
+// startWorkers runs n workers against the coordinator's HTTP API and
+// returns them plus a shutdown func that drains them cleanly.
+func startWorkers(t *testing.T, c *Coordinator, n int) ([]*Worker, func()) {
+	t.Helper()
+	srv := httptest.NewServer(c.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	workers := make([]*Worker, n)
+	for i := 0; i < n; i++ {
+		w := NewWorker(WorkerConfig{
+			Coordinator: srv.URL,
+			Name:        fmt.Sprintf("w%d", i),
+			Client:      srv.Client(),
+		})
+		workers[i] = w
+		wg.Add(1)
+		go func(ctx context.Context, w *Worker) {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+				t.Errorf("worker %s: %v", w.cfg.Name, err)
+			}
+		}(ctx, w)
+	}
+	return workers, func() {
+		c.BeginDrain()
+		drained := make(chan struct{})
+		go func(ctx context.Context) {
+			wg.Wait()
+			close(drained)
+		}(ctx)
+		select {
+		case <-drained:
+		case <-time.After(10 * time.Second):
+			cancel()
+			wg.Wait()
+		}
+		cancel()
+		srv.Close()
+	}
+}
+
+// TestDegradedModeMatchesLocal runs every leaf shape through the
+// coordinator with zero workers: the in-process fallback must produce
+// byte-identical tables.
+func TestDegradedModeMatchesLocal(t *testing.T) {
+	cfg := sim.Config{EventsPerTrace: testEvents}
+	c := fastCoord(CoordConfig{LocalWorkers: 2})
+	for _, name := range equivExperiments {
+		want := localTable(t, name, cfg)
+		got := distTable(t, c, name, cfg)
+		if got != want {
+			t.Errorf("%s: degraded table differs from local\nlocal:\n%s\ndist:\n%s", name, want, got)
+		}
+	}
+	if st := c.Stats(); st.LocalShards == 0 {
+		t.Fatalf("no local shards executed: %+v", st)
+	}
+}
+
+// TestFleetMatchesLocal runs experiments over real HTTP workers (no
+// local fallback) and requires byte-identical tables.
+func TestFleetMatchesLocal(t *testing.T) {
+	cfg := sim.Config{EventsPerTrace: testEvents}
+	c := fastCoord(CoordConfig{LocalWorkers: -1})
+	_, stop := startWorkers(t, c, 2)
+	defer stop()
+
+	for _, name := range equivExperiments {
+		want := localTable(t, name, cfg)
+		got := distTable(t, c, name, cfg)
+		if got != want {
+			t.Errorf("%s: fleet table differs from local\nlocal:\n%s\ndist:\n%s", name, want, got)
+		}
+	}
+	st := c.Stats()
+	if st.LocalShards != 0 {
+		t.Errorf("local fallback ran with a live fleet: %+v", st)
+	}
+	if st.Results == 0 {
+		t.Errorf("no results accepted from the fleet: %+v", st)
+	}
+}
+
+// TestSharedReplayCacheMatchesLocal distributes with the coordinator's
+// own replay cache installed, as capsim does.
+func TestSharedReplayCacheMatchesLocal(t *testing.T) {
+	want := localTable(t, "fig5", sim.Config{EventsPerTrace: testEvents})
+	cfg := sim.Config{EventsPerTrace: testEvents, ReplayCache: trace.NewReplayCache(0)}
+	c := fastCoord(CoordConfig{LocalWorkers: 1})
+	if got := distTable(t, c, "fig5", cfg); got != want {
+		t.Errorf("cached degraded table differs from local\nlocal:\n%s\ndist:\n%s", want, got)
+	}
+}
+
+// TestPanicAttribution: a leaf that panics in degraded mode must
+// surface as an attributed failure identical to the local run's
+// (degraded mode only: fault wrappers are live in-process values and
+// do not travel to remote workers).
+func TestPanicAttribution(t *testing.T) {
+	mk := func() sim.Config {
+		cfg := sim.Config{EventsPerTrace: testEvents}
+		cfg.WrapSource = func(traceName string, src trace.Source) trace.Source {
+			if traceName == "INT_gcc" {
+				panic("injected source panic")
+			}
+			return src
+		}
+		return cfg
+	}
+	want := localTable(t, "fig5", mk())
+	c := fastCoord(CoordConfig{LocalWorkers: 2})
+	got := distTable(t, c, "fig5", mk())
+	if got != want {
+		t.Errorf("panic attribution differs\nlocal:\n%s\ndist:\n%s", want, got)
+	}
+}
+
+// TestSubmitIdempotence drives the lease bookkeeping directly: first
+// result wins, duplicates and mismatches are counted and discarded,
+// stale tokens never touch the run.
+func TestSubmitIdempotence(t *testing.T) {
+	c := NewCoordinator(CoordConfig{})
+	run := &gridRun{
+		token:     "fig5.1.1",
+		shards:    []*shardState{{}, {}},
+		remaining: 2,
+		doneCh:    make(chan struct{}),
+	}
+	run.shards[0].state = shardLeased
+	run.shards[1].state = shardLeased
+	c.run = run
+
+	res := sim.DistShardResult{Leaves: []sim.LeafRecord{{Data: []byte(`{"Loads":1}`)}}}
+	other := sim.DistShardResult{Leaves: []sim.LeafRecord{{Data: []byte(`{"Loads":2}`)}}}
+
+	if st := c.submit("w1", false, "fig5.1.1", 0, res); st != statusAccepted {
+		t.Fatalf("first submit: got %s", st)
+	}
+	if st := c.submit("w2", false, "fig5.1.1", 0, res); st != statusDuplicate {
+		t.Fatalf("identical duplicate: got %s", st)
+	}
+	if st := c.submit("w2", false, "fig5.1.1", 0, other); st != statusMismatch {
+		t.Fatalf("differing duplicate: got %s", st)
+	}
+	if st := c.submit("w1", false, "other.9.9", 0, res); st != statusStale {
+		t.Fatalf("stale token: got %s", st)
+	}
+	if st := c.submit("w1", false, "fig5.1.1", 7, res); st != statusStale {
+		t.Fatalf("out-of-range index: got %s", st)
+	}
+	if run.remaining != 1 {
+		t.Fatalf("remaining = %d, want 1", run.remaining)
+	}
+	st := c.Stats()
+	if st.Results != 1 || st.Duplicates != 2 || st.HashMismatches != 1 || st.Stale != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestLeaseExpiryFailsAfterMaxAttempts: a shard that keeps timing out
+// must eventually fail with an attributed error, not cycle forever.
+func TestLeaseExpiryFailsAfterMaxAttempts(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	now := base
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+
+	c := NewCoordinator(CoordConfig{Lease: 10 * time.Second, MaxAttempts: 2, Now: clock})
+	run := &gridRun{
+		token:     "fig5.1.1",
+		shards:    []*shardState{{desc: ShardDesc{Experiment: "fig5", Trace: "gcc"}}},
+		remaining: 1,
+		doneCh:    make(chan struct{}),
+	}
+	c.run = run
+
+	for attempt := 1; attempt <= 2; attempt++ {
+		resp := c.claim("flaky")
+		if resp.Shard == nil {
+			t.Fatalf("attempt %d: no shard leased", attempt)
+		}
+		advance(11 * time.Second)
+		c.mu.Lock()
+		c.expireLeasesLocked(run, clock())
+		c.mu.Unlock()
+	}
+
+	s := run.shards[0]
+	if s.state != shardFailed {
+		t.Fatalf("shard state = %d, want failed", s.state)
+	}
+	if s.err == nil {
+		t.Fatal("failed shard has no attributed error")
+	}
+	select {
+	case <-run.doneCh:
+	default:
+		t.Fatal("run not finished after final shard failed")
+	}
+	st := c.Stats()
+	if st.Reclaims != 1 || st.FailedShards != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestWaitDrained: BeginDrain must flow to claiming workers and
+// WaitDrained must observe them drained.
+func TestWaitDrained(t *testing.T) {
+	c := fastCoord(CoordConfig{LocalWorkers: -1})
+	_, stop := startWorkers(t, c, 2)
+	defer stop()
+	c.BeginDrain()
+	if !c.WaitDrained(context.Background(), 5*time.Second) {
+		t.Fatal("fleet did not drain")
+	}
+}

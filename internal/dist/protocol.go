@@ -1,0 +1,107 @@
+// Package dist is the fault-tolerant distributed experiment fleet: a
+// coordinator that hands (trace × configuration) shards of an
+// experiment grid to pull-based workers under expiring leases, and the
+// worker loop capserve runs in -worker mode.
+//
+// Robustness model (DESIGN.md §13):
+//
+//   - Shards are leased, not assigned. A worker that crashes, hangs or
+//     partitions simply stops heartbeating; its lease expires and the
+//     shard returns to the pending pool for another claim.
+//   - Results are idempotent. The computation is deterministic, so any
+//     completed result for a shard is THE result; the first accepted
+//     one wins and later duplicates are detected by shard identity plus
+//     a hash of the result body, counted and discarded.
+//   - Workers never report work they may have poisoned: a worker whose
+//     lease was revoked (or whose context was cancelled mid-shard)
+//     discards the attempt instead of posting it.
+//   - The coordinator degrades to in-process execution when no remote
+//     worker is available, over the exact same record/replay path, so a
+//     fleet of zero still produces the full table.
+//
+// Equivalence: the merged table is byte-identical to a local capsim run
+// by construction — workers return leaf logs (internal/sim's dist
+// seam), and the coordinator replays them through the real driver
+// closures in shard registration order on one goroutine. The PR 3
+// golden harness is the oracle; the chaos tests in this package drive
+// every fault against it.
+package dist
+
+import "capred/internal/sim"
+
+// ShardDesc describes one leased shard to a worker: everything needed
+// to recompute the shard bit-identically plus the lease terms.
+type ShardDesc struct {
+	// Token identifies the grid run this lease belongs to; results
+	// carrying a stale token are discarded.
+	Token      string `json:"token"`
+	Experiment string `json:"experiment"`
+	Grid       int    `json:"grid"`
+	Index      int    `json:"index"`
+	Stage      string `json:"stage,omitempty"`
+	Trace      string `json:"trace"`
+	Suite      string `json:"suite,omitempty"`
+
+	// TraceHash content-addresses the trace's encoded v3 byte stream;
+	// workers fetch it once per node and fall back to regenerating the
+	// identical stream locally when the fetch fails.
+	TraceHash string `json:"trace_hash,omitempty"`
+
+	Events         int64 `json:"events"`
+	SourceRetries  int   `json:"source_retries,omitempty"`
+	TraceTimeoutMS int64 `json:"trace_timeout_ms,omitempty"`
+	LeaseMS        int64 `json:"lease_ms"`
+}
+
+// shardRef identifies a lease in heartbeats.
+type shardRef struct {
+	Token string `json:"token"`
+	Index int    `json:"index"`
+}
+
+type registerRequest struct {
+	Worker string `json:"worker"`
+}
+
+type registerResponse struct {
+	PollMS int64 `json:"poll_ms"`
+}
+
+type claimRequest struct {
+	Worker string `json:"worker"`
+}
+
+type claimResponse struct {
+	Shard        *ShardDesc `json:"shard,omitempty"`
+	RetryAfterMS int64      `json:"retry_after_ms,omitempty"`
+	Drain        bool       `json:"drain,omitempty"`
+}
+
+type heartbeatRequest struct {
+	Worker string     `json:"worker"`
+	Shards []shardRef `json:"shards,omitempty"`
+}
+
+type heartbeatResponse struct {
+	Revoked []shardRef `json:"revoked,omitempty"`
+	Drain   bool       `json:"drain,omitempty"`
+}
+
+type resultRequest struct {
+	Worker string              `json:"worker"`
+	Token  string              `json:"token"`
+	Index  int                 `json:"index"`
+	Result sim.DistShardResult `json:"result"`
+}
+
+// Result submission outcomes, echoed in resultResponse.Status.
+const (
+	statusAccepted  = "accepted"
+	statusDuplicate = "duplicate"
+	statusMismatch  = "mismatch" // duplicate whose hash disagrees with the merged result
+	statusStale     = "stale"    // unknown token/shard: grid already finished
+)
+
+type resultResponse struct {
+	Status string `json:"status"`
+}

@@ -1,0 +1,401 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"capred/internal/retry"
+	"capred/internal/sim"
+	"capred/internal/trace"
+)
+
+// WorkerConfig configures one fleet worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:port".
+	Coordinator string
+	// Name identifies this worker in leases and logs. Required.
+	Name string
+	// Client, when non-nil, replaces http.DefaultClient (tests inject
+	// fault transports here).
+	Client *http.Client
+	// RPC overrides the retry policy for coordinator calls. The zero
+	// value selects a jittered exponential backoff (5 attempts, 50ms
+	// base, 2s cap, 30s budget) seeded from the worker name, so retry
+	// storms from a restarted fleet spread out deterministically per
+	// worker.
+	RPC retry.Policy
+	// Logf, when non-nil, receives operational events.
+	Logf func(format string, args ...any)
+	// Now injects the clock for pacing decisions; nil uses the wall
+	// clock. Results never depend on it.
+	Now func() time.Time
+}
+
+// WorkerStats counts one worker's activity.
+type WorkerStats struct {
+	Shards       int64 // shards executed and accepted
+	Revoked      int64 // shards abandoned because the lease was revoked mid-run
+	Rejected     int64 // results the coordinator did not accept (duplicate/stale)
+	TraceFetches int64 // content-addressed trace streams fetched
+	TraceLocal   int64 // traces regenerated locally after a failed/absent fetch
+}
+
+// String renders the stats as one report line.
+func (s WorkerStats) String() string {
+	return fmt.Sprintf("worker: %d shards (%d revoked, %d rejected), %d trace fetches, %d local regenerations",
+		s.Shards, s.Revoked, s.Rejected, s.TraceFetches, s.TraceLocal)
+}
+
+// Worker pulls shards from a coordinator, executes them through the
+// sim record path, and posts leaf logs back. It is resilient by
+// construction: every RPC retries with jittered backoff, a revoked
+// lease abandons the shard without posting, and any shard it fails to
+// finish is simply re-claimed by someone else when the lease expires.
+type Worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+	rpc    retry.Policy
+	cache  *trace.ReplayCache
+
+	mu    sync.Mutex
+	stats WorkerStats
+}
+
+// NewWorker returns a worker ready to Run against cfg.Coordinator.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	pol := cfg.RPC
+	if pol.Attempts == 0 {
+		pol = retry.Policy{
+			Attempts:   5,
+			BaseDelay:  50 * time.Millisecond,
+			MaxDelay:   2 * time.Second,
+			Multiplier: 2,
+			Jitter:     0.5,
+			Budget:     30 * time.Second,
+		}
+	}
+	if pol.Jitter > 0 && pol.Rand == nil {
+		h := fnv.New64a()
+		io.WriteString(h, cfg.Name)
+		pol.Rand = retry.NewRand(int64(h.Sum64()))
+	}
+	return &Worker{
+		cfg:    cfg,
+		client: client,
+		rpc:    pol,
+		cache:  trace.NewReplayCache(0),
+	}
+}
+
+// Stats returns a snapshot of the worker's counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Run registers with the coordinator and pulls shards until the
+// coordinator tells it to drain or ctx is cancelled. It returns nil on
+// a clean drain.
+func (w *Worker) Run(ctx context.Context) error {
+	var reg registerResponse
+	err := w.post(ctx, "/dist/v1/register", registerRequest{Worker: w.cfg.Name}, &reg)
+	if err != nil {
+		return fmt.Errorf("register with %s: %w", w.cfg.Coordinator, err)
+	}
+	w.logf("worker %s: registered with %s", w.cfg.Name, w.cfg.Coordinator)
+
+	idlePoll := time.Duration(reg.PollMS) * time.Millisecond
+	if idlePoll <= 0 {
+		idlePoll = 100 * time.Millisecond
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var resp claimResponse
+		if err := w.post(ctx, "/dist/v1/claim", claimRequest{Worker: w.cfg.Name}, &resp); err != nil {
+			return fmt.Errorf("claim from %s: %w", w.cfg.Coordinator, err)
+		}
+		switch {
+		case resp.Drain:
+			w.logf("worker %s: drained", w.cfg.Name)
+			return nil
+		case resp.Shard != nil:
+			w.runShard(ctx, *resp.Shard)
+		default:
+			d := time.Duration(resp.RetryAfterMS) * time.Millisecond
+			if d <= 0 {
+				d = idlePoll
+			}
+			if err := retry.Sleep(ctx, d); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// runShard executes one leased shard under a heartbeat, posting the
+// leaf log back unless the lease was revoked mid-run.
+func (w *Worker) runShard(ctx context.Context, desc ShardDesc) {
+	w.logf("worker %s: claimed %s/%d (%s)", w.cfg.Name, desc.Token, desc.Index, desc.Trace)
+
+	// Heartbeat until the shard finishes; a revocation cancels the
+	// computation so a re-claimed shard is never double-posted.
+	hbCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	revoked := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func(ctx context.Context) {
+		defer hbWG.Done()
+		w.heartbeatLoop(ctx, desc, revoked)
+	}(hbCtx)
+
+	runCtx, cancelRun := context.WithCancel(ctx)
+	go func(ctx context.Context) {
+		select {
+		case <-revoked:
+			cancelRun()
+		case <-ctx.Done():
+		}
+	}(hbCtx)
+
+	res := w.execute(runCtx, desc)
+	cancelRun()
+	cancel()
+	hbWG.Wait()
+
+	select {
+	case <-revoked:
+		// The lease moved on; our result may be poisoned by the
+		// cancellation, and even a clean one must not race the new
+		// owner's. Drop it.
+		w.mu.Lock()
+		w.stats.Revoked++
+		w.mu.Unlock()
+		w.logf("worker %s: lease revoked on %s/%d, result dropped", w.cfg.Name, desc.Token, desc.Index)
+		return
+	default:
+	}
+	if ctx.Err() != nil {
+		// Our own shutdown cancelled the run mid-shard: the leaf log may
+		// be truncated by the cancellation, so it must not be posted.
+		return
+	}
+
+	var rr resultResponse
+	if err := w.post(ctx, "/dist/v1/result", resultRequest{
+		Worker: w.cfg.Name, Token: desc.Token, Index: desc.Index, Result: res,
+	}, &rr); err != nil {
+		w.logf("worker %s: posting %s/%d failed: %v", w.cfg.Name, desc.Token, desc.Index, err)
+		return
+	}
+	w.mu.Lock()
+	if rr.Status == statusAccepted {
+		w.stats.Shards++
+	} else {
+		w.stats.Rejected++
+	}
+	w.mu.Unlock()
+	w.logf("worker %s: completed %s/%d (%s)", w.cfg.Name, desc.Token, desc.Index, rr.Status)
+}
+
+// heartbeatLoop extends the shard's lease at a third of its term and
+// closes revoked if the coordinator disowns the lease. Heartbeat RPC
+// failures are tolerated silently: the lease simply drifts toward
+// expiry, and either a later beat lands or the shard is re-claimed.
+func (w *Worker) heartbeatLoop(ctx context.Context, desc ShardDesc, revoked chan<- struct{}) {
+	period := time.Duration(desc.LeaseMS) * time.Millisecond / 3
+	if period <= 0 {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		var resp heartbeatResponse
+		req := heartbeatRequest{Worker: w.cfg.Name, Shards: []shardRef{{Token: desc.Token, Index: desc.Index}}}
+		if err := w.postOnce(ctx, "/dist/v1/heartbeat", req, &resp); err != nil {
+			continue
+		}
+		for _, ref := range resp.Revoked {
+			if ref.Token == desc.Token && ref.Index == desc.Index {
+				close(revoked)
+				return
+			}
+		}
+	}
+}
+
+// execute recomputes one shard bit-identically via the sim record
+// path, with the trace pre-seeded from the coordinator's
+// content-addressed store when possible.
+func (w *Worker) execute(ctx context.Context, desc ShardDesc) sim.DistShardResult {
+	w.ensureTrace(ctx, desc)
+
+	exp, ok := sim.ExperimentByName(desc.Experiment)
+	if !ok {
+		return sim.DistShardResult{Panic: &sim.WireError{
+			Msg: fmt.Sprintf("dist: worker has no experiment %q", desc.Experiment),
+		}}
+	}
+	cfg := sim.Config{
+		EventsPerTrace: desc.Events,
+		SourceRetries:  desc.SourceRetries,
+		TraceTimeout:   time.Duration(desc.TraceTimeoutMS) * time.Millisecond,
+		Ctx:            ctx,
+		ReplayCache:    w.cache,
+	}
+	res, err := sim.RunDistShard(exp, cfg, desc.Grid, desc.Index)
+	if err != nil {
+		return sim.DistShardResult{Panic: &sim.WireError{Msg: err.Error()}}
+	}
+	return res
+}
+
+// ensureTrace fetches the shard's trace stream by content hash and
+// seeds the replay cache with it, so the simulation's own open hits a
+// resident entry instead of regenerating the workload. Any failure —
+// no hash, fetch error, hash mismatch — falls back to local
+// generation, which produces the identical stream; the fetch is an
+// optimisation, never a correctness dependency.
+func (w *Worker) ensureTrace(ctx context.Context, desc ShardDesc) {
+	if desc.TraceHash == "" {
+		return
+	}
+	key := fmt.Sprintf("%s@%d", desc.Trace, desc.Events)
+	data, err := w.fetchTrace(ctx, desc.TraceHash)
+	if err != nil {
+		w.mu.Lock()
+		w.stats.TraceLocal++
+		w.mu.Unlock()
+		w.logf("worker %s: trace %s fetch failed (%v), generating locally", w.cfg.Name, key, err)
+		return
+	}
+	w.mu.Lock()
+	w.stats.TraceFetches++
+	w.mu.Unlock()
+	// Seeding = opening through the cache with a generator that decodes
+	// the fetched bytes: the cache materialises (and retains) the
+	// stream, and the simulation's later open of the same key replays
+	// the resident entry.
+	src := w.cache.Open(key, func() trace.Source {
+		return trace.NewReader(bytes.NewReader(data))
+	})
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+	}
+}
+
+// fetchTrace downloads and hash-verifies one content-addressed stream.
+func (w *Worker) fetchTrace(ctx context.Context, hash string) ([]byte, error) {
+	var data []byte
+	err := w.rpc.Do(ctx, transientHTTP, func(int) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			w.cfg.Coordinator+"/dist/v1/traces/"+hash, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := w.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return &httpStatusError{status: resp.StatusCode, url: req.URL.Path}
+		}
+		data, err = io.ReadAll(resp.Body)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	if got := hex.EncodeToString(sum[:]); got != hash {
+		return nil, fmt.Errorf("dist: trace hash mismatch: want %s, got %s", hash, got)
+	}
+	return data, nil
+}
+
+// post is a retried JSON POST to the coordinator.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	return w.rpc.Do(ctx, transientHTTP, func(int) error {
+		return w.postOnce(ctx, path, in, out)
+	})
+}
+
+// postOnce is a single JSON POST attempt.
+func (w *Worker) postOnce(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return &httpStatusError{status: resp.StatusCode, url: path}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// httpStatusError marks a non-200 coordinator response; 5xx and 429
+// are retryable, 4xx are not.
+type httpStatusError struct {
+	status int
+	url    string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("dist: %s: HTTP %d", e.url, e.status)
+}
+
+// transientHTTP classifies RPC errors for retry: transport errors and
+// retryable statuses are worth another attempt, protocol-level 4xx
+// (bad request, unknown trace) are not.
+func transientHTTP(err error) bool {
+	var se *httpStatusError
+	if errors.As(err, &se) {
+		return se.status >= 500 || se.status == http.StatusTooManyRequests
+	}
+	return true
+}

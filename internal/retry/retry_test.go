@@ -1,0 +1,152 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// recordSleeps returns a Sleep that records requested delays without
+// waiting.
+func recordSleeps(got *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*got = append(*got, d)
+		return nil
+	}
+}
+
+func TestZeroValueRunsOnce(t *testing.T) {
+	calls := 0
+	err := Policy{}.Do(context.Background(), nil, func(int) error {
+		calls++
+		return errors.New("boom")
+	})
+	if calls != 1 || err == nil {
+		t.Fatalf("calls=%d err=%v; want one failing attempt", calls, err)
+	}
+}
+
+func TestAttemptBudgetAndTryNumbers(t *testing.T) {
+	var tries []int
+	err := Policy{Attempts: 3}.Do(context.Background(), nil, func(try int) error {
+		tries = append(tries, try)
+		return errors.New("always")
+	})
+	if err == nil || len(tries) != 3 {
+		t.Fatalf("tries=%v err=%v; want 3 attempts then last error", tries, err)
+	}
+	for i, try := range tries {
+		if try != i {
+			t.Fatalf("attempt %d reported try=%d", i, try)
+		}
+	}
+}
+
+func TestSuccessStopsRetrying(t *testing.T) {
+	calls := 0
+	err := Policy{Attempts: 5}.Do(context.Background(), nil, func(int) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("calls=%d err=%v; want success on third try", calls, err)
+	}
+}
+
+func TestPermanentErrorStopsImmediately(t *testing.T) {
+	permanent := errors.New("permanent")
+	calls := 0
+	err := Policy{Attempts: 5}.Do(context.Background(),
+		func(err error) bool { return !errors.Is(err, permanent) },
+		func(int) error { calls++; return permanent })
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Fatalf("calls=%d err=%v; want one attempt, permanent error", calls, err)
+	}
+}
+
+func TestBackoffScheduleDeterministicWithoutRand(t *testing.T) {
+	var slept []time.Duration
+	p := Policy{
+		Attempts:  5,
+		BaseDelay: 10 * time.Millisecond,
+		MaxDelay:  45 * time.Millisecond,
+		Sleep:     recordSleeps(&slept),
+	}
+	_ = p.Do(context.Background(), nil, func(int) error { return errors.New("x") })
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 45 * time.Millisecond}
+	if fmt.Sprint(slept) != fmt.Sprint(want) {
+		t.Fatalf("slept %v; want %v", slept, want)
+	}
+}
+
+func TestJitterDeterministicWhenSeeded(t *testing.T) {
+	run := func() []time.Duration {
+		var slept []time.Duration
+		p := Policy{
+			Attempts:  6,
+			BaseDelay: 100 * time.Millisecond,
+			Jitter:    0.5,
+			Rand:      NewRand(42),
+			Sleep:     recordSleeps(&slept),
+		}
+		_ = p.Do(context.Background(), nil, func(int) error { return errors.New("x") })
+		return slept
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed gave different schedules:\n%v\n%v", a, b)
+	}
+	base := 100 * time.Millisecond
+	lo, hi := base/2, base+base/2
+	if a[0] < lo || a[0] > hi {
+		t.Fatalf("first jittered delay %v outside [%v, %v]", a[0], lo, hi)
+	}
+	jittered := false
+	for _, d := range a {
+		if d%base != 0 {
+			jittered = true
+		}
+	}
+	if !jittered {
+		t.Fatalf("jitter never perturbed the schedule: %v", a)
+	}
+}
+
+func TestSleepBudgetStopsRetries(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	p := Policy{
+		Attempts:  100,
+		BaseDelay: 10 * time.Millisecond,
+		Budget:    35 * time.Millisecond,
+		Sleep:     recordSleeps(&slept),
+	}
+	err := p.Do(context.Background(), nil, func(int) error { calls++; return errors.New("x") })
+	if err == nil {
+		t.Fatal("want last error once the budget is spent")
+	}
+	// Planned sleeps: 10 + 20 = 30; the next (40) would blow the 35ms
+	// budget, so exactly 3 attempts run.
+	if calls != 3 || len(slept) != 2 {
+		t.Fatalf("calls=%d slept=%v; want 3 attempts and 2 sleeps under the budget", calls, slept)
+	}
+}
+
+func TestCancelledContextReturnsAttemptError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attemptErr := errors.New("attempt failed")
+	calls := 0
+	err := Policy{Attempts: 5, BaseDelay: time.Millisecond}.Do(ctx, nil, func(int) error {
+		calls++
+		return attemptErr
+	})
+	if !errors.Is(err, attemptErr) || calls != 1 {
+		t.Fatalf("calls=%d err=%v; want the attempt error after a cancelled backoff", calls, err)
+	}
+}

@@ -1,0 +1,250 @@
+package server
+
+// TTL/janitor lease-edge tests: the exact eviction boundary, the
+// janitor sweep racing live traffic (run these under -race), and the
+// guarantee that evicting a session never corrupts a batch already in
+// flight on it.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// lockedClock is a thread-safe fakeClock for tests where the sweeper,
+// the clock and the traffic run on different goroutines. (fakeClock is
+// deliberately unsynchronised; single-threaded tests keep using it.)
+type lockedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *lockedClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *lockedClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestTTLExactBoundary pins the lease edge: a session idle for exactly
+// the TTL is still alive (eviction is strictly "older than TTL"), one
+// nanosecond more and it is gone. Clients that heartbeat at the TTL
+// period therefore never lose a session to rounding.
+func TestTTLExactBoundary(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testConfig()
+	cfg.SessionTTL = time.Minute
+	st := newSessionStore(withClock(cfg, clock))
+
+	s, err := st.create(SessionConfig{Predictor: "stride"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clock.advance(time.Minute) // idle == TTL exactly
+	if n := st.sweep(); n != 0 {
+		t.Fatalf("sweep at idle==TTL evicted %d sessions, want 0 (boundary is strict)", n)
+	}
+	if _, err := st.get(s.ID); err != nil {
+		t.Fatalf("session evicted at the exact TTL boundary: %v", err)
+	}
+
+	clock.advance(time.Minute + time.Nanosecond) // one step past the edge
+	if n := st.sweep(); n != 1 {
+		t.Fatalf("sweep past TTL evicted %d sessions, want 1", n)
+	}
+	if _, err := st.get(s.ID); !errors.Is(err, errNotFound) {
+		t.Fatalf("get after eviction: got %v, want errNotFound", err)
+	}
+}
+
+// TestSweepRacesTraffic runs creates, gets, ingests and sweeps on
+// separate goroutines while the clock advances, then checks the store's
+// books balance: every session ever created is either still open or
+// counted in the eviction total. Under -race this also proves the
+// store-lock/session-lock nesting in evictLocked, get and ingest is
+// consistent.
+func TestSweepRacesTraffic(t *testing.T) {
+	clock := &lockedClock{t: time.Unix(1_000_000, 0)}
+	cfg := testConfig()
+	cfg.SessionTTL = 50 * time.Millisecond
+	cfg.MaxSessions = 0 // traffic outruns the fake clock; capacity is not under test
+	cfg.Now = clock.now
+	st := newSessionStore(cfg)
+
+	body := encodeTrace(t, collectEvents(t, 0, 200))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		created  atomic.Int64
+		ingested atomic.Int64
+		ids      sync.Map // session ID -> struct{}, for the getter goroutine
+	)
+
+	// Traffic: open sessions and stream a batch at each.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				s, err := st.create(SessionConfig{Predictor: "last"})
+				if err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+				created.Add(1)
+				ids.Store(s.ID, struct{}{})
+				if res, err := s.ingest(st, body); err == nil {
+					ingested.Add(res.Events)
+				} else {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Touches: get refreshes lastUsed under the store lock; racing it
+	// against the sweeper is the whole point. errNotFound is legal (the
+	// sweeper may win), any other error is not.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			ids.Range(func(k, _ any) bool {
+				if _, err := st.get(k.(string)); err != nil && !errors.Is(err, errNotFound) {
+					t.Errorf("get: %v", err)
+				}
+				return ctx.Err() == nil
+			})
+		}
+	}()
+	// The janitor stand-in plus a moving clock so evictions really fire.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for ctx.Err() == nil {
+			clock.advance(20 * time.Millisecond)
+			st.sweep()
+		}
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	wg.Wait()
+
+	// Quiesced: everything still open is now idle. One last expiry sweep
+	// must leave the books balanced — every session ever created is
+	// accounted for in the eviction total, none lost, none double-counted.
+	clock.advance(cfg.SessionTTL + time.Second)
+	st.sweep()
+	if open := st.open(); open != 0 {
+		t.Fatalf("%d sessions survived the final expiry sweep", open)
+	}
+	if evicted := st.evicted.Load(); evicted != created.Load() {
+		t.Fatalf("books do not balance: evicted %d != created %d", evicted, created.Load())
+	}
+	if got := st.ingested(); got != ingested.Load() {
+		t.Fatalf("global ingested = %d, want %d (eviction must not lose or double-charge events)",
+			got, ingested.Load())
+	}
+}
+
+// TestEvictionLeavesInFlightBatchIntact: a handler holding a session
+// pointer across an eviction (get succeeded, then the janitor swept)
+// must still apply its batch correctly — eviction only unlinks the
+// session from the store, it never tears down state under the lock a
+// batch is running on. The evicted session's counters must match a
+// never-evicted session fed the same bytes.
+func TestEvictionLeavesInFlightBatchIntact(t *testing.T) {
+	// One continuous v3 stream split at an arbitrary byte boundary, as a
+	// client streaming across two POSTs would send it.
+	stream := encodeTrace(t, collectEvents(t, 0, 600))
+	batch1, batch2 := stream[:len(stream)/2], stream[len(stream)/2:]
+
+	clock := newFakeClock()
+	cfg := testConfig()
+	cfg.SessionTTL = time.Minute
+	st := newSessionStore(withClock(cfg, clock))
+	s, err := st.create(SessionConfig{Predictor: "hybrid", Gap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ingest(st, batch1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The janitor evicts the idle session while "the handler" still holds s.
+	clock.advance(2 * time.Minute)
+	if n := st.sweep(); n != 1 {
+		t.Fatalf("sweep evicted %d, want 1", n)
+	}
+	if _, err := st.get(s.ID); !errors.Is(err, errNotFound) {
+		t.Fatalf("store still resolves an evicted ID: %v", err)
+	}
+
+	// The in-flight batch on the retained pointer completes untouched.
+	res, err := s.ingest(st, batch2)
+	if err != nil {
+		t.Fatalf("batch on evicted session: %v", err)
+	}
+	if res.Total != 600 {
+		t.Fatalf("evicted session holds %d events after both batches, want 600", res.Total)
+	}
+
+	// Same bytes through a session that was never evicted: identical
+	// counters, or eviction corrupted decoder/stepper state.
+	ref := newSessionStore(testConfig())
+	r, err := ref.create(SessionConfig{Predictor: "hybrid", Gap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range [][]byte{batch1, batch2} {
+		if _, err := r.ingest(ref, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := s.snapshot(), r.snapshot(); got != want {
+		t.Fatalf("evicted session diverged from reference:\nevicted   %+v\nreference %+v", got, want)
+	}
+}
+
+// TestJanitorGoroutineLifecycle runs the real janitor (ticker-driven,
+// wall clock) against live traffic and shuts it down; under -race this
+// covers the production goroutine itself, not a stand-in, and proves
+// Shutdown stops it without leaking or double-closing janitorStop.
+func TestJanitorGoroutineLifecycle(t *testing.T) {
+	cfg := testConfig()
+	cfg.SessionTTL = time.Millisecond
+	cfg.SweepInterval = time.Millisecond
+	srv := New(cfg)
+
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		s, err := srv.store.create(SessionConfig{Predictor: "cap"})
+		if err != nil {
+			t.Fatalf("create under janitor: %v", err)
+		}
+		if _, err := srv.store.get(s.ID); err != nil && !errors.Is(err, errNotFound) {
+			t.Fatalf("get under janitor: %v", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil { // idempotent: janitorStop not double-closed
+		t.Fatalf("second shutdown: %v", err)
+	}
+}

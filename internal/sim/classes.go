@@ -44,20 +44,27 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 	}
 	names := []string{"last", "stride+", "cap", "hybrid"}
 
-	type tally struct {
-		loads   map[predictor.LoadClass]int64
-		correct []map[predictor.LoadClass]int64
-		done    bool
+	// classTally is the leaf's serialisable per-trace result: dynamic
+	// loads per profiled class and, per predictor, correct speculations
+	// per class (exported fields so it survives the dist wire).
+	type classTally struct {
+		Loads   map[predictor.LoadClass]int64
+		Correct []map[predictor.LoadClass]int64
 	}
+	type tally struct {
+		classTally
+		done bool
+	}
+
 	tallies := make([]tally, len(specs))
 
 	g := newGrid(cfg)
 	g.addPass("class-coverage", specs, func(i int) error {
 		spec := specs[i]
-		// Both passes run inside one perTrace scope so the deadline spans
-		// the whole two-pass job and a retry restarts it from scratch with
+		// Both passes run inside one leaf scope so the deadline spans the
+		// whole two-pass job and a retry restarts it from scratch with
 		// fresh state.
-		return cfg.perTrace(spec, func(ctx context.Context, open func() trace.Source) error {
+		t, err := distLeaf(cfg, spec, func(ctx context.Context, open func() trace.Source) (classTally, error) {
 			// Classification pass.
 			prof := predictor.NewProfiler()
 			err := forEachBatch(ctx, open(), func(evs []trace.Event) {
@@ -68,17 +75,17 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 				}
 			})
 			if err != nil {
-				return fmt.Errorf("classification pass: %w", err)
+				return classTally{}, fmt.Errorf("classification pass: %w", err)
 			}
 			profile := prof.Profile()
 
-			t := tally{
-				loads:   make(map[predictor.LoadClass]int64),
-				correct: make([]map[predictor.LoadClass]int64, len(factories)),
+			t := classTally{
+				Loads:   make(map[predictor.LoadClass]int64),
+				Correct: make([]map[predictor.LoadClass]int64, len(factories)),
 			}
 			preds := make([]predictor.Predictor, len(factories))
 			for v, f := range factories {
-				t.correct[v] = make(map[predictor.LoadClass]int64)
+				t.Correct[v] = make(map[predictor.LoadClass]int64)
 				preds[v] = cfg.factoryFor(spec, f)()
 			}
 
@@ -93,7 +100,7 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 						path.Push(ev.IP)
 					case trace.KindLoad:
 						class := profile.Class(ev.IP)
-						t.loads[class]++
+						t.Loads[class]++
 						ref := predictor.LoadRef{
 							IP: ev.IP, Offset: ev.Offset,
 							GHR: ghr.Value(), Path: path.Value(),
@@ -101,7 +108,7 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 						for v, p := range preds {
 							pr := p.Predict(ref)
 							if pr.Speculate && pr.Addr == ev.Addr {
-								t.correct[v][class]++
+								t.Correct[v][class]++
 							}
 							p.Resolve(ref, pr, ev.Addr)
 						}
@@ -109,12 +116,15 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 				}
 			})
 			if err != nil {
-				return fmt.Errorf("measurement pass: %w", err)
+				return classTally{}, fmt.Errorf("measurement pass: %w", err)
 			}
-			t.done = true
-			tallies[i] = t
-			return nil
+			return t, nil
 		})
+		if err != nil {
+			return err
+		}
+		tallies[i] = tally{classTally: t, done: true}
+		return nil
 	})
 	fails := g.run()
 
@@ -129,12 +139,12 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 		if !t.done {
 			continue
 		}
-		for c, n := range t.loads {
+		for c, n := range t.Loads {
 			loads[c] += n
 			total += n
 		}
 		for v := range factories {
-			for c, n := range t.correct[v] {
+			for c, n := range t.Correct[v] {
 				correct[v][c] += n
 			}
 		}

@@ -1,0 +1,292 @@
+// Distribution seam for the experiment harness: leaf-level record and
+// replay.
+//
+// An experiment's shard closures capture live state (result slots,
+// predictor factories, profiles) and cannot travel over a wire. What
+// CAN travel is the output of each expensive leaf computation — every
+// per-trace simulation runs inside cfg.perTrace and produces a small
+// serialisable value (counters, a timing result, a tally). So instead
+// of shipping closures, the fleet ships leaf results:
+//
+//   - A worker re-runs the experiment's deterministic driver code with
+//     a broker in record mode that skips every grid but the target one
+//     and runs only the target shard, appending each leaf's value (or
+//     error) to a log in execution order.
+//   - The coordinator runs the same driver code with the broker in
+//     replay mode: runShards hands the grid to a DistRunner, and as
+//     results come back the shard closures are re-executed locally with
+//     distLeaf popping the leaf log instead of simulating. The closures
+//     write the real result slots, in shard registration order, on one
+//     goroutine — so the merged table is byte-identical to a local run
+//     by construction (same slots, same merge order, same float
+//     accumulation order).
+//
+// Worker and coordinator execute the same control flow, so the log
+// lengths agree; a divergence (short or leftover log) is surfaced as an
+// attributed shard error, never a silently short table.
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime/debug"
+
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// WireError is an error serialised for the coordinator. Messages
+// round-trip byte-identically, so failure footers match a local run's.
+type WireError struct {
+	Msg   string `json:"msg"`
+	Panic bool   `json:"panic,omitempty"`
+	Stack string `json:"stack,omitempty"`
+}
+
+// wireErr converts a leaf error for the wire (nil-safe).
+func wireErr(err error) *WireError {
+	if err == nil {
+		return nil
+	}
+	return &WireError{Msg: err.Error()}
+}
+
+// wirePanic converts a recovered panic for the wire.
+func wirePanic(v any, stack []byte) *WireError {
+	return &WireError{Msg: fmt.Sprint(v), Panic: true, Stack: string(stack)}
+}
+
+// AsError reconstructs the coordinator-side error: panics come back as
+// *PanicError (stack preserved), everything else as *RemoteError with
+// the original message.
+func (w *WireError) AsError() error {
+	if w == nil {
+		return nil
+	}
+	if w.Panic {
+		return &PanicError{Value: w.Msg, Stack: []byte(w.Stack)}
+	}
+	return &RemoteError{Msg: w.Msg}
+}
+
+// RemoteError is a worker-side failure replayed on the coordinator. It
+// renders exactly as the original error did, keeping failure footers
+// identical between local and distributed runs.
+type RemoteError struct {
+	Msg string `json:"msg"`
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return e.Msg }
+
+// LeafRecord is one leaf computation's outcome on the wire: the
+// JSON-encoded value and/or the error. Both may be set — a failing
+// timing run still returns its partial result, just like a local call.
+type LeafRecord struct {
+	Data json.RawMessage `json:"data,omitempty"`
+	Err  *WireError      `json:"err,omitempty"`
+}
+
+// DistShardInfo describes one shard of a grid to the DistRunner.
+type DistShardInfo struct {
+	Index int    `json:"index"`
+	Stage string `json:"stage"`
+	Trace string `json:"trace"`
+	Suite string `json:"suite"`
+}
+
+// DistShardResult is a worker's answer for one shard: the ordered leaf
+// log, or the panic that interrupted it (in which case the coordinator
+// skips replay and attributes the shard).
+type DistShardResult struct {
+	Leaves []LeafRecord `json:"leaves,omitempty"`
+	Panic  *WireError   `json:"panic,omitempty"`
+}
+
+// DistRunner executes one grid's shards somewhere — a worker fleet, or
+// in-process fallback — and hands results back for merging.
+//
+// The contract: for every shard the runner either invokes merge exactly
+// once with that shard's result (recording merge's return as the
+// shard's error) or sets an attributed error itself (lease exhausted,
+// cancelled, ...). merge calls MUST be serialised on the calling
+// goroutine and arrive in ascending shard order — replay writes the
+// drivers' real result slots and the determinism contract requires one
+// fixed merge order. progress (possibly nil) may be called as shards
+// complete, from any goroutine.
+type DistRunner interface {
+	RunGrid(ctx context.Context, seq int, shards []DistShardInfo,
+		merge func(i int, res DistShardResult) error,
+		progress func(done, total int)) []error
+}
+
+// brokerMode selects how distLeaf and runShards behave.
+type brokerMode uint8
+
+const (
+	brokerOff    brokerMode = iota
+	brokerRecord            // worker: run one target shard, log its leaves
+	brokerReplay            // coordinator: dispatch grids, replay leaf logs
+)
+
+// broker is the shared distribution state threaded through every copy
+// of a Config during one experiment run (installed as a pointer before
+// Experiment.Run, so the drivers' captured copies all see it). Record
+// mode runs the single target shard on one goroutine; replay mode
+// serialises shard replays on the RunGrid caller — so no locking.
+type broker struct {
+	mode brokerMode
+	seq  int // grids seen so far this experiment run
+
+	// Record mode: the (grid, shard) to execute and its growing log.
+	targetSeq int
+	targetIdx int
+	ran       bool
+	log       []LeafRecord
+	panicErr  *WireError
+
+	// Replay mode: the current shard's log and read cursor.
+	replay []LeafRecord
+	pos    int
+}
+
+// WithDist returns cfg configured to dispatch every grid through d,
+// replaying worker leaf logs into the drivers' result slots.
+func WithDist(cfg Config, d DistRunner) Config {
+	cfg.dist = d
+	cfg.broker = &broker{mode: brokerReplay}
+	return cfg
+}
+
+// RunDistShard executes exactly one shard of one experiment — the unit
+// of work a fleet worker pulls — and returns its leaf log. gridSeq
+// counts the experiment's runShards calls (0 for every current driver);
+// index is the shard's registration position. The run uses cfg's full
+// resilience policy (deadline, transient retries, fault wrappers), so
+// retrying happens where the data is, never on the replay path.
+func RunDistShard(e Experiment, cfg Config, gridSeq, index int) (DistShardResult, error) {
+	cfg.dist = nil
+	cfg.Progress = nil
+	cfg.Workers = 1
+	b := &broker{mode: brokerRecord, targetSeq: gridSeq, targetIdx: index}
+	cfg.broker = b
+	e.Run(cfg)
+	if !b.ran {
+		return DistShardResult{}, fmt.Errorf("dist: experiment %q has no shard at grid %d index %d", e.Name, gridSeq, index)
+	}
+	return DistShardResult{Leaves: b.log, Panic: b.panicErr}, nil
+}
+
+// distLeaf is the leaf seam every per-trace computation runs through.
+// Local mode computes under cfg.perTrace; record mode additionally logs
+// the (value, error) pair; replay mode pops the log instead of
+// computing. The value is meaningful even alongside a non-nil error
+// (partial results), exactly as for a direct call.
+func distLeaf[T any](cfg Config, spec workload.TraceSpec, compute func(ctx context.Context, open func() trace.Source) (T, error)) (T, error) {
+	b := cfg.broker
+	if b != nil && b.mode == brokerReplay {
+		var v T
+		if b.pos >= len(b.replay) {
+			return v, &RemoteError{Msg: "dist: leaf log exhausted (worker computed fewer results than the shard replays)"}
+		}
+		rec := b.replay[b.pos]
+		b.pos++
+		if len(rec.Data) > 0 {
+			if err := json.Unmarshal(rec.Data, &v); err != nil {
+				return v, fmt.Errorf("dist: decoding leaf result: %w", err)
+			}
+		}
+		return v, rec.Err.AsError()
+	}
+
+	var v T
+	err := cfg.perTrace(spec, func(ctx context.Context, open func() trace.Source) error {
+		var cerr error
+		v, cerr = compute(ctx, open)
+		return cerr
+	})
+	if b != nil && b.mode == brokerRecord {
+		rec := LeafRecord{Err: wireErr(err)}
+		if data, merr := json.Marshal(v); merr != nil {
+			// An unencodable value must fail loudly on both sides, not
+			// replay as a zero.
+			err = fmt.Errorf("dist: encoding leaf result: %w", merr)
+			rec = LeafRecord{Err: wireErr(err)}
+		} else {
+			rec.Data = data
+		}
+		b.log = append(b.log, rec)
+	}
+	return v, err
+}
+
+// recordShards is runShards in record mode: every grid but the target
+// is skipped wholesale (its slots stay zero; the worker's own table is
+// discarded anyway) and the target shard runs serially, its panic — if
+// any — captured for the wire.
+func recordShards(cfg Config, shards []shard) []error {
+	b := cfg.broker
+	seq := b.seq
+	b.seq++
+	errs := make([]error, len(shards))
+	if seq != b.targetSeq || b.targetIdx < 0 || b.targetIdx >= len(shards) {
+		return errs
+	}
+	b.ran = true
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				b.panicErr = wirePanic(r, debug.Stack())
+			}
+		}()
+		errs[b.targetIdx] = shards[b.targetIdx].run()
+	}()
+	return errs
+}
+
+// distShards is runShards in replay mode: the grid is described to the
+// DistRunner, and each returned leaf log is replayed through the real
+// shard closure — writing the drivers' result slots on this goroutine,
+// in registration order. A shard whose log does not line up with its
+// closure's control flow fails with an attributed error.
+func distShards(cfg Config, shards []shard) []error {
+	b := cfg.broker
+	seq := b.seq
+	b.seq++
+	infos := make([]DistShardInfo, len(shards))
+	for i, s := range shards {
+		infos[i] = DistShardInfo{Index: i, Stage: s.stage, Trace: s.spec.Name, Suite: s.spec.Suite}
+	}
+	merge := func(i int, res DistShardResult) (err error) {
+		if res.Panic != nil {
+			return res.Panic.AsError()
+		}
+		b.replay = res.Leaves
+		b.pos = 0
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					err = &PanicError{Value: r, Stack: debug.Stack()}
+				}
+			}()
+			err = shards[i].run()
+		}()
+		if err == nil && b.pos != len(b.replay) {
+			err = &RemoteError{Msg: fmt.Sprintf("dist: leaf log leftover (%d of %d results unconsumed)", len(b.replay)-b.pos, len(b.replay))}
+		}
+		return err
+	}
+	errs := cfg.dist.RunGrid(cfg.context(), seq, infos, merge, cfg.Progress)
+	if len(errs) != len(shards) {
+		// A misbehaving runner must not shorten the table: pad the
+		// missing shards with attributed errors.
+		out := make([]error, len(shards))
+		copy(out, errs)
+		for i := len(errs); i < len(out); i++ {
+			out[i] = &RemoteError{Msg: "dist: runner returned a short error list"}
+		}
+		return out
+	}
+	return errs
+}

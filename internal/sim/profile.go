@@ -31,22 +31,27 @@ type ProfileAssistResult struct {
 func ProfileAssist(cfg Config) ProfileAssistResult {
 	specs := workload.Traces()
 
+	// profileCell is the leaf's serialisable per-trace result (exported
+	// fields so it survives the dist wire).
+	type profileCell struct {
+		C          [4]metrics.Counters
+		Classified int
+		Irregular  int
+	}
 	type cell struct {
-		c          [4]metrics.Counters
-		classified int
-		irregular  int
-		done       bool
+		profileCell
+		done bool
 	}
 	cells := make([]cell, len(specs))
 
 	g := newGrid(cfg)
 	g.addPass("profile-assist", specs, func(i int) error {
 		spec := specs[i]
-		// The training pass and all four variants share one perTrace
-		// scope: the deadline covers the whole job, and a retry restarts
-		// it with a fresh cell so no partial tallies survive.
-		return cfg.perTrace(spec, func(ctx context.Context, open func() trace.Source) error {
-			var res cell
+		// The training pass and all four variants share one leaf scope:
+		// the deadline covers the whole job, and a retry restarts it with
+		// a fresh cell so no partial tallies survive.
+		res, err := distLeaf(cfg, spec, func(ctx context.Context, open func() trace.Source) (profileCell, error) {
+			var res profileCell
 
 			// Training pass: profile the first half of the budget.
 			prof := predictor.NewProfiler()
@@ -59,11 +64,11 @@ func ProfileAssist(cfg Config) ProfileAssistResult {
 				}
 			})
 			if err != nil {
-				return fmt.Errorf("profiling pass: %w", err)
+				return res, fmt.Errorf("profiling pass: %w", err)
 			}
 			profile := prof.Profile()
-			res.classified = profile.Len()
-			res.irregular = profile.CountByClass()[predictor.ClassIrregular]
+			res.Classified = profile.Len()
+			res.Irregular = profile.CountByClass()[predictor.ClassIrregular]
 
 			small := func() predictor.HybridConfig {
 				hc := predictor.DefaultHybridConfig()
@@ -84,14 +89,17 @@ func ProfileAssist(cfg Config) ProfileAssistResult {
 			for v, f := range variants {
 				c, err := RunTraceContext(ctx, open(), cfg.factoryFor(spec, f)(), 0)
 				if err != nil {
-					return fmt.Errorf("variant %d: %w", v, err)
+					return res, fmt.Errorf("variant %d: %w", v, err)
 				}
-				res.c[v] = c
+				res.C[v] = c
 			}
-			res.done = true
-			cells[i] = res
-			return nil
+			return res, nil
 		})
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{profileCell: res, done: true}
+		return nil
 	})
 
 	r := ProfileAssistResult{
@@ -108,11 +116,11 @@ func ProfileAssist(cfg Config) ProfileAssistResult {
 		if !cell.done {
 			continue
 		}
-		for v := range cell.c {
-			r.Counters[v].Add(cell.c[v])
+		for v := range cell.C {
+			r.Counters[v].Add(cell.C[v])
 		}
-		r.Classified += cell.classified
-		r.Irregular += cell.irregular
+		r.Classified += cell.Classified
+		r.Irregular += cell.Irregular
 	}
 	return r
 }

@@ -56,9 +56,14 @@ type AddressVsValueResult struct {
 func AddressVsValue(cfg Config) AddressVsValueResult {
 	specs := workload.Traces()
 
+	// valueRow is the leaf's serialisable per-trace result (exported
+	// fields so it survives the dist wire).
+	type valueRow struct {
+		Addr addrTally
+		Vals [4]valueCounters
+	}
 	type row struct {
-		addr addrTally
-		vals [4]valueCounters
+		valueRow
 		done bool
 	}
 	rows := make([]row, len(specs))
@@ -66,11 +71,11 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 	g := newGrid(cfg)
 	g.addPass("addr-vs-value", specs, func(i int) error {
 		spec := specs[i]
-		// The whole per-trace measurement runs under perTrace and
+		// The whole per-trace measurement runs in one leaf scope and
 		// accumulates into a local row, so a retry restarts from fresh
 		// tallies and rows[i] only ever holds a complete attempt.
-		return cfg.perTrace(spec, func(ctx context.Context, open func() trace.Source) error {
-			var r row
+		vr, err := distLeaf(cfg, spec, func(ctx context.Context, open func() trace.Source) (valueRow, error) {
+			var r valueRow
 			vcfg := valuepred.DefaultConfig()
 			vpreds := [4]valuepred.Predictor{
 				valuepred.NewLast(vcfg),
@@ -95,22 +100,22 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 							GHR: ghr.Value(), Path: path.Value(),
 						}
 						ap := apred.Predict(ref)
-						r.addr.loads++
+						r.Addr.Loads++
 						if ap.Speculate {
-							r.addr.spec++
+							r.Addr.Spec++
 							if ap.Addr == ev.Addr {
-								r.addr.correct++
+								r.Addr.Correct++
 							}
 						}
 						apred.Resolve(ref, ap, ev.Addr)
 
 						for v, vp := range vpreds {
 							p := vp.Predict(ev.IP)
-							r.vals[v].Loads++
+							r.Vals[v].Loads++
 							if p.Speculate {
-								r.vals[v].Speculated++
+								r.Vals[v].Speculated++
 								if p.Val == ev.Val {
-									r.vals[v].SpecCorrect++
+									r.Vals[v].SpecCorrect++
 								}
 							}
 							vp.Resolve(ev.IP, p, ev.Val)
@@ -118,13 +123,13 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 					}
 				}
 			})
-			if err != nil {
-				return err
-			}
-			r.done = true
-			rows[i] = r
-			return nil
+			return r, err
 		})
+		if err != nil {
+			return err
+		}
+		rows[i] = row{valueRow: vr, done: true}
+		return nil
 	})
 	fails := g.run()
 
@@ -137,13 +142,13 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 		if !r.done {
 			continue
 		}
-		addrRate.add(r.addr.spec, r.addr.loads)
-		addrCorrect.add(r.addr.correct, r.addr.loads)
-		addrAcc.add(r.addr.correct, r.addr.spec)
+		addrRate.add(r.Addr.Spec, r.Addr.Loads)
+		addrCorrect.add(r.Addr.Correct, r.Addr.Loads)
+		addrAcc.add(r.Addr.Correct, r.Addr.Spec)
 		for v := range valRate {
-			valRate[v].add(r.vals[v].Speculated, r.vals[v].Loads)
-			valCorrect[v].add(r.vals[v].SpecCorrect, r.vals[v].Loads)
-			valAcc[v].add(r.vals[v].SpecCorrect, r.vals[v].Speculated)
+			valRate[v].add(r.Vals[v].Speculated, r.Vals[v].Loads)
+			valCorrect[v].add(r.Vals[v].SpecCorrect, r.Vals[v].Loads)
+			valAcc[v].add(r.Vals[v].SpecCorrect, r.Vals[v].Speculated)
 		}
 	}
 
@@ -184,30 +189,31 @@ func (m rateMean) mean() float64 {
 	return m.sum / float64(m.n)
 }
 
-// addrTally is a minimal address-side tally for this experiment.
+// addrTally is a minimal address-side tally for this experiment
+// (exported fields so it survives the dist wire).
 type addrTally struct {
-	loads, spec, correct int64
+	Loads, Spec, Correct int64
 }
 
 func (m addrTally) rate() float64 {
-	if m.loads == 0 {
+	if m.Loads == 0 {
 		return 0
 	}
-	return float64(m.spec) / float64(m.loads)
+	return float64(m.Spec) / float64(m.Loads)
 }
 
 func (m addrTally) correctRate() float64 {
-	if m.loads == 0 {
+	if m.Loads == 0 {
 		return 0
 	}
-	return float64(m.correct) / float64(m.loads)
+	return float64(m.Correct) / float64(m.Loads)
 }
 
 func (m addrTally) accuracy() float64 {
-	if m.spec == 0 {
+	if m.Spec == 0 {
 		return 0
 	}
-	return float64(m.correct) / float64(m.spec)
+	return float64(m.Correct) / float64(m.Spec)
 }
 
 // Table renders the comparison.

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Cluster chaos test: runs the full experiment sweep through a real
+# coordinator + worker fleet (capsim -coordinator, 3 × capserve -worker,
+# race-enabled), SIGKILLs one worker mid-run, and requires the merged
+# tables on the coordinator's stdout to be byte-identical to the
+# committed goldens (internal/sim/testdata) — the same bytes a plain
+# local capsim run prints. Dead-worker leases must be re-claimed and
+# re-dispatched without a single failed shard or hash mismatch.
+#
+# Usage: scripts/cluster_chaos.sh   (from the repo root)
+set -euo pipefail
+
+RACE=${RACE:--race}
+EVENTS=${EVENTS:-20000} # must match internal/sim/golden_test.go goldenEvents
+WORKERS=${WORKERS:-3}
+LEASE=${LEASE:-2s}
+
+tmp=$(mktemp -d)
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+say() { printf 'chaos: %s\n' "$*"; }
+
+say "building binaries ${RACE:+($RACE)}"
+go build $RACE -o "$tmp/bin/" ./cmd/capsim ./cmd/capserve
+
+# The coordinator runs every experiment at the golden event budget with
+# the in-process fallback disabled: every shard must be computed by the
+# fleet, so a dead worker exercises re-claim, not degradation.
+say "starting coordinator (-experiment all -events $EVENTS -lease $LEASE)"
+"$tmp/bin/capsim" -coordinator 127.0.0.1:0 -experiment all \
+  -events "$EVENTS" -lease "$LEASE" -local-workers -1 -fleet-log \
+  >"$tmp/tables.txt" 2>"$tmp/coord.err" &
+coord=$!
+pids+=("$coord")
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^capsim: coordinator listening on //p' "$tmp/coord.err")
+  [ -n "$addr" ] && break
+  kill -0 "$coord" 2>/dev/null || { cat "$tmp/coord.err" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { say "coordinator never reported its address"; exit 1; }
+say "coordinator up at $addr"
+
+wpids=()
+for i in $(seq 1 "$WORKERS"); do
+  "$tmp/bin/capserve" -worker -coordinator "http://$addr" \
+    -worker-name "w$i" -worker-log \
+    >"$tmp/w$i.out" 2>"$tmp/w$i.err" &
+  wpids+=("$!")
+  pids+=("$!")
+done
+say "$WORKERS workers pulling shards"
+
+# SIGKILL one worker at a moment it provably holds a lease: its log
+# shows a claimed shard with no matching completion. No drain, no
+# goodbye: its heartbeats stop, the lease expires, the shard goes back
+# to the pool for the survivors.
+victim=${wpids[0]}
+killed=""
+for _ in $(seq 1 2000); do
+  claims=$(grep -c 'claimed' "$tmp/w1.err" 2>/dev/null || true)
+  completes=$(grep -c 'completed' "$tmp/w1.err" 2>/dev/null || true)
+  if [ "${claims:-0}" -gt "${completes:-0}" ]; then
+    kill -9 "$victim" 2>/dev/null || true
+    killed=yes
+    say "SIGKILLed worker w1 (pid $victim) holding an unposted shard ($claims claimed, $completes completed)"
+    break
+  fi
+  kill -0 "$coord" 2>/dev/null || break # run finished before we struck
+  sleep 0.02
+done
+[ -n "$killed" ] || { say "never caught w1 mid-shard"; exit 1; }
+
+wait "$coord"
+rc=$?
+say "coordinator exited $rc"
+[ "$rc" -eq 0 ] || { cat "$tmp/coord.err" >&2; exit 1; }
+
+# Survivors must have drained cleanly (exit 0) once the coordinator
+# wound the fleet down.
+for i in $(seq 2 "$WORKERS"); do
+  wait "${wpids[$((i - 1))]}"
+  wrc=$?
+  [ "$wrc" -eq 0 ] || { say "worker w$i exited $wrc"; cat "$tmp/w$i.err" >&2; exit 1; }
+done
+pids=()
+say "surviving workers drained cleanly"
+
+# The merged tables must be byte-identical to the committed goldens, in
+# registry order — exactly what a local `capsim -experiment all` prints.
+"$tmp/bin/capsim" -list | awk '{print $1}' >"$tmp/names.txt"
+while read -r name; do
+  cat "internal/sim/testdata/$name.golden"
+  printf '\n'
+done <"$tmp/names.txt" >"$tmp/expected.txt"
+if ! cmp "$tmp/tables.txt" "$tmp/expected.txt"; then
+  say "merged tables diverge from the committed goldens"
+  diff "$tmp/expected.txt" "$tmp/tables.txt" | head -40 >&2
+  exit 1
+fi
+say "merged tables are byte-identical to the goldens ($(wc -l <"$tmp/names.txt") experiments)"
+
+# The stats line pins the fault-handling story: the fleet did all the
+# work (no local shards), nothing failed, and no duplicate ever
+# disagreed (hash mismatches are a determinism alarm).
+stats=$(sed -n 's/^capsim: fleet: //p' "$tmp/coord.err")
+[ -n "$stats" ] || { say "no fleet stats line on coordinator stderr"; exit 1; }
+say "fleet stats: $stats"
+case "$stats" in
+*" 0 hash-mismatch)"*) ;;
+*) say "determinism alarm: a duplicate result disagreed"; exit 1 ;;
+esac
+case "$stats" in
+*"0 failed shards"*) ;;
+*) say "a shard failed instead of being re-claimed"; exit 1 ;;
+esac
+# The victim died holding an unposted shard, so its lease must have
+# expired and the shard must have been re-claimed by a survivor.
+case "$stats" in
+*" 0 reclaims"*) say "victim's lease was never re-claimed"; exit 1 ;;
+esac
+case "$stats" in
+*"0 local shards"*) ;;
+*) say "local fallback ran despite -local-workers -1"; exit 1 ;;
+esac
+say "PASS"
