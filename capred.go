@@ -140,6 +140,10 @@ type (
 	Source = trace.Source
 	// BatchSource is a Source that can also deliver events in batches.
 	BatchSource = trace.BatchSource
+	// Block is a struct-of-arrays batch of events (the hot-path form).
+	Block = trace.Block
+	// BlockSource is a Source that can also deliver events as Blocks.
+	BlockSource = trace.BlockSource
 	// Sink consumes trace events.
 	Sink = trace.Sink
 	// TraceStats summarises a trace.
@@ -158,6 +162,11 @@ const (
 	KindBranch = trace.KindBranch
 	KindCall   = trace.KindCall
 	KindReturn = trace.KindReturn
+
+	// BlockLen is the standard block capacity of the hot drain loops.
+	BlockLen = trace.BlockLen
+	// KindTakenBit flags a taken branch in a Block's KindTaken column.
+	KindTakenBit = trace.KindTakenBit
 )
 
 // Trace utilities.
@@ -175,6 +184,14 @@ var (
 	TopLoads = trace.TopLoads
 	// AsBatch adapts any Source to batch delivery.
 	AsBatch = trace.AsBatch
+	// AsBlocks adapts any Source to struct-of-arrays block delivery.
+	AsBlocks = trace.AsBlocks
+	// NewBlock allocates an empty block with pre-sized columns.
+	NewBlock = trace.NewBlock
+	// GetBlock and PutBlock recycle standard-capacity blocks through a
+	// pool, keeping steady-state drain loops allocation-free.
+	GetBlock = trace.GetBlock
+	PutBlock = trace.PutBlock
 	// NewReplayCache builds a replay cache with a byte budget (0 = no
 	// limit); attach it to an ExperimentConfig to materialise each trace
 	// once and replay it across passes.

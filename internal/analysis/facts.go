@@ -329,7 +329,7 @@ func (f *Facts) DrainProtected(fn *types.Func) bool {
 		return true
 	case "internal/sim":
 		switch fn.Name() {
-		case "RunTrace", "RunTraceContext", "forEachBatch":
+		case "RunTrace", "RunTraceContext", "forEachBlock":
 			return true
 		}
 		if recvNamed(sig) == "Stepper" {

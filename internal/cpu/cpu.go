@@ -281,12 +281,18 @@ func Run(src trace.Source, pred predictor.Predictor, gapDepth int, cfg Config) R
 
 	lastRetire := int64(0)
 
-	// Events arrive in batches — polling the context (and paying the
-	// source's interface dispatch) once per batch instead of once per
-	// event keeps cancellation latency in the microseconds without
-	// touching the hot loop.
-	bs := trace.AsBatch(src)
-	batch := make([]trace.Event, 1024)
+	// Events arrive in pooled SoA blocks — polling the context (and paying
+	// the source's interface dispatch) once per block instead of once per
+	// event keeps cancellation latency in the microseconds, and the block
+	// stays on the warm replay cursor's zero-copy path end to end. The
+	// timing model reads most fields of every kind (the readiness check
+	// consumes Src1/Src2 before the kind dispatch), so each event is
+	// gathered through the kind-gated Event accessor rather than read
+	// column-wise: fields a kind does not carry must come back zero here,
+	// not as another event's stale column data.
+	bs := trace.AsBlocks(src)
+	block := trace.GetBlock()
+	defer trace.PutBlock(block)
 	for {
 		if cfg.Ctx != nil {
 			if err := cfg.Ctx.Err(); err != nil {
@@ -294,9 +300,9 @@ func Run(src trace.Source, pred predictor.Predictor, gapDepth int, cfg Config) R
 				break
 			}
 		}
-		n, ok := bs.NextBatch(batch)
-		for bi := range batch[:n] {
-			ev := batch[bi]
+		n, ok := bs.NextBlock(block, trace.BlockLen)
+		for bi := 0; bi < n; bi++ {
+			ev := block.Event(bi)
 
 			// Fetch: width-limited, stalled by flushes and the finite window.
 			f := fetchCycle

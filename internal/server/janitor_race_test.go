@@ -226,6 +226,7 @@ func TestJanitorGoroutineLifecycle(t *testing.T) {
 	cfg := testConfig()
 	cfg.SessionTTL = time.Millisecond
 	cfg.SweepInterval = time.Millisecond
+	cfg.MaxSessions = 0 // the create loop outruns the 1ms sweeper on slow hosts; capacity is not under test
 	srv := New(cfg)
 
 	deadline := time.Now().Add(50 * time.Millisecond)

@@ -239,13 +239,14 @@ func (s *session) ingest(st *sessionStore, body []byte) (ingestResult, error) {
 	if err := st.admitEvents(); err != nil {
 		return ingestResult{}, err
 	}
-	evs, err := s.dec.Feed(nil, body)
-	if err != nil {
+	before := s.st.C
+	evBefore := s.dec.Events()
+	// Block-native ingest: the decoder writes columns, the stepper reads
+	// them; no []Event batch is materialised between the two.
+	if err := s.dec.FeedBlocks(body, s.st.StepBlock); err != nil {
 		return ingestResult{}, err
 	}
-	before := s.st.C
-	s.st.StepBatch(evs)
-	n := int64(len(evs))
+	n := s.dec.Events() - evBefore
 	s.events += n
 	s.batches++
 	s.lastUsed = st.now()

@@ -67,10 +67,10 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 		t, err := distLeaf(cfg, spec, func(ctx context.Context, open func() trace.Source) (classTally, error) {
 			// Classification pass.
 			prof := predictor.NewProfiler()
-			err := forEachBatch(ctx, open(), func(evs []trace.Event) {
-				for _, ev := range evs {
-					if ev.Kind == trace.KindLoad {
-						prof.Observe(ev.IP, ev.Addr)
+			err := forEachBlock(ctx, open(), func(b *trace.Block) {
+				for i, kb := range b.KindTaken {
+					if trace.Kind(kb&^trace.KindTakenBit) == trace.KindLoad {
+						prof.Observe(b.IP[i], b.Addr[i])
 					}
 				}
 			})
@@ -91,26 +91,27 @@ func ClassCoverage(cfg Config) ClassCoverageResult {
 
 			var ghr predictor.GHR
 			var path predictor.PathHist
-			err = forEachBatch(ctx, open(), func(evs []trace.Event) {
-				for _, ev := range evs {
-					switch ev.Kind {
+			err = forEachBlock(ctx, open(), func(b *trace.Block) {
+				for i, kb := range b.KindTaken {
+					switch trace.Kind(kb &^ trace.KindTakenBit) {
 					case trace.KindBranch:
-						ghr.Update(ev.Taken)
+						ghr.Update(kb&trace.KindTakenBit != 0)
 					case trace.KindCall:
-						path.Push(ev.IP)
+						path.Push(b.IP[i])
 					case trace.KindLoad:
-						class := profile.Class(ev.IP)
+						class := profile.Class(b.IP[i])
 						t.Loads[class]++
 						ref := predictor.LoadRef{
-							IP: ev.IP, Offset: ev.Offset,
+							IP: b.IP[i], Offset: b.Offset[i],
 							GHR: ghr.Value(), Path: path.Value(),
 						}
+						addr := b.Addr[i]
 						for v, p := range preds {
 							pr := p.Predict(ref)
-							if pr.Speculate && pr.Addr == ev.Addr {
+							if pr.Speculate && pr.Addr == addr {
 								t.Correct[v][class]++
 							}
-							p.Resolve(ref, pr, ev.Addr)
+							p.Resolve(ref, pr, addr)
 						}
 					}
 				}

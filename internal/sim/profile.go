@@ -56,10 +56,10 @@ func ProfileAssist(cfg Config) ProfileAssistResult {
 			// Training pass: profile the first half of the budget.
 			prof := predictor.NewProfiler()
 			src := trace.NewLimit(open(), cfg.EventsPerTrace/2)
-			err := forEachBatch(ctx, src, func(evs []trace.Event) {
-				for _, ev := range evs {
-					if ev.Kind == trace.KindLoad {
-						prof.Observe(ev.IP, ev.Addr)
+			err := forEachBlock(ctx, src, func(b *trace.Block) {
+				for i, kb := range b.KindTaken {
+					if trace.Kind(kb&^trace.KindTakenBit) == trace.KindLoad {
+						prof.Observe(b.IP[i], b.Addr[i])
 					}
 				}
 			})

@@ -119,37 +119,39 @@ func RunTraceContext(ctx context.Context, src trace.Source, p predictor.Predicto
 	// over the network) share one per-event code path — the Stepper — so
 	// their counters agree bit-for-bit by construction.
 	st := NewStepper(p, gapDepth)
-	err := forEachBatch(ctx, src, st.StepBatch)
-	if err != nil {
-		return st.C, err
-	}
+	err := forEachBlock(ctx, src, st.StepBlock)
+	// Drain the prediction gap on every exit, including source error and
+	// cancellation: predictions are recorded at predict time, so Finish
+	// never changes the counters, but skipping it would leave the
+	// in-flight resolutions unapplied to the predictor's tables and break
+	// the resolve-all invariant partial-counter consumers rely on.
 	st.Finish()
-	return st.C, nil
+	return st.C, err
 }
 
-// batchLen is the event-delivery granularity of the hot loops: large
-// enough to amortise interface dispatch, small enough that cancellation
-// latency (ctx is polled between batches) stays in the microseconds.
-const batchLen = 1024
-
-// forEachBatch drains src in batches of up to batchLen events, invoking
-// fn on each batch and polling ctx between batches. It returns the
-// context's error on cancellation, or the source error (wrapped) when
-// the stream ended on one instead of clean EOF. Every drain loop in the
-// package goes through here, so cancellation, error propagation and
-// batched delivery behave identically across drivers.
-func forEachBatch(ctx context.Context, src trace.Source, fn func([]trace.Event)) error {
-	bs := trace.AsBatch(src)
-	var buf [batchLen]trace.Event
+// forEachBlock drains src in blocks of up to trace.BlockLen events,
+// invoking fn on each block and polling ctx between blocks. It returns
+// the context's error on cancellation, or the source error (wrapped)
+// when the stream ended on one instead of clean EOF. Every drain loop
+// in the package goes through here, so cancellation, error propagation
+// and block delivery behave identically across drivers.
+//
+// The block passed to fn follows the Block view contract: it is valid
+// only for the duration of the call and must be treated as read-only
+// (warm replay cursors alias the cache's resident columns).
+func forEachBlock(ctx context.Context, src trace.Source, fn func(*trace.Block)) error {
+	bs := trace.AsBlocks(src)
+	b := trace.GetBlock()
+	defer trace.PutBlock(b)
 	for {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		n, ok := bs.NextBatch(buf[:])
+		n, ok := bs.NextBlock(b, trace.BlockLen)
 		if n > 0 {
-			fn(buf[:n])
+			fn(b)
 		}
 		if !ok {
 			break

@@ -57,6 +57,42 @@ func (s *Stepper) StepBatch(evs []trace.Event) {
 	}
 }
 
+// StepBlock processes a struct-of-arrays block of events in order,
+// reading only the columns each kind carries (the Block column
+// contract). The gap-mode dispatch is hoisted out of the per-event
+// path; each loop is the exact per-event sequence Step performs, so
+// block and per-event driving stay bit-identical.
+func (s *Stepper) StepBlock(b *trace.Block) {
+	kt := b.KindTaken
+	if s.gap == nil {
+		for i, kb := range kt {
+			switch trace.Kind(kb &^ trace.KindTakenBit) {
+			case trace.KindBranch:
+				s.sess.Branch(kb&trace.KindTakenBit != 0)
+			case trace.KindCall:
+				s.sess.Call(b.IP[i])
+			case trace.KindLoad:
+				addr := b.Addr[i]
+				pr := s.sess.Load(b.IP[i], b.Offset[i], addr)
+				s.C.Record(pr, addr)
+			}
+		}
+		return
+	}
+	for i, kb := range kt {
+		switch trace.Kind(kb &^ trace.KindTakenBit) {
+		case trace.KindBranch:
+			s.sess.Branch(kb&trace.KindTakenBit != 0)
+		case trace.KindCall:
+			s.sess.Call(b.IP[i])
+		case trace.KindLoad:
+			addr := b.Addr[i]
+			pr := s.gap.Process(s.sess.Ref(b.IP[i], b.Offset[i]), addr)
+			s.C.Record(pr, addr)
+		}
+	}
+}
+
 // Finish resolves the predictions still in flight inside the prediction
 // gap; it is a no-op in immediate mode. Call it once, at clean end of
 // stream, as RunTrace does.

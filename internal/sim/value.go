@@ -87,38 +87,39 @@ func AddressVsValue(cfg Config) AddressVsValueResult {
 
 			var ghr predictor.GHR
 			var path predictor.PathHist
-			err := forEachBatch(ctx, open(), func(evs []trace.Event) {
-				for _, ev := range evs {
-					switch ev.Kind {
+			err := forEachBlock(ctx, open(), func(b *trace.Block) {
+				for i, kb := range b.KindTaken {
+					switch trace.Kind(kb &^ trace.KindTakenBit) {
 					case trace.KindBranch:
-						ghr.Update(ev.Taken)
+						ghr.Update(kb&trace.KindTakenBit != 0)
 					case trace.KindCall:
-						path.Push(ev.IP)
+						path.Push(b.IP[i])
 					case trace.KindLoad:
+						ip, addr, val := b.IP[i], b.Addr[i], b.Val[i]
 						ref := predictor.LoadRef{
-							IP: ev.IP, Offset: ev.Offset,
+							IP: ip, Offset: b.Offset[i],
 							GHR: ghr.Value(), Path: path.Value(),
 						}
 						ap := apred.Predict(ref)
 						r.Addr.Loads++
 						if ap.Speculate {
 							r.Addr.Spec++
-							if ap.Addr == ev.Addr {
+							if ap.Addr == addr {
 								r.Addr.Correct++
 							}
 						}
-						apred.Resolve(ref, ap, ev.Addr)
+						apred.Resolve(ref, ap, addr)
 
 						for v, vp := range vpreds {
-							p := vp.Predict(ev.IP)
+							p := vp.Predict(ip)
 							r.Vals[v].Loads++
 							if p.Speculate {
 								r.Vals[v].Speculated++
-								if p.Val == ev.Val {
+								if p.Val == val {
 									r.Vals[v].SpecCorrect++
 								}
 							}
-							vp.Resolve(ev.IP, p, ev.Val)
+							vp.Resolve(ip, p, val)
 						}
 					}
 				}

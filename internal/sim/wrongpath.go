@@ -118,9 +118,12 @@ func runTraceWrongPath(ctx context.Context, src trace.Source, p predictor.Predic
 			c.Record(pr, ev.Addr)
 		}
 	}
-	err := forEachBatch(ctx, src, func(evs []trace.Event) {
-		for _, ev := range evs {
-			process(ev)
+	// The wrong-path injection body wants whole events (it replays the
+	// branch/load interleaving through the gap); gather per event rather
+	// than duplicating that logic column-wise.
+	err := forEachBlock(ctx, src, func(b *trace.Block) {
+		for i := range b.KindTaken {
+			process(b.Event(i))
 		}
 	})
 	if err != nil {

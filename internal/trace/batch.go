@@ -86,15 +86,3 @@ func (l *Limit) NextBatch(dst []Event) (int, bool) {
 	return n, ok
 }
 
-// NextBatch implements BatchSource by decoding a run of events without
-// interface dispatch between them.
-func (r *Reader) NextBatch(dst []Event) (int, bool) {
-	for i := range dst {
-		ev, ok := r.Next()
-		if !ok {
-			return i, false
-		}
-		dst[i] = ev
-	}
-	return len(dst), true
-}

@@ -47,10 +47,11 @@ func IsTransient(err error) bool {
 // mid-event or a decoder hitting corrupt bytes. A nil err defaults to
 // ErrInjected.
 type FailAfter struct {
-	src Source
-	bs  BatchSource
-	n   int64
-	err error
+	src  Source
+	bs   BatchSource
+	blks BlockSource
+	n    int64
+	err  error
 }
 
 // NewFailAfter returns a Source that fails with err after n events.
@@ -90,6 +91,26 @@ func (f *FailAfter) NextBatch(dst []Event) (int, bool) {
 	return n, ok
 }
 
+// NextBlock implements BlockSource with the same truncating budget.
+func (f *FailAfter) NextBlock(b *Block, max int) (int, bool) {
+	if f.n <= 0 {
+		b.Resize(0)
+		return 0, false
+	}
+	if int64(max) > f.n {
+		max = int(f.n)
+	}
+	if f.blks == nil {
+		f.blks = AsBlocks(f.src)
+	}
+	n, ok := f.blks.NextBlock(b, max)
+	f.n -= int64(n)
+	if f.n <= 0 {
+		ok = false
+	}
+	return n, ok
+}
+
 // Err implements Source: once the budget is exhausted the injected error
 // is reported; an earlier error from the wrapped source wins.
 func (f *FailAfter) Err() error {
@@ -109,6 +130,7 @@ func (f *FailAfter) Err() error {
 type Corrupt struct {
 	src    Source
 	bs     BatchSource
+	blks   BlockSource
 	every  int64
 	n      int64
 	mutate func(*Event)
@@ -154,6 +176,30 @@ func (c *Corrupt) NextBatch(dst []Event) (int, bool) {
 		c.n++
 		if c.n%c.every == 0 {
 			c.mutate(&dst[i])
+		}
+	}
+	return n, ok
+}
+
+// NextBlock implements BlockSource. Corrupted events round-trip through
+// the AoS form so arbitrary mutate functions keep working; under the
+// block column contract only the fields the (possibly mutated) kind
+// carries survive into the columns, which is all any kind-gated
+// consumer can observe.
+func (c *Corrupt) NextBlock(b *Block, max int) (int, bool) {
+	if c.blks == nil {
+		c.blks = AsBlocks(c.src)
+	}
+	n, ok := c.blks.NextBlock(b, max)
+	for i := 0; i < n; i++ {
+		c.n++
+		if c.n%c.every == 0 {
+			// The block may be a zero-copy view into shared replay
+			// storage; take ownership before scribbling on it.
+			b.Own()
+			ev := b.Event(i)
+			c.mutate(&ev)
+			b.SetEvent(i, ev)
 		}
 	}
 	return n, ok

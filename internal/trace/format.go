@@ -153,146 +153,216 @@ func (w *Writer) Close() error {
 	return w.Flush()
 }
 
-// Reader decodes a binary trace file as a Source.
+// Reader decodes a binary trace file as a Source. It buffers the input
+// in a sliding byte window and runs the same columnar decode core
+// (decodeColumns) the replay path uses, so file-backed and cached
+// streams share one decode cost model; Next and NextBatch gather events
+// out of an internal block.
 type Reader struct {
-	r       *bufio.Reader
+	r       io.Reader
+	buf     []byte // window; buf[pos:filled] is undecoded input
+	pos     int
+	filled  int
 	st      deltaState
 	err     error
 	started bool
+	eof     bool // underlying reader hit EOF; padding appended
+
+	// pend holds decoded-ahead events for the per-event and batch
+	// interfaces; pend[pi:] are not yet delivered.
+	pend *Block
+	pi   int
 }
+
+// readerWindow is the Reader's input buffer size.
+const readerWindow = 1 << 16
 
 // NewReader returns a Source reading the binary trace format from r.
-// The header is validated on the first call to Next.
+// The header is validated on the first read.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+	return &Reader{r: r, buf: make([]byte, readerWindow)}
 }
 
-func (r *Reader) start() error {
-	r.started = true
-	var hdr [5]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return ErrBadMagic
-		}
-		return err
+// fill slides the undecoded tail of the window to the front and reads
+// more input after it. The window always keeps replayPad bytes of slack
+// at its top; at EOF that slack is zeroed so the decode core sees the
+// same padded tail a replay cursor does. Read errors go to r.err.
+func (r *Reader) fill() {
+	if r.pos > 0 {
+		r.filled = copy(r.buf, r.buf[r.pos:r.filled])
+		r.pos = 0
 	}
+	for tries := 0; !r.eof && r.err == nil; {
+		n, err := r.r.Read(r.buf[r.filled : len(r.buf)-replayPad])
+		r.filled += n
+		switch {
+		case err == io.EOF:
+			r.eof = true
+		case err != nil:
+			r.err = err
+		case n > 0:
+			return
+		default:
+			// A reader stuck on (0, nil) must not spin us forever.
+			if tries++; tries >= 100 {
+				r.err = io.ErrNoProgress
+			}
+		}
+	}
+	if r.eof {
+		// Zero padding: terminates any varint and keeps every in-event
+		// read inside the slice, exactly like a replay cursor's tail.
+		pad := r.buf[r.filled : r.filled+replayPad]
+		for i := range pad {
+			pad[i] = 0
+		}
+	}
+}
+
+// start consumes and validates the file header.
+func (r *Reader) start() {
+	r.started = true
+	for r.filled-r.pos < 5 && !r.eof && r.err == nil {
+		r.fill()
+	}
+	if r.err != nil {
+		return
+	}
+	if r.filled-r.pos < 5 {
+		r.err = ErrBadMagic
+		return
+	}
+	hdr := r.buf[r.pos : r.pos+5]
 	if [4]byte(hdr[:4]) != magic {
-		return ErrBadMagic
+		r.err = ErrBadMagic
+		return
 	}
 	if hdr[4] != formatVersion {
-		return fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+		r.err = fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
+		return
 	}
-	return nil
+	r.pos += 5
 }
 
-func (r *Reader) uvarint() uint64 {
-	if r.err != nil {
-		return 0
+// NextBlock implements BlockSource. Mid-stream it decodes only up to
+// decodeMargin short of the buffered bytes (so no event parse can leave
+// the window), refilling as the window drains; after EOF it decodes to
+// the logical end over the zero padding, where an overrun means a
+// truncated final event.
+func (r *Reader) NextBlock(b *Block, max int) (int, bool) {
+	if r.err != nil || max <= 0 {
+		b.Resize(0)
+		return 0, false
 	}
-	v, err := binary.ReadUvarint(r.r)
-	if err != nil {
-		r.err = truncated(err)
+	if !r.started {
+		r.start()
+		if r.err != nil {
+			b.Resize(0)
+			return 0, false
+		}
 	}
-	return v
+	if r.pend != nil && r.pi < r.pend.Len() {
+		// A per-event consumer left decoded-ahead events behind; deliver
+		// the remainder as a view before decoding any further.
+		n := r.pend.Len() - r.pi
+		if n > max {
+			n = max
+		}
+		viewBlock(b, r.pend, r.pi, n)
+		r.pi += n
+		return n, true
+	}
+	for {
+		end := r.filled - decodeMargin
+		if r.eof {
+			end = r.filled // logical end; buf extends replayPad past it
+		}
+		if r.pos < end {
+			n, pos, err := decodeColumns(b, max, r.buf, r.pos, end, &r.st)
+			r.pos = pos
+			if err != nil {
+				r.err = err
+				return n, false
+			}
+			if r.eof && pos >= end {
+				// Clean EOF lands exactly on end; an overrun means the
+				// final event's fields ran into the padding.
+				if pos > end {
+					r.err = errTruncatedEvent
+				}
+				return n, false
+			}
+			if n > 0 {
+				return n, true
+			}
+		}
+		if r.eof {
+			b.Resize(0)
+			return 0, false
+		}
+		r.fill()
+		if r.err != nil {
+			b.Resize(0)
+			return 0, false
+		}
+	}
 }
 
-func (r *Reader) varint() int64 {
-	if r.err != nil {
-		return 0
-	}
-	v, err := binary.ReadVarint(r.r)
-	if err != nil {
-		r.err = truncated(err)
-	}
-	return v
+// viewBlock points b at n events of src starting at off, as a shared
+// read-only view.
+func viewBlock(b, src *Block, off, n int) {
+	b.KindTaken = src.KindTaken[off : off+n]
+	b.IP = src.IP[off : off+n]
+	b.Addr = src.Addr[off : off+n]
+	b.Val = src.Val[off : off+n]
+	b.Offset = src.Offset[off : off+n]
+	b.Src1 = src.Src1[off : off+n]
+	b.Src2 = src.Src2[off : off+n]
+	b.Lat = src.Lat[off : off+n]
+	b.shared = true
 }
 
-func (r *Reader) u32() uint32 {
-	if r.err != nil {
-		return 0
+// refillPend decodes the next run of events into the internal block for
+// the per-event and batch interfaces.
+func (r *Reader) refillPend() int {
+	if r.pend == nil {
+		r.pend = NewBlock(BlockLen)
 	}
-	var b [4]byte
-	if _, err := io.ReadFull(r.r, b[:]); err != nil {
-		r.err = truncated(err)
-		return 0
-	}
-	return binary.LittleEndian.Uint32(b[:])
-}
-
-func (r *Reader) byte() byte {
-	if r.err != nil {
-		return 0
-	}
-	b, err := r.r.ReadByte()
-	if err != nil {
-		r.err = truncated(err)
-	}
-	return b
-}
-
-// truncated maps any EOF inside an event to an explicit corruption error:
-// clean EOF is only legal at an event boundary.
-func truncated(err error) error {
-	if err == io.EOF || err == io.ErrUnexpectedEOF {
-		return errors.New("trace: truncated event")
-	}
-	return err
+	n, _ := r.NextBlock(r.pend, BlockLen)
+	r.pi = 0
+	return n
 }
 
 // Next implements Source.
 func (r *Reader) Next() (Event, bool) {
-	if r.err != nil {
-		return Event{}, false
-	}
-	if !r.started {
-		if err := r.start(); err != nil {
-			r.err = err
+	if r.pend == nil || r.pi >= r.pend.Len() {
+		if r.refillPend() == 0 {
 			return Event{}, false
 		}
 	}
-	kb, err := r.r.ReadByte()
-	if err != nil {
-		if err != io.EOF {
-			r.err = err
-		}
-		return Event{}, false
-	}
-	ev := Event{Kind: Kind(kb &^ takenBit)}
-	if !ev.Kind.Valid() {
-		r.err = fmt.Errorf("trace: invalid event kind %d", kb)
-		return Event{}, false
-	}
-	ev.IP = r.st.prevIP + uint32(r.varint())
-	r.st.prevIP = ev.IP
-	addr := func() uint32 {
-		a := r.st.prevAddr[ev.Kind] + uint32(r.varint())
-		r.st.prevAddr[ev.Kind] = a
-		return a
-	}
-	switch ev.Kind {
-	case KindLoad, KindStore:
-		ev.Addr = addr()
-		if ev.Kind == KindLoad {
-			ev.Val = r.u32()
-		}
-		ev.Offset = int32(r.varint())
-		ev.Src1 = uint32(r.uvarint())
-		ev.Src2 = uint32(r.uvarint())
-	case KindBranch:
-		ev.Addr = addr()
-		ev.Taken = kb&takenBit != 0
-		ev.Src1 = uint32(r.uvarint())
-	case KindCall, KindReturn:
-		ev.Addr = addr()
-	case KindALU:
-		ev.Src1 = uint32(r.uvarint())
-		ev.Src2 = uint32(r.uvarint())
-		ev.Lat = r.byte()
-	}
-	if r.err != nil {
-		return Event{}, false
-	}
+	ev := r.pend.Event(r.pi)
+	r.pi++
 	return ev, true
+}
+
+// NextBatch implements BatchSource, gathering out of the columnar
+// decode. The cached and file paths run the same decode loop; only the
+// final gather differs.
+func (r *Reader) NextBatch(dst []Event) (int, bool) {
+	i := 0
+	for i < len(dst) {
+		if r.pend == nil || r.pi >= r.pend.Len() {
+			if r.refillPend() == 0 {
+				return i, false
+			}
+		}
+		for i < len(dst) && r.pi < r.pend.Len() {
+			dst[i] = r.pend.Event(r.pi)
+			i++
+			r.pi++
+		}
+	}
+	return i, true
 }
 
 // Err implements Source.

@@ -90,6 +90,95 @@ func (d *StreamDecoder) Feed(dst []Event, chunk []byte) ([]Event, error) {
 	return dst, nil
 }
 
+// FeedBlocks is Feed for the block pipeline: it decodes every complete
+// event in chunk straight into SoA blocks and invokes fn on each
+// non-empty block, never materialising an Event per event on the bulk
+// path. The bulk of the chunk goes through the columnar word-at-a-time
+// core (safe wherever an event's farthest possible speculative read
+// stays inside the chunk); the final decodeMargin bytes go through the
+// fully bounds-checked per-event path, so the per-call event count is
+// identical to Feed's — everything complete decodes now, only a
+// genuinely incomplete trailing event waits for the next chunk.
+//
+// The block passed to fn is reused across calls and valid only for the
+// duration of the call. Delta state, tail buffering, error latching and
+// the Events counter behave exactly as for Feed; the two entry points
+// may even be mixed on one decoder.
+func (d *StreamDecoder) FeedBlocks(chunk []byte, fn func(*Block)) error {
+	if d.err != nil {
+		return d.err
+	}
+	data := chunk
+	if len(d.tail) > 0 {
+		d.tail = append(d.tail, chunk...)
+		data = d.tail
+	}
+	pos := 0
+	if !d.started {
+		if len(data) < 5 {
+			d.keepTail(data, 0)
+			return nil
+		}
+		if [4]byte(data[:4]) != magic {
+			d.err = ErrBadMagic
+			return d.err
+		}
+		if data[4] != formatVersion {
+			d.err = fmt.Errorf("%w: %d", ErrBadVersion, data[4])
+			return d.err
+		}
+		d.started = true
+		pos = 5
+	}
+	b := GetBlock()
+	defer PutBlock(b)
+	// Columnar bulk. Holding end decodeMargin short of the chunk keeps
+	// every speculative read of the word-at-a-time core inside data; the
+	// final event before end may legitimately extend past it (those are
+	// real bytes, not padding), and the tail sweep resumes after it.
+	for end := len(data) - decodeMargin; pos < end; {
+		n, next, err := decodeColumns(b, BlockLen, data, pos, end, &d.st)
+		pos = next
+		d.events += int64(n)
+		if n > 0 && fn != nil {
+			fn(b)
+		}
+		if err != nil {
+			d.err = err
+			d.tail = nil
+			return d.err
+		}
+	}
+	// Margin sweep: per-event and bounds-checked, stopping only at a
+	// genuinely incomplete trailing event. At most decodeMargin bytes —
+	// a handful of events — so the gather/scatter cost is immaterial.
+	b.Resize(BlockLen)
+	i := 0
+	for pos < len(data) {
+		ev, next, err := decodeStreamEvent(data, pos, &d.st)
+		if err == errShortEvent {
+			break
+		}
+		if err != nil {
+			d.err = err
+			d.tail = nil
+			return d.err
+		}
+		b.SetEvent(i, ev)
+		i++
+		pos = next
+	}
+	if i > 0 {
+		b.Resize(i)
+		d.events += int64(i)
+		if fn != nil {
+			fn(b)
+		}
+	}
+	d.keepTail(data, pos)
+	return nil
+}
+
 // keepTail retains data[pos:] in the decoder-owned tail buffer. data may
 // be the tail buffer itself (overlapping copy is fine) or the caller's
 // chunk (which must be copied, not aliased).

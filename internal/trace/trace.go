@@ -136,9 +136,10 @@ func (s *SliceSink) Emit(ev Event) error {
 
 // Limit wraps a source and truncates it after n events.
 type Limit struct {
-	src Source
-	bs  BatchSource // lazily initialised batch view of src
-	n   int64
+	src  Source
+	bs   BatchSource // lazily initialised batch view of src
+	blks BlockSource // lazily initialised block view of src
+	n    int64
 }
 
 // NewLimit returns a Source yielding at most n events from src.
