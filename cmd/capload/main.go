@@ -1,0 +1,215 @@
+// Command capload is the time-compressed load simulator for capserve:
+// it replays a seeded day of streaming prediction sessions against a
+// live server through the real HTTP surface and turns the run into a
+// JSON report, a timeline CSV, an SLO verdict and a crosscheck against
+// the server's own /metrics counters.
+//
+// Usage:
+//
+//	capload -addr http://127.0.0.1:8080 -seed 1 -profile bursty \
+//	    -sessions 500 -users 64 -day 24h -time-scale 120 \
+//	    -slo p99_batch_ms=50,reject_rate=0.01 \
+//	    -report report.json -timeline timeline.csv
+//
+// The schedule is a pure function of the seed: same seed, same profile,
+// same counts → the same sessions, batches and due times, byte for
+// byte. -time-scale compresses simulated time (120 replays a 24h
+// profile in 12 minutes) without changing what is replayed — only how
+// fast.
+//
+// Exit codes: 0 run clean (and SLOs met, crosscheck agreed); 1 run or
+// crosscheck failure; 2 usage error; 3 SLO violation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"capred/internal/buildinfo"
+	"capred/internal/load"
+)
+
+// run is the testable entry point, returning the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("capload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:8080", "capserve base URL")
+		seed        = fs.Int64("seed", 1, "schedule seed; same seed replays the identical day")
+		profileName = fs.String("profile", "bursty", "arrival profile: steady, diurnal, bursty or ramp")
+		sessions    = fs.Int("sessions", 500, "total sessions over the simulated day")
+		users       = fs.Int("users", 64, "virtual-user pool size (max in-flight sessions)")
+		day         = fs.Duration("day", 24*time.Hour, "simulated span arrivals spread over")
+		timeScale   = fs.Float64("time-scale", 120, "time compression: simulated seconds per real second")
+		meanEvents  = fs.Int("events", 6000, "mean events per session")
+		batchEvents = fs.Int("batch-events", 2000, "events per POSTed batch")
+		think       = fs.Duration("think", 5*time.Minute, "mean simulated gap between a session's batches")
+		agg         = fs.Duration("agg", 15*time.Minute, "timeline bucket width in simulated time")
+		predictors  = fs.String("predictors", "hybrid", "comma-separated predictor-kind rotation")
+		traces      = fs.String("traces", "INT_gcc,INT_xli,TPC_t23,MM_mpg", "comma-separated workload-trace rotation")
+		maxTries    = fs.Int("max-tries", 8, "attempts per request before giving up on 429s")
+		sloSpec     = fs.String("slo", "", "SLO gate, e.g. p99_batch_ms=50,reject_rate=0.01 (keys: "+strings.Join(load.SLOKeys(), ", ")+")")
+		crosscheck  = fs.Bool("crosscheck", true, "reconcile client books against the server's /metrics deltas (requires being the only client)")
+		reportPath  = fs.String("report", "-", "JSON report destination (- for stdout)")
+		timeline    = fs.String("timeline", "", "timeline CSV destination (empty = not written)")
+		version     = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("capload"))
+		return 0
+	}
+
+	slos, err := load.ParseSLOs(*sloSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "capload: %v\n", err)
+		return 2
+	}
+	cfg := load.Config{
+		Profile:     load.Profile(*profileName),
+		Sessions:    *sessions,
+		Day:         *day,
+		Seed:        *seed,
+		MeanEvents:  *meanEvents,
+		BatchEvents: *batchEvents,
+		Think:       *think,
+		Predictors:  splitList(*predictors),
+		Traces:      splitList(*traces),
+	}
+	sched, err := load.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "capload: %v\n", err)
+		return 2
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	ecfg := load.EngineConfig{
+		BaseURL:     strings.TrimRight(base, "/"),
+		Schedule:    sched,
+		TimeScale:   *timeScale,
+		Users:       *users,
+		MaxTries:    *maxTries,
+		AggInterval: *agg,
+		Sleep: func(d time.Duration) { // interruptible: SIGINT ends the replay promptly
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+			case <-t.C:
+			}
+		},
+	}
+	engine, err := load.NewEngine(ecfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "capload: %v\n", err)
+		return 2
+	}
+
+	scraper := &load.Client{HC: http.DefaultClient, Base: ecfg.BaseURL, MaxTries: 1, Now: time.Now, Sleep: func(time.Duration) {}}
+	var before map[string]int64
+	if *crosscheck {
+		if before, err = scraper.Scrape(); err != nil {
+			fmt.Fprintf(stderr, "capload: pre-run metrics scrape: %v\n", err)
+			return 1
+		}
+	}
+
+	fmt.Fprintf(stderr, "capload: replaying %d sessions (%s profile) over %v at %gx against %s\n",
+		*sessions, cfg.Profile, *day, *timeScale, ecfg.BaseURL)
+	res, runErr := engine.Run(ctx)
+	if runErr != nil {
+		fmt.Fprintf(stderr, "capload: run interrupted: %v\n", runErr)
+	}
+
+	report := load.BuildReport(cfg, ecfg, res, time.Now())
+	report.SLO = load.EvaluateSLOs(slos, res.Totals, report.Latency)
+	if *crosscheck {
+		after, err := scraper.Scrape()
+		if err != nil {
+			fmt.Fprintf(stderr, "capload: post-run metrics scrape: %v\n", err)
+			return 1
+		}
+		report.Crosscheck = load.BuildCrosscheck(before, after, res.Totals)
+	}
+
+	if err := writeTo(*reportPath, stdout, report.WriteJSON); err != nil {
+		fmt.Fprintf(stderr, "capload: writing report: %v\n", err)
+		return 1
+	}
+	if *timeline != "" {
+		err := writeTo(*timeline, stdout, func(w io.Writer) error {
+			return load.WriteTimelineCSV(w, res.Timeline)
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "capload: writing timeline: %v\n", err)
+			return 1
+		}
+	}
+
+	code := 0
+	if runErr != nil {
+		code = 1
+	}
+	if report.Crosscheck != nil && !report.Crosscheck.OK {
+		fmt.Fprintln(stderr, "capload: FAIL: client books disagree with the server's /metrics counters")
+		code = 1
+	}
+	if n := load.SLOViolations(report.SLO); n > 0 {
+		for _, r := range report.SLO {
+			if !r.Pass {
+				fmt.Fprintf(stderr, "capload: SLO VIOLATION: %s = %g, limit %g\n", r.Key, r.Actual, r.Limit)
+			}
+		}
+		return 3
+	}
+	if code == 0 {
+		fmt.Fprintf(stderr, "capload: done: %d/%d sessions completed, %d events acked, p99 batch %.3fms\n",
+			res.Totals.SessionsCompleted, res.Totals.SessionsPlanned, res.Totals.EventsAcked, report.Latency.P99)
+	}
+	return code
+}
+
+// writeTo writes via fn to path, with "-" meaning stdout.
+func writeTo(path string, stdout io.Writer, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// splitList splits a comma-separated flag into trimmed entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}

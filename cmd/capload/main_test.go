@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"capred/internal/server"
+)
+
+// startServer runs capserve in-process and returns its base URL.
+func startServer(t *testing.T, mutate func(*server.Config)) string {
+	t.Helper()
+	cfg := server.DefaultConfig()
+	cfg.SweepInterval = 0
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return "http://" + ln.Addr().String()
+}
+
+// capload runs the command against base with a tiny but real schedule
+// (compressed so far that every sleep is sub-millisecond) and returns
+// the exit code plus the decoded report.
+func capload(t *testing.T, base string, extra ...string) (int, map[string]any, string) {
+	t.Helper()
+	report := filepath.Join(t.TempDir(), "report.json")
+	args := append([]string{
+		"-addr", base,
+		"-seed", "1",
+		"-profile", "bursty",
+		"-sessions", "30",
+		"-users", "8",
+		"-day", "24h",
+		"-time-scale", "8640000", // a day in 10ms of wall sleeping
+		"-events", "2000",
+		"-batch-events", "1000",
+		"-report", report,
+	}, extra...)
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	data, err := os.ReadFile(report)
+	if err != nil {
+		return code, nil, stderr.String()
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, data)
+	}
+	return code, rep, stderr.String()
+}
+
+// TestRunCleanAndCrosschecked: a healthy run exits 0, the report's
+// totals add up, and the /metrics crosscheck reconciles exactly.
+func TestRunCleanAndCrosschecked(t *testing.T) {
+	base := startServer(t, nil)
+	code, rep, stderr := capload(t, base,
+		"-slo", "p99_batch_ms=10000,reject_rate=0,error_rate=0",
+		"-timeline", filepath.Join(t.TempDir(), "timeline.csv"))
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, stderr)
+	}
+
+	totals := rep["totals"].(map[string]any)
+	if got := totals["sessions_planned"].(float64); got != 30 {
+		t.Fatalf("sessions_planned = %v, want 30", got)
+	}
+	if got := totals["sessions_completed"].(float64); got != 30 {
+		t.Fatalf("sessions_completed = %v, want 30 (stderr:\n%s)", got, stderr)
+	}
+	if planned, acked := totals["events_planned"].(float64), totals["events_acked"].(float64); planned != acked {
+		t.Fatalf("events planned %v != acked %v on an unconstrained server", planned, acked)
+	}
+
+	cc := rep["metrics_crosscheck"].(map[string]any)
+	if cc["ok"] != true {
+		t.Fatalf("crosscheck failed: %v", cc)
+	}
+	for _, e := range cc["checks"].([]any) {
+		entry := e.(map[string]any)
+		if entry["ok"] != true {
+			t.Errorf("crosscheck %v: server %v, client %v", entry["metric"], entry["server"], entry["client"])
+		}
+	}
+	for _, s := range rep["slo"].([]any) {
+		if s.(map[string]any)["pass"] != true {
+			t.Errorf("SLO %v failed on a healthy run", s)
+		}
+	}
+}
+
+// TestRunSLOViolationExits3: an impossible objective turns the same
+// healthy run into exit code 3, and the violation is named on stderr.
+func TestRunSLOViolationExits3(t *testing.T) {
+	base := startServer(t, nil)
+	code, rep, stderr := capload(t, base, "-slo", "p99_batch_ms=0.000001")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "SLO VIOLATION: p99_batch_ms") {
+		t.Fatalf("stderr does not name the violated objective:\n%s", stderr)
+	}
+	// The report is still written in full on a violation.
+	if rep["totals"] == nil {
+		t.Fatal("violating run produced no report totals")
+	}
+}
+
+// TestRunRejectionsReconcile: against a server with a tiny session cap
+// the fleet sees real 429s — and the client's rejection ledger still
+// reconciles with the server's counters exactly.
+func TestRunRejectionsReconcile(t *testing.T) {
+	base := startServer(t, func(c *server.Config) { c.MaxSessions = 2 })
+	code, rep, stderr := capload(t, base, "-users", "16", "-max-tries", "2")
+	if code != 0 {
+		t.Fatalf("exit %d (crosscheck must hold under rejection)\nstderr:\n%s", code, stderr)
+	}
+	totals := rep["totals"].(map[string]any)
+	if totals["open_429"].(float64) == 0 {
+		t.Fatal("a 2-session cap against 16 users produced no 429s — the test lost its teeth")
+	}
+	if rep["metrics_crosscheck"].(map[string]any)["ok"] != true {
+		t.Fatalf("crosscheck failed under rejection: %v", rep["metrics_crosscheck"])
+	}
+}
+
+// TestRunUsageErrorsExit2: bad flags, bad SLO keys and bad profiles are
+// usage errors, not crashes or silent runs.
+func TestRunUsageErrorsExit2(t *testing.T) {
+	var out, errb bytes.Buffer
+	for _, args := range [][]string{
+		{"-profile", "sinusoidal"},
+		{"-slo", "p99_latency=50"},
+		{"-sessions", "0"},
+		{"-nonsense"},
+	} {
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

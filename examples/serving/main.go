@@ -21,10 +21,10 @@ import (
 	"log"
 	"net"
 	"net/http"
-	"strconv"
 	"time"
 
 	"capred"
+	"capred/internal/load"
 	"capred/internal/server"
 )
 
@@ -74,15 +74,19 @@ func newClient() *apiClient {
 	return &apiClient{hc: http.DefaultClient, sleep: time.Sleep, maxTries: 10}
 }
 
-// retryAfter parses the server's Retry-After hint (delay-seconds form);
-// absent or malformed hints fall back to half a second.
-func retryAfter(resp *http.Response) time.Duration {
-	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
-			return time.Duration(secs) * time.Second
-		}
+// retryAfter parses the server's Retry-After hint. An absent hint falls
+// back to half a second; a malformed one is an error — a client that
+// silently invents a backoff hides a broken server from the one party
+// positioned to notice.
+func retryAfter(resp *http.Response) (time.Duration, error) {
+	d, ok, err := load.ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", resp.Request.URL, err)
 	}
-	return 500 * time.Millisecond
+	if !ok {
+		return 500 * time.Millisecond, nil
+	}
+	return d, nil
 }
 
 // statusError is a non-2xx reply, keeping the code inspectable.
@@ -115,7 +119,11 @@ func (c *apiClient) call(method, url string, body []byte, out any) error {
 		if resp.StatusCode == http.StatusTooManyRequests {
 			lastErr = &statusError{resp.StatusCode,
 				fmt.Sprintf("%s %s: %s: %s", method, url, resp.Status, bytes.TrimSpace(data))}
-			c.sleep(retryAfter(resp))
+			wait, err := retryAfter(resp)
+			if err != nil {
+				return err
+			}
+			c.sleep(wait)
 			continue
 		}
 		if resp.StatusCode/100 != 2 {

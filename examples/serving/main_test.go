@@ -4,6 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -93,6 +96,61 @@ func TestClientGivesUpAfterBudget(t *testing.T) {
 	}
 	if sleeps != 3 {
 		t.Fatalf("slept %d times, want 3 (one per attempt)", sleeps)
+	}
+}
+
+// TestClientSurfacesMalformedRetryAfter: a 429 whose Retry-After is
+// garbage must fail the call with a parse error — the old client
+// silently defaulted to 500ms, hiding the broken header. Regression for
+// the strict load.ParseRetryAfter parsing.
+func TestClientSurfacesMalformedRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "soon")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := newClient()
+	slept := 0
+	c.sleep = func(time.Duration) { slept++ }
+	err := c.call("POST", ts.URL+"/v1/sessions", nil, nil)
+	if err == nil {
+		t.Fatal("expected an error for the malformed Retry-After header")
+	}
+	if !strings.Contains(err.Error(), "Retry-After") {
+		t.Fatalf("error %q does not name the malformed Retry-After header", err)
+	}
+	if slept != 0 {
+		t.Fatalf("client slept %d times on a malformed hint; it must surface the error, not invent a backoff", slept)
+	}
+}
+
+// TestClientAcceptsHTTPDateRetryAfter: the RFC 9110 HTTP-date form is a
+// valid hint and must be honoured, not rejected.
+func TestClientAcceptsHTTPDateRetryAfter(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	c := newClient()
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+	if err := c.call("POST", ts.URL+"/v1/sessions", nil, nil); err != nil {
+		t.Fatalf("HTTP-date Retry-After must be honoured, got error: %v", err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("slept %d times, want exactly 1", len(slept))
+	}
+	if slept[0] <= 0 || slept[0] > 2*time.Second {
+		t.Fatalf("backoff %v outside (0, 2s] for a date 2s out", slept[0])
 	}
 }
 

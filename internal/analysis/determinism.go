@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Determinism guards the repo's core guarantee: experiment tables and
@@ -24,7 +25,7 @@ import (
 var Determinism = &Analyzer{
 	Name:  "determinism",
 	Doc:   "no wall clock, global rand, or map-iteration order in result aggregation",
-	Scope: underAny("internal/sim", "internal/predictor", "internal/metrics", "internal/report", "internal/dist"),
+	Scope: underAny("internal/sim", "internal/predictor", "internal/metrics", "internal/report", "internal/dist", "internal/load"),
 	Run:   runDeterminism,
 }
 
@@ -59,7 +60,12 @@ func checkNondetCall(pass *Pass, call *ast.CallExpr) {
 	case "math/rand", "math/rand/v2":
 		// Methods on an explicit *rand.Rand carry their own seeded
 		// source; only the package-level (globally seeded) functions are
-		// nondeterministic across runs.
+		// nondeterministic across runs. The source/generator constructors
+		// (New, NewSource, NewPCG, …) are how seeded rngs are built in the
+		// first place — they never touch the global source.
+		if strings.HasPrefix(fn.Name(), "New") {
+			return
+		}
 		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
 			pass.Reportf(call.Pos(),
 				"%s.%s uses the global random source; use a *rand.Rand seeded from the workload spec instead",

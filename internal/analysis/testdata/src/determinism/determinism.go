@@ -26,6 +26,11 @@ func globalRand(r *rand.Rand) int {
 	return n + r.Intn(8) // clean: explicitly seeded source
 }
 
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // clean: constructors build seeded sources
+	return rng.Intn(8)
+}
+
 func mapAppend(m map[string]int) []string {
 	var out []string
 	for k := range m { // want `map iteration order is random but the loop body appends`

@@ -1,0 +1,177 @@
+package load
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter: both RFC 9110 forms parse, absence is not an
+// error, and garbage is.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in      string
+		want    time.Duration
+		ok      bool
+		wantErr bool
+	}{
+		{"", 0, false, false},
+		{"0", 0, true, false},
+		{"1", time.Second, true, false},
+		{"120", 2 * time.Minute, true, false},
+		{"-1", 0, true, true},
+		{now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second, true, false},
+		{now.Add(-30 * time.Second).Format(http.TimeFormat), 0, true, false}, // past date clamps to 0
+		{"soon", 0, true, true},
+		{"1.5", 0, true, true},
+		{"1s", 0, true, true},
+	}
+	for _, tc := range cases {
+		d, ok, err := ParseRetryAfter(tc.in, now)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("ParseRetryAfter(%q): err = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if ok != tc.ok {
+			t.Errorf("ParseRetryAfter(%q): ok = %v, want %v", tc.in, ok, tc.ok)
+		}
+		if err == nil && d != tc.want {
+			t.Errorf("ParseRetryAfter(%q) = %v, want %v", tc.in, d, tc.want)
+		}
+	}
+}
+
+func testClient(base string) *Client {
+	return &Client{
+		HC:       http.DefaultClient,
+		Base:     base,
+		MaxTries: 3,
+		Now:      time.Now,
+		Sleep:    func(time.Duration) {},
+	}
+}
+
+// TestClientRetries429: the client waits the advertised delay, fires
+// the On429 hook once per response, and gives up after MaxTries.
+func TestClientRetries429(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL)
+	var slept []time.Duration
+	c.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	hooks := 0
+	c.On429 = func() { hooks++ }
+
+	_, err := c.OpenSession("hybrid", 0)
+	if err == nil {
+		t.Fatal("expected an error once the retry budget was spent")
+	}
+	if !strings.Contains(err.Error(), "gave up after 3 attempts") {
+		t.Fatalf("error %q does not report the exhausted budget", err)
+	}
+	if hits != 3 || hooks != 3 {
+		t.Fatalf("hits=%d hooks=%d, want 3 each", hits, hooks)
+	}
+	for _, d := range slept {
+		if d != 2*time.Second {
+			t.Fatalf("backoff %v, want the advertised 2s", d)
+		}
+	}
+}
+
+// TestClientMalformedRetryAfterFails: a garbage hint is an immediate
+// error, not an invented backoff.
+func TestClientMalformedRetryAfterFails(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "eventually")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL)
+	slept := 0
+	c.Sleep = func(time.Duration) { slept++ }
+	_, err := c.OpenSession("hybrid", 0)
+	if err == nil || !strings.Contains(err.Error(), "Retry-After") {
+		t.Fatalf("err = %v, want a Retry-After parse error", err)
+	}
+	if slept != 0 {
+		t.Fatalf("client slept %d times on a malformed hint", slept)
+	}
+}
+
+// TestClientSplitsOn413: a body cap forces recursive halving; every
+// byte is delivered in order and posts counts the 200 responses.
+func TestClientSplitsOn413(t *testing.T) {
+	const cap = 16
+	var got []byte
+	posts := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := make([]byte, cap+1)
+		n, _ := r.Body.Read(body)
+		if n > cap {
+			w.WriteHeader(http.StatusRequestEntityTooLarge)
+			return
+		}
+		got = append(got, body[:n]...)
+		posts++
+		fmt.Fprintf(w, `{"events": %d}`, n)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL)
+	splits := 0
+	c.On413 = func() { splits++ }
+	data := []byte("0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMN") // 50 bytes
+	acked, nposts, err := c.PostEvents("s1", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("server received %q, want the original bytes in order", got)
+	}
+	if acked != int64(len(data)) {
+		t.Fatalf("acked %d, want %d (sum of the per-post events)", acked, len(data))
+	}
+	if nposts != posts {
+		t.Fatalf("client counted %d posts, server served %d", nposts, posts)
+	}
+	if splits == 0 {
+		t.Fatal("On413 hook never fired despite forced splits")
+	}
+}
+
+// TestParseMetrics: integer series parse, labelled series sum into the
+// family, floats and comments are skipped.
+func TestParseMetrics(t *testing.T) {
+	page := `# HELP capserve_sessions_opened_total sessions opened
+# TYPE capserve_sessions_opened_total counter
+capserve_sessions_opened_total 42
+capserve_batches_by_predictor_total{predictor="hybrid"} 7
+capserve_batches_by_predictor_total{predictor="stride"} 5
+capserve_latency_seconds_sum 1.25
+`
+	m, err := parseMetrics([]byte(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["capserve_sessions_opened_total"] != 42 {
+		t.Fatalf("opened = %d, want 42", m["capserve_sessions_opened_total"])
+	}
+	if m["capserve_batches_by_predictor_total"] != 12 {
+		t.Fatalf("labelled sum = %d, want 12", m["capserve_batches_by_predictor_total"])
+	}
+	if _, present := m["capserve_latency_seconds_sum"]; present {
+		t.Fatal("float series leaked into the integer map")
+	}
+}

@@ -1,0 +1,92 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzSchedule drives the generator across seeds, profiles and sizes,
+// checking the invariants the engine depends on: session count
+// conserved (and untouched by time-scale compression — the scale is
+// not even an input to Generate), no negative inter-arrival gaps,
+// strictly monotone batch due times within a session, and monotone
+// non-negative compressed offsets for the timeline.
+func FuzzSchedule(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint16(100), uint8(4), uint8(120))
+	f.Add(int64(42), uint8(1), uint16(500), uint8(1), uint8(1))
+	f.Add(int64(-7), uint8(2), uint16(1), uint8(12), uint8(255))
+	f.Add(int64(0), uint8(3), uint16(2000), uint8(3), uint8(60))
+
+	f.Fuzz(func(t *testing.T, seed int64, profIdx uint8, sessions uint16, meanBatches uint8, scale uint8) {
+		profiles := Profiles()
+		cfg := Config{
+			Profile:     profiles[int(profIdx)%len(profiles)],
+			Sessions:    1 + int(sessions)%2000,
+			Day:         24 * time.Hour,
+			Seed:        seed,
+			BatchEvents: 100,
+			MeanEvents:  (1 + int(meanBatches)%16) * 100,
+			Think:       5 * time.Minute,
+			Predictors:  []string{"hybrid"},
+			Traces:      []string{"INT_xli"},
+		}
+		s, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("valid config rejected: %v", err)
+		}
+
+		// Session count is conserved: the generator plans exactly what was
+		// asked for, and compression below never adds or drops a session.
+		if len(s.Sessions) != cfg.Sessions {
+			t.Fatalf("planned %d sessions, got %d", cfg.Sessions, len(s.Sessions))
+		}
+
+		ts := float64(1 + int(scale))
+		var prevStart, prevReal time.Duration
+		for i, sess := range s.Sessions {
+			// No negative inter-arrival gaps: arrival order is sorted.
+			if gap := sess.Start - prevStart; gap < 0 {
+				t.Fatalf("session %d: negative inter-arrival gap %v", i, gap)
+			}
+			prevStart = sess.Start
+			if sess.Start < 0 || sess.Start >= cfg.Day {
+				t.Fatalf("session %d: start %v outside the day", i, sess.Start)
+			}
+
+			// Compression is monotone across sessions and non-negative.
+			real := RealOffset(sess.Start, ts)
+			if real < 0 || real < prevReal {
+				t.Fatalf("session %d: compressed offset %v regressed below %v at scale %g", i, real, prevReal, ts)
+			}
+			prevReal = real
+
+			// Batch due times strictly increase within a session, and
+			// compression preserves their order too.
+			if len(sess.Batches) == 0 {
+				t.Fatalf("session %d: no batches", i)
+			}
+			for b := 1; b < len(sess.Batches); b++ {
+				if sess.Batches[b].At <= sess.Batches[b-1].At {
+					t.Fatalf("session %d: batch %d due %v not after %v",
+						i, b, sess.Batches[b].At, sess.Batches[b-1].At)
+				}
+				if RealOffset(sess.Batches[b].At, ts) < RealOffset(sess.Batches[b-1].At, ts) {
+					t.Fatalf("session %d: compression reordered batches %d/%d", i, b-1, b)
+				}
+			}
+		}
+
+		// Determinism: a second generation is identical.
+		s2, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range s.Sessions {
+			a, b := s.Sessions[i], s2.Sessions[i]
+			if a.Start != b.Start || a.Predictor != b.Predictor || a.Trace != b.Trace ||
+				len(a.Batches) != len(b.Batches) {
+				t.Fatalf("session %d differs between identical generations", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"capred/internal/server"
+)
+
+var update = flag.Bool("update", false, "rewrite the capload golden artifacts")
+
+// goldenFixture runs a small seeded schedule against an in-process
+// capserve with a frozen clock on both sides and a no-op sleep: every
+// latency observes as zero and every tally is a pure function of
+// (seed, server config), so the rendered report and timeline are
+// byte-stable across runs and machines.
+func goldenFixture(t *testing.T) (reportJSON, timelineCSV []byte) {
+	t.Helper()
+	frozen := time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC)
+
+	scfg := server.DefaultConfig()
+	scfg.Now = func() time.Time { return frozen }
+	scfg.SweepInterval = 0 // no janitor: wall time must not influence the run
+	scfg.SessionTTL = 0
+	// Small enough that the schedule provokes real backpressure: the
+	// global budget runs dry partway through, so the golden pins 429
+	// accounting, not just the happy path.
+	scfg.MaxSessions = 8
+	scfg.GlobalEventBudget = 120_000
+	srv := server.New(scfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	cfg := Config{
+		Profile:     ProfileBursty,
+		Sessions:    40,
+		Day:         24 * time.Hour,
+		Seed:        1,
+		MeanEvents:  4000,
+		BatchEvents: 2000,
+		Think:       5 * time.Minute,
+		Predictors:  []string{"hybrid", "stride"},
+		Traces:      []string{"INT_xli", "TPC_t23"},
+	}
+	sched, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One user: with a frozen clock and no-op sleep, a single worker
+	// replays the schedule in strict arrival order, so even the
+	// server-side admission outcomes are reproducible.
+	ecfg := EngineConfig{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Schedule:    sched,
+		TimeScale:   1,
+		Users:       1,
+		MaxTries:    2,
+		AggInterval: 4 * time.Hour,
+		Now:         func() time.Time { return frozen },
+		Sleep:       func(time.Duration) {},
+	}
+	engine, err := NewEngine(ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scraper := &Client{HC: http.DefaultClient, Base: ecfg.BaseURL, MaxTries: 1,
+		Now: func() time.Time { return frozen }, Sleep: func(time.Duration) {}}
+	before, err := scraper.Scrape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := scraper.Scrape()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report := BuildReport(cfg, ecfg, res, frozen)
+	slos, err := ParseSLOs("p99_batch_ms=1000,error_rate=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.SLO = EvaluateSLOs(slos, res.Totals, report.Latency)
+	report.Crosscheck = BuildCrosscheck(before, after, res.Totals)
+	if !report.Crosscheck.OK {
+		for _, c := range report.Crosscheck.Checks {
+			if !c.OK {
+				t.Errorf("crosscheck %s: server %d, client %d", c.Metric, c.Server, c.Client)
+			}
+		}
+		t.Fatal("client books disagree with the server's /metrics deltas")
+	}
+
+	var rj, tc bytes.Buffer
+	if err := report.WriteJSON(&rj); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTimelineCSV(&tc, res.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	return rj.Bytes(), tc.Bytes()
+}
+
+// TestGoldenReport: same seed + schedule → byte-identical JSON report
+// and timeline CSV, run to run and against the committed goldens.
+func TestGoldenReport(t *testing.T) {
+	r1, c1 := goldenFixture(t)
+	r2, c2 := goldenFixture(t)
+	if !bytes.Equal(r1, r2) {
+		t.Fatalf("two seeded runs rendered different reports:\n--- run 1\n%s\n--- run 2\n%s", r1, r2)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("two seeded runs rendered different timelines:\n--- run 1\n%s\n--- run 2\n%s", c1, c2)
+	}
+
+	reportPath := filepath.Join("testdata", "golden_report.json")
+	csvPath := filepath.Join("testdata", "golden_timeline.csv")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(reportPath, r1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(csvPath, c1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s and %s", reportPath, csvPath)
+		return
+	}
+	wantReport, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to write the goldens)", err)
+	}
+	wantCSV, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r1, wantReport) {
+		t.Errorf("report drifted from the golden:\n--- got\n%s\n--- want\n%s", r1, wantReport)
+	}
+	if !bytes.Equal(c1, wantCSV) {
+		t.Errorf("timeline drifted from the golden:\n--- got\n%s\n--- want\n%s", c1, wantCSV)
+	}
+}

@@ -1,0 +1,447 @@
+package load
+
+// The execution half of capload: an Engine replays a Schedule against
+// a live capserve through a pool of virtual users. Each user owns a
+// plain HTTP client; each session opens over POST /v1/sessions, streams
+// its pre-encoded v3 batches at their compressed due times, and closes
+// with DELETE. The server's backpressure is honoured, tallied and
+// reported: 429 waits out Retry-After, 413 splits the batch, 409/404
+// end the session.
+//
+// Determinism: the engine reads time only through the injected
+// now()/sleep() pair, and every tally it keeps is commutative (atomic
+// sums and mergeable sketches), so a run's totals and timeline are a
+// pure function of (schedule, server behaviour) regardless of how the
+// pool's goroutines interleave.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// EngineConfig wires an Engine to a server and a schedule.
+type EngineConfig struct {
+	// BaseURL is the capserve root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient issues every request; nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// Schedule is the arrival plan to replay.
+	Schedule *Schedule
+	// TimeScale compresses simulated time: 120 replays a 24h schedule
+	// in 12 minutes. Values <= 1 replay in real time.
+	TimeScale float64
+	// Users is the virtual-user pool size — the max concurrently
+	// in-flight sessions. Sessions whose due time arrives while every
+	// user is busy start late, exactly like real clients behind an
+	// overloaded fleet.
+	Users int
+	// MaxTries bounds 429 retries per request.
+	MaxTries int
+	// AggInterval is the timeline bucket width in simulated time.
+	AggInterval time.Duration
+	// Now and Sleep are the injected clock. Nil defaults to the wall
+	// clock; the seeded-determinism golden injects a fixed pair.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+// Totals is the run's aggregate ledger. Response-class fields count
+// HTTP responses one for one with the server's counters, which is what
+// makes the /metrics crosscheck exact.
+type Totals struct {
+	SessionsPlanned   int64 `json:"sessions_planned"`
+	SessionsOpened    int64 `json:"sessions_opened"`
+	SessionsRejected  int64 `json:"sessions_rejected"` // open retries exhausted on 429
+	SessionsCompleted int64 `json:"sessions_completed"`
+	SessionsAborted   int64 `json:"sessions_aborted"` // opened but ended early (budget, conflict, eviction, error)
+	SessionsClosed    int64 `json:"sessions_closed"`  // DELETE reached the server and found the session
+
+	BatchesPlanned   int64 `json:"batches_planned"`
+	BatchesDelivered int64 `json:"batches_delivered"` // plan batches fully acknowledged
+	PostsOK          int64 `json:"posts_ok"`          // 200 events responses (splits inflate this)
+	EventsPlanned    int64 `json:"events_planned"`
+	EventsAcked      int64 `json:"events_acked"`
+
+	Open429     int64 `json:"open_429"`      // 429 responses to session opens
+	Budget429   int64 `json:"budget_429"`    // 429 responses to event posts
+	TooLarge413 int64 `json:"too_large_413"` // 413 responses
+	Conflict409 int64 `json:"conflict_409"`  // 409 responses to event posts
+	Evicted404  int64 `json:"evicted_404"`   // sessions found evicted mid-stream
+	Truncated   int64 `json:"truncated_closes"`
+	Errors      int64 `json:"errors"` // transport failures and unclassified statuses
+}
+
+// BucketRow is one timeline interval: counts of what happened to work
+// whose *scheduled* time fell in the bucket (scale-invariant, so the
+// same schedule yields the same timeline at any compression).
+type BucketRow struct {
+	SimStart         time.Duration
+	SessionsStarted  int64
+	SessionsRejected int64
+	BatchesDelivered int64
+	EventsAcked      int64
+	P50, P95, P99    float64 // batch latency, ms
+	Open429          int64
+	Budget429        int64
+	TooLarge413      int64
+	Conflict409      int64
+	Evicted404       int64
+	Errors           int64
+}
+
+// Result is everything a run measured.
+type Result struct {
+	Totals   Totals
+	Latency  *Sketch // batch latency across the whole run
+	Timeline []BucketRow
+	Elapsed  time.Duration // wall time of the replay
+}
+
+// bucket shards the tallies per timeline interval. Counters are atomic
+// and the sketch is mutex-merged: every update is commutative, so
+// goroutine interleaving cannot change the result.
+type bucket struct {
+	started, rejected  atomic.Int64
+	batches, events    atomic.Int64
+	open429, budget429 atomic.Int64
+	tooLarge, conflict atomic.Int64
+	evicted, errs      atomic.Int64
+	mu                 sync.Mutex
+	lat                Sketch
+}
+
+type tally struct {
+	agg     time.Duration
+	buckets []bucket
+
+	opened, rejected, completed, aborted, closed atomic.Int64
+	batchesDone, postsOK, eventsAcked            atomic.Int64
+	open429, budget429, tooLarge413              atomic.Int64
+	conflict409, evicted404, truncated, errs     atomic.Int64
+}
+
+func (t *tally) bucket(sim time.Duration) *bucket {
+	i := int(sim / t.agg)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.buckets) {
+		i = len(t.buckets) - 1
+	}
+	return &t.buckets[i]
+}
+
+// traceStream is one pre-encoded v3 byte stream with batch boundaries
+// marked, shared read-only by every session on that trace.
+type traceStream struct {
+	data  []byte
+	marks []int // marks[i] = end offset of batch i
+}
+
+func (ts *traceStream) batch(i int) []byte {
+	start := 0
+	if i > 0 {
+		start = ts.marks[i-1]
+	}
+	return ts.data[start:ts.marks[i]]
+}
+
+// Engine replays one schedule. Build with NewEngine, run once.
+type Engine struct {
+	cfg     EngineConfig
+	now     func() time.Time
+	sleep   func(time.Duration)
+	streams map[string]*traceStream
+}
+
+// NewEngine validates cfg and pre-encodes every trace the schedule
+// streams (one encode per distinct trace, shared by all its sessions).
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Schedule == nil || len(cfg.Schedule.Sessions) == 0 {
+		return nil, fmt.Errorf("load: engine needs a non-empty schedule")
+	}
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("load: engine needs a base URL")
+	}
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("load: users must be positive, got %d", cfg.Users)
+	}
+	if cfg.AggInterval <= 0 {
+		return nil, fmt.Errorf("load: aggregation interval must be positive, got %v", cfg.AggInterval)
+	}
+	if cfg.MaxTries <= 0 {
+		cfg.MaxTries = 8
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	e := &Engine{cfg: cfg, now: cfg.Now, sleep: cfg.Sleep}
+	if e.now == nil {
+		e.now = time.Now
+	}
+	if e.sleep == nil {
+		e.sleep = time.Sleep
+	}
+	sched := cfg.Schedule
+	maxEvents := sched.MaxBatches() * sched.Cfg.BatchEvents
+	e.streams = make(map[string]*traceStream, len(sched.Cfg.Traces))
+	for _, name := range sched.Cfg.Traces {
+		ts, err := encodeStream(name, maxEvents, sched.Cfg.BatchEvents)
+		if err != nil {
+			return nil, err
+		}
+		e.streams[name] = ts
+	}
+	return e, nil
+}
+
+// encodeStream renders n events of the named workload trace as one v3
+// stream, recording the byte offset at every batch boundary.
+func encodeStream(name string, n, batchEvents int) (*traceStream, error) {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("load: unknown trace %q", name)
+	}
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	src := trace.NewLimit(spec.Open(), int64(n))
+	count := 0
+	var marks []int
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Emit(ev); err != nil {
+			return nil, fmt.Errorf("load: encoding %s: %w", name, err)
+		}
+		count++
+		if count%batchEvents == 0 {
+			if err := w.Flush(); err != nil {
+				return nil, err
+			}
+			marks = append(marks, buf.Len())
+		}
+	}
+	if err := src.Err(); err != nil {
+		return nil, fmt.Errorf("load: generating %s: %w", name, err)
+	}
+	if count != n {
+		return nil, fmt.Errorf("load: trace %s yielded %d of %d events", name, count, n)
+	}
+	return &traceStream{data: buf.Bytes(), marks: marks}, nil
+}
+
+// Run replays the schedule and blocks until every session finished or
+// ctx was cancelled. It is single-shot.
+func (e *Engine) Run(ctx context.Context) (*Result, error) {
+	sched := e.cfg.Schedule
+	nb := int(sched.End()/e.cfg.AggInterval) + 1
+	t := &tally{agg: e.cfg.AggInterval, buckets: make([]bucket, nb)}
+
+	start := e.now()
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for u := 0; u < e.cfg.Users; u++ {
+		wg.Add(1)
+		go func(ctx context.Context) {
+			defer wg.Done()
+			c := &Client{
+				HC:       e.cfg.HTTPClient,
+				Base:     e.cfg.BaseURL,
+				MaxTries: e.cfg.MaxTries,
+				Now:      e.now,
+				Sleep:    e.sleep,
+			}
+			for idx := range work {
+				if ctx.Err() != nil {
+					continue // drain the channel; nothing else starts
+				}
+				e.runSession(ctx, c, sched.Sessions[idx], start, t)
+			}
+		}(ctx)
+	}
+	for i := range sched.Sessions {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := e.now().Sub(start)
+
+	// Merge and snapshot. Totals and rows are sums of commutative
+	// tallies; iteration here is over slices in index order.
+	res := &Result{Latency: &Sketch{}, Elapsed: elapsed}
+	res.Totals = Totals{
+		SessionsPlanned:   int64(len(sched.Sessions)),
+		SessionsOpened:    t.opened.Load(),
+		SessionsRejected:  t.rejected.Load(),
+		SessionsCompleted: t.completed.Load(),
+		SessionsAborted:   t.aborted.Load(),
+		SessionsClosed:    t.closed.Load(),
+		BatchesDelivered:  t.batchesDone.Load(),
+		PostsOK:           t.postsOK.Load(),
+		EventsAcked:       t.eventsAcked.Load(),
+		Open429:           t.open429.Load(),
+		Budget429:         t.budget429.Load(),
+		TooLarge413:       t.tooLarge413.Load(),
+		Conflict409:       t.conflict409.Load(),
+		Evicted404:        t.evicted404.Load(),
+		Truncated:         t.truncated.Load(),
+		Errors:            t.errs.Load(),
+	}
+	for _, s := range sched.Sessions {
+		res.Totals.BatchesPlanned += int64(len(s.Batches))
+	}
+	res.Totals.EventsPlanned = res.Totals.BatchesPlanned * int64(sched.Cfg.BatchEvents)
+	res.Timeline = make([]BucketRow, nb)
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		res.Latency.Merge(&b.lat)
+		res.Timeline[i] = BucketRow{
+			SimStart:         time.Duration(i) * e.cfg.AggInterval,
+			SessionsStarted:  b.started.Load(),
+			SessionsRejected: b.rejected.Load(),
+			BatchesDelivered: b.batches.Load(),
+			EventsAcked:      b.events.Load(),
+			P50:              b.lat.QuantileMS(0.50),
+			P95:              b.lat.QuantileMS(0.95),
+			P99:              b.lat.QuantileMS(0.99),
+			Open429:          b.open429.Load(),
+			Budget429:        b.budget429.Load(),
+			TooLarge413:      b.tooLarge.Load(),
+			Conflict409:      b.conflict.Load(),
+			Evicted404:       b.evicted.Load(),
+			Errors:           b.errs.Load(),
+		}
+	}
+	return res, ctx.Err()
+}
+
+// sleepUntil waits until the schedule offset `due` (already compressed
+// to real time) has elapsed since start. A due time already in the past
+// returns immediately — a saturated pool runs late, it never skips.
+func (e *Engine) sleepUntil(start time.Time, due time.Duration) {
+	if wait := due - e.now().Sub(start); wait > 0 {
+		e.sleep(wait)
+	}
+}
+
+// statusOf unwraps the HTTP status from an error chain, 0 for
+// transport-level failures.
+func statusOf(err error) int {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status
+	}
+	return 0
+}
+
+// runSession executes one planned session end to end.
+func (e *Engine) runSession(ctx context.Context, c *Client, sp Session, start time.Time, t *tally) {
+	scale := e.cfg.TimeScale
+	e.sleepUntil(start, RealOffset(sp.Start, scale))
+	sb := t.bucket(sp.Start)
+
+	c.On429 = func() { t.open429.Add(1); sb.open429.Add(1) }
+	c.On413 = nil
+	id, err := c.OpenSession(sp.Predictor, 0)
+	if err != nil {
+		if statusOf(err) == http.StatusTooManyRequests {
+			t.rejected.Add(1)
+			sb.rejected.Add(1)
+		} else {
+			t.errs.Add(1)
+			sb.errs.Add(1)
+		}
+		return
+	}
+	t.opened.Add(1)
+	sb.started.Add(1)
+
+	stream := e.streams[sp.Trace]
+	gone := false // 404: the server evicted the session; nothing left to close
+	clean := true
+	for _, b := range sp.Batches {
+		if ctx.Err() != nil {
+			clean = false
+			break
+		}
+		e.sleepUntil(start, RealOffset(b.At, scale))
+		bb := t.bucket(b.At)
+		c.On429 = func() { t.budget429.Add(1); bb.budget429.Add(1) }
+		c.On413 = func() { t.tooLarge413.Add(1); bb.tooLarge.Add(1) }
+		t0 := e.now()
+		acked, posts, err := c.PostEvents(id, stream.batch(b.Index))
+		lat := e.now().Sub(t0)
+		t.eventsAcked.Add(acked)
+		bb.events.Add(acked)
+		t.postsOK.Add(int64(posts))
+		if err != nil {
+			clean = false
+			switch statusOf(err) {
+			case http.StatusConflict:
+				t.conflict409.Add(1)
+				bb.conflict.Add(1)
+			case http.StatusNotFound:
+				t.evicted404.Add(1)
+				bb.evicted.Add(1)
+				gone = true
+			case http.StatusTooManyRequests:
+				// retry budget exhausted on event-budget 429s; each 429
+				// response was already tallied by the hook
+			default:
+				t.errs.Add(1)
+				bb.errs.Add(1)
+			}
+			break
+		}
+		t.batchesDone.Add(1)
+		bb.batches.Add(1)
+		bb.mu.Lock()
+		bb.lat.Observe(lat)
+		bb.mu.Unlock()
+	}
+
+	if !gone {
+		c.On429 = nil
+		c.On413 = nil
+		switch err := c.CloseSession(id); statusOf(err) {
+		case 0:
+			if err == nil {
+				t.closed.Add(1)
+			} else {
+				clean = false
+				t.errs.Add(1)
+				sb.errs.Add(1)
+			}
+		case http.StatusBadRequest:
+			// The stream ended mid-event (a split delivered a partial
+			// tail before failing); the server still closed it.
+			t.closed.Add(1)
+			t.truncated.Add(1)
+			clean = false
+		case http.StatusNotFound:
+			t.evicted404.Add(1)
+			sb.evicted.Add(1)
+			clean = false
+		default:
+			clean = false
+			t.errs.Add(1)
+			sb.errs.Add(1)
+		}
+	}
+	if clean {
+		t.completed.Add(1)
+	} else {
+		t.aborted.Add(1)
+	}
+}

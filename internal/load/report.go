@@ -1,0 +1,157 @@
+package load
+
+// The run's two artifacts: a JSON report (config echo, totals, latency
+// percentiles, SLO verdicts, /metrics crosscheck) and a timeline CSV
+// (one row per simulated interval). Both are rendered with fixed field
+// order and fixed float formatting, so a seeded run against a
+// deterministic server is byte-identical — the golden test pins that.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ReportConfig echoes the run's knobs into the report.
+type ReportConfig struct {
+	Seed        int64    `json:"seed"`
+	Profile     string   `json:"profile"`
+	Sessions    int      `json:"sessions"`
+	Users       int      `json:"users"`
+	DaySimSecs  float64  `json:"day_sim_seconds"`
+	TimeScale   float64  `json:"time_scale"`
+	AggSimSecs  float64  `json:"agg_sim_seconds"`
+	MeanEvents  int      `json:"mean_events"`
+	BatchEvents int      `json:"batch_events"`
+	Predictors  []string `json:"predictors"`
+	Traces      []string `json:"traces"`
+}
+
+// LatencyMS is the run-wide batch latency summary.
+type LatencyMS struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// Report is the JSON artifact of one capload run.
+type Report struct {
+	Tool        string       `json:"tool"`
+	GeneratedAt string       `json:"generated_at"`
+	Config      ReportConfig `json:"config"`
+	Totals      Totals       `json:"totals"`
+	Latency     LatencyMS    `json:"batch_latency_ms"`
+	ElapsedSecs float64      `json:"elapsed_seconds"`
+	SLO         []SLOResult  `json:"slo,omitempty"`
+	Crosscheck  *Crosscheck  `json:"metrics_crosscheck,omitempty"`
+}
+
+// BuildReport assembles the report from a finished run. generatedAt
+// comes from the caller's injected clock.
+func BuildReport(cfg Config, engineCfg EngineConfig, res *Result, generatedAt time.Time) *Report {
+	return &Report{
+		Tool:        "capload",
+		GeneratedAt: generatedAt.UTC().Format(time.RFC3339),
+		Config: ReportConfig{
+			Seed:        cfg.Seed,
+			Profile:     string(cfg.Profile),
+			Sessions:    cfg.Sessions,
+			Users:       engineCfg.Users,
+			DaySimSecs:  cfg.Day.Seconds(),
+			TimeScale:   engineCfg.TimeScale,
+			AggSimSecs:  engineCfg.AggInterval.Seconds(),
+			MeanEvents:  cfg.MeanEvents,
+			BatchEvents: cfg.BatchEvents,
+			Predictors:  cfg.Predictors,
+			Traces:      cfg.Traces,
+		},
+		Totals: res.Totals,
+		Latency: LatencyMS{
+			P50: res.Latency.QuantileMS(0.50),
+			P95: res.Latency.QuantileMS(0.95),
+			P99: res.Latency.QuantileMS(0.99),
+		},
+		ElapsedSecs: res.Elapsed.Seconds(),
+	}
+}
+
+// WriteJSON renders the report with stable field order and a trailing
+// newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteTimelineCSV renders the per-interval timeline.
+func WriteTimelineCSV(w io.Writer, rows []BucketRow) error {
+	if _, err := fmt.Fprintln(w, "sim_start_seconds,sessions_started,sessions_rejected,batches_delivered,events_acked,p50_ms,p95_ms,p99_ms,open_429,budget_429,too_large_413,conflict_409,evicted_404,errors"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%d,%d,%d,%d,%d,%d\n",
+			int64(row.SimStart.Seconds()),
+			row.SessionsStarted, row.SessionsRejected,
+			row.BatchesDelivered, row.EventsAcked,
+			row.P50, row.P95, row.P99,
+			row.Open429, row.Budget429, row.TooLarge413,
+			row.Conflict409, row.Evicted404, row.Errors); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CrosscheckEntry compares one server counter's delta over the run
+// against the client's own ledger for the same event class.
+type CrosscheckEntry struct {
+	Metric string `json:"metric"`
+	Server int64  `json:"server"`
+	Client int64  `json:"client"`
+	OK     bool   `json:"ok"`
+}
+
+// Crosscheck is the reconciliation of the client's books against the
+// server's /metrics counters, scraped before and after the run. Exact
+// agreement requires capload to be the server's only client; Note
+// flags conditions (transport errors) that can legitimately break it.
+type Crosscheck struct {
+	OK      bool              `json:"ok"`
+	Checks  []CrosscheckEntry `json:"checks"`
+	Evicted int64             `json:"server_evictions"` // informational: TTL/janitor evictions observed server-side
+	Note    string            `json:"note,omitempty"`
+}
+
+// BuildCrosscheck reconciles totals against the two scrapes. The
+// counter list is fixed and ordered — no map iteration feeds the
+// report.
+func BuildCrosscheck(before, after map[string]int64, t Totals) *Crosscheck {
+	delta := func(name string) int64 { return after[name] - before[name] }
+	checks := []CrosscheckEntry{
+		{Metric: "capserve_sessions_opened_total", Server: delta("capserve_sessions_opened_total"), Client: t.SessionsOpened},
+		{Metric: "capserve_sessions_closed_total", Server: delta("capserve_sessions_closed_total"), Client: t.SessionsClosed},
+		{Metric: "capserve_sessions_rejected_total", Server: delta("capserve_sessions_rejected_total"), Client: t.Open429},
+		{Metric: "capserve_events_ingested_total", Server: delta("capserve_events_ingested_total"), Client: t.EventsAcked},
+		{Metric: "capserve_batches_served_total", Server: delta("capserve_batches_served_total"), Client: t.PostsOK},
+		{Metric: "capserve_batches_dropped_budget_total", Server: delta("capserve_batches_dropped_budget_total"), Client: t.Budget429},
+		{Metric: "capserve_batches_rejected_too_large_total", Server: delta("capserve_batches_rejected_too_large_total"), Client: t.TooLarge413},
+		{Metric: "capserve_batches_conflict_total", Server: delta("capserve_batches_conflict_total"), Client: t.Conflict409},
+	}
+	cc := &Crosscheck{OK: true, Evicted: delta("capserve_sessions_evicted_total")}
+	for i := range checks {
+		checks[i].OK = checks[i].Server == checks[i].Client
+		if !checks[i].OK {
+			cc.OK = false
+		}
+	}
+	cc.Checks = checks
+	if t.Errors > 0 {
+		cc.Note = fmt.Sprintf("%d transport errors during the run; responses lost in flight can legitimately skew client-side counts", t.Errors)
+	}
+	return cc
+}

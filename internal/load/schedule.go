@@ -1,0 +1,280 @@
+// Package load is the capload client fleet: a time-compressed load
+// simulator for capserve. A seeded Schedule lays out thousands of
+// streaming prediction sessions over a simulated day (diurnal, bursty,
+// ramp or steady arrivals); an Engine replays that schedule against a
+// live capserve over the real HTTP surface with a virtual-user pool,
+// honouring the server's backpressure (429 Retry-After waits, 413 batch
+// splits); the run ends in a JSON report plus a timeline CSV of batch
+// latency percentiles and rejection rates, an SLO gate, and a
+// crosscheck of the client's books against the server's /metrics
+// counters.
+//
+// Everything in this package is deterministic for a fixed seed: the
+// schedule is pure arithmetic over a seeded *rand.Rand, and the engine
+// reads time only through an injected now()/sleep() pair, so the
+// capvet determinism analyzer applies here just as it does to the
+// result-producing simulator packages.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Profile names an arrival-intensity shape over the simulated day.
+type Profile string
+
+const (
+	// ProfileSteady arrives uniformly over the day.
+	ProfileSteady Profile = "steady"
+	// ProfileDiurnal follows a day/night curve: quiet small hours, a
+	// midday plateau, an evening shoulder.
+	ProfileDiurnal Profile = "diurnal"
+	// ProfileBursty is a low baseline punctuated by seeded bursts of
+	// 8-20x intensity — the overload shape admission control exists for.
+	ProfileBursty Profile = "bursty"
+	// ProfileRamp grows linearly from near-idle to 10x, the capacity
+	// -planning shape: where on the ramp do SLOs break?
+	ProfileRamp Profile = "ramp"
+)
+
+// Profiles lists the valid arrival shapes.
+func Profiles() []Profile {
+	return []Profile{ProfileSteady, ProfileDiurnal, ProfileBursty, ProfileRamp}
+}
+
+// diurnalHours is the relative arrival weight per hour-of-day, an
+// integer shape (no trig) so schedules are bit-reproducible everywhere:
+// a 2am trough, a climb through the morning, a 1pm peak, an evening
+// shoulder.
+var diurnalHours = [24]int64{
+	3, 2, 1, 1, 1, 2, 4, 7, 10, 12, 13, 13,
+	14, 14, 13, 12, 12, 11, 10, 8, 6, 5, 4, 3,
+}
+
+// scheduleSlots is the arrival-intensity resolution: the simulated day
+// is cut into this many equal slots and sessions land in slots with
+// probability proportional to the profile's slot weight.
+const scheduleSlots = 288
+
+// Config shapes a Schedule. All durations are simulated time; the
+// Engine's TimeScale compresses them to wall time at execution.
+type Config struct {
+	Profile Profile
+	// Sessions is the total session count over the day. Time-scale
+	// compression never changes it — that invariant is fuzzed.
+	Sessions int
+	// Day is the simulated span arrivals are spread over.
+	Day time.Duration
+	// Seed makes the schedule reproducible.
+	Seed int64
+	// MeanEvents is the target mean events per session. Sessions hold
+	// a whole number of batches, so actual counts are multiples of
+	// BatchEvents with this mean.
+	MeanEvents int
+	// BatchEvents is the events carried by each POSTed batch.
+	BatchEvents int
+	// Think is the mean simulated gap between a session's batches.
+	Think time.Duration
+	// Predictors is the predictor-kind rotation sessions bind to.
+	Predictors []string
+	// Traces is the workload-trace rotation sessions stream.
+	Traces []string
+}
+
+// Batch is one planned POST …/events: its simulated due time and the
+// index of its byte range within the session's encoded trace stream.
+type Batch struct {
+	At    time.Duration // simulated offset from schedule start
+	Index int           // batch number within the session, from 0
+}
+
+// Session is one planned streaming prediction session.
+type Session struct {
+	Index     int           // position in Schedule.Sessions (arrival order)
+	Start     time.Duration // simulated arrival offset
+	Predictor string
+	Trace     string
+	Batches   []Batch // due times are nondecreasing, first == Start
+}
+
+// Events returns the session's total planned events.
+func (s Session) Events(batchEvents int) int64 {
+	return int64(len(s.Batches)) * int64(batchEvents)
+}
+
+// Schedule is a fully-materialised arrival plan: every session, every
+// batch, every simulated due time. It is pure data — generating it
+// issues no I/O and reads no clock.
+type Schedule struct {
+	Cfg      Config
+	Sessions []Session // sorted by Start, ties by draw order
+}
+
+// Validate rejects configs the generator cannot honour.
+func (c Config) Validate() error {
+	switch c.Profile {
+	case ProfileSteady, ProfileDiurnal, ProfileBursty, ProfileRamp:
+	default:
+		return fmt.Errorf("load: unknown profile %q (one of %v)", c.Profile, Profiles())
+	}
+	if c.Sessions <= 0 {
+		return fmt.Errorf("load: sessions must be positive, got %d", c.Sessions)
+	}
+	if c.Day <= 0 {
+		return fmt.Errorf("load: day must be positive, got %v", c.Day)
+	}
+	if c.BatchEvents <= 0 {
+		return fmt.Errorf("load: batch events must be positive, got %d", c.BatchEvents)
+	}
+	if c.MeanEvents < c.BatchEvents {
+		return fmt.Errorf("load: mean events (%d) must be at least one batch (%d)", c.MeanEvents, c.BatchEvents)
+	}
+	if c.Think <= 0 {
+		return fmt.Errorf("load: think time must be positive, got %v", c.Think)
+	}
+	if len(c.Predictors) == 0 {
+		return fmt.Errorf("load: at least one predictor kind is required")
+	}
+	if len(c.Traces) == 0 {
+		return fmt.Errorf("load: at least one trace name is required")
+	}
+	return nil
+}
+
+// slotWeights renders the profile as integer arrival weights over the
+// day's slots. Weights only need to be relatively sized; they are
+// sampled by cumulative sum.
+func slotWeights(p Profile, rng *rand.Rand) []int64 {
+	w := make([]int64, scheduleSlots)
+	switch p {
+	case ProfileSteady:
+		for i := range w {
+			w[i] = 1
+		}
+	case ProfileDiurnal:
+		for i := range w {
+			hour := i * 24 / scheduleSlots
+			w[i] = diurnalHours[hour]
+		}
+	case ProfileBursty:
+		for i := range w {
+			w[i] = 2
+		}
+		// Six bursts at seeded positions: short windows of 8-20x the
+		// baseline, the arrival shape MaxSessions and the budgets are
+		// sized against.
+		for b := 0; b < 6; b++ {
+			start := rng.Intn(scheduleSlots)
+			length := 2 + rng.Intn(7)
+			amp := int64(8 + rng.Intn(13))
+			for j := 0; j < length; j++ {
+				w[(start+j)%scheduleSlots] += 2 * amp
+			}
+		}
+	case ProfileRamp:
+		for i := range w {
+			w[i] = 1 + int64(i*9)/int64(scheduleSlots-1)
+		}
+	}
+	return w
+}
+
+// Generate materialises the schedule for cfg. The same cfg always
+// yields the identical schedule, byte for byte.
+func Generate(cfg Config) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	weights := slotWeights(cfg.Profile, rng)
+	cum := make([]int64, len(weights))
+	var total int64
+	for i, w := range weights {
+		total += w
+		cum[i] = total
+	}
+	slotDur := cfg.Day / scheduleSlots
+
+	// Draw every arrival, then sort: a schedule reads in arrival order.
+	type draw struct {
+		start time.Duration
+		ord   int
+	}
+	draws := make([]draw, cfg.Sessions)
+	for i := range draws {
+		r := rng.Int63n(total)
+		slot := sort.Search(len(cum), func(j int) bool { return cum[j] > r })
+		off := time.Duration(rng.Int63n(int64(slotDur)))
+		draws[i] = draw{start: time.Duration(slot)*slotDur + off, ord: i}
+	}
+	sort.Slice(draws, func(a, b int) bool {
+		if draws[a].start != draws[b].start {
+			return draws[a].start < draws[b].start
+		}
+		return draws[a].ord < draws[b].ord
+	})
+
+	// Per-session shape draws happen in arrival order so the rng
+	// consumption sequence — and therefore the schedule — is a pure
+	// function of (seed, profile, counts).
+	meanBatches := cfg.MeanEvents / cfg.BatchEvents
+	sched := &Schedule{Cfg: cfg, Sessions: make([]Session, cfg.Sessions)}
+	for i, d := range draws {
+		// 1..2*mean-1 uniformly: the mean lands on meanBatches exactly.
+		nb := 1 + rng.Intn(2*meanBatches-1)
+		s := Session{
+			Index:     i,
+			Start:     d.start,
+			Predictor: cfg.Predictors[rng.Intn(len(cfg.Predictors))],
+			Trace:     cfg.Traces[rng.Intn(len(cfg.Traces))],
+			Batches:   make([]Batch, nb),
+		}
+		at := d.start
+		for b := 0; b < nb; b++ {
+			s.Batches[b] = Batch{At: at, Index: b}
+			// Think gaps are uniform in [Think/2, 3*Think/2): positive,
+			// so due times are strictly increasing within a session.
+			at += cfg.Think/2 + time.Duration(rng.Int63n(int64(cfg.Think)))
+		}
+		sched.Sessions[i] = s
+	}
+	return sched, nil
+}
+
+// MaxBatches returns the largest per-session batch count in the
+// schedule (sizing the encoded trace streams).
+func (s *Schedule) MaxBatches() int {
+	m := 0
+	for _, sess := range s.Sessions {
+		if len(sess.Batches) > m {
+			m = len(sess.Batches)
+		}
+	}
+	return m
+}
+
+// End returns the latest batch due time in the schedule.
+func (s *Schedule) End() time.Duration {
+	var end time.Duration
+	for _, sess := range s.Sessions {
+		if n := len(sess.Batches); n > 0 {
+			if at := sess.Batches[n-1].At; at > end {
+				end = at
+			}
+		}
+	}
+	return end
+}
+
+// RealOffset compresses a simulated offset to wall time under scale.
+// It is monotone and preserves non-negativity — compression reorders
+// nothing and drops nothing; those invariants are fuzzed.
+func RealOffset(sim time.Duration, scale float64) time.Duration {
+	if scale <= 1 {
+		return sim
+	}
+	return time.Duration(float64(sim) / scale)
+}

@@ -1,0 +1,189 @@
+package load
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testScheduleConfig() Config {
+	return Config{
+		Profile:     ProfileBursty,
+		Sessions:    200,
+		Day:         24 * time.Hour,
+		Seed:        7,
+		MeanEvents:  4000,
+		BatchEvents: 1000,
+		Think:       5 * time.Minute,
+		Predictors:  []string{"hybrid", "stride"},
+		Traces:      []string{"INT_xli", "TPC_t23"},
+	}
+}
+
+// TestGenerateDeterministic: the schedule is a pure function of the
+// config — two generations are deeply equal.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, p := range Profiles() {
+		cfg := testScheduleConfig()
+		cfg.Profile = p
+		a, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		b, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same config produced different schedules", p)
+		}
+	}
+}
+
+// TestGenerateInvariants: arrival order, in-session monotonicity,
+// bounds, and exact session count for every profile.
+func TestGenerateInvariants(t *testing.T) {
+	for _, p := range Profiles() {
+		cfg := testScheduleConfig()
+		cfg.Profile = p
+		s, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(s.Sessions) != cfg.Sessions {
+			t.Fatalf("%s: %d sessions, want %d", p, len(s.Sessions), cfg.Sessions)
+		}
+		var prev time.Duration
+		for i, sess := range s.Sessions {
+			if sess.Index != i {
+				t.Fatalf("%s: session %d has index %d", p, i, sess.Index)
+			}
+			if sess.Start < prev {
+				t.Fatalf("%s: session %d starts at %v before predecessor %v", p, i, sess.Start, prev)
+			}
+			prev = sess.Start
+			if sess.Start < 0 || sess.Start >= cfg.Day {
+				t.Fatalf("%s: session %d start %v outside [0, %v)", p, i, sess.Start, cfg.Day)
+			}
+			if len(sess.Batches) == 0 {
+				t.Fatalf("%s: session %d has no batches", p, i)
+			}
+			if sess.Batches[0].At != sess.Start {
+				t.Fatalf("%s: session %d first batch at %v, want start %v", p, i, sess.Batches[0].At, sess.Start)
+			}
+			for b := 1; b < len(sess.Batches); b++ {
+				gap := sess.Batches[b].At - sess.Batches[b-1].At
+				if gap <= 0 {
+					t.Fatalf("%s: session %d batch %d has non-positive gap %v", p, i, b, gap)
+				}
+				if gap < cfg.Think/2 || gap >= cfg.Think*3/2 {
+					t.Fatalf("%s: session %d batch %d gap %v outside [%v, %v)", p, i, b, gap, cfg.Think/2, cfg.Think*3/2)
+				}
+			}
+		}
+	}
+}
+
+// TestGenerateMeanEvents: the realised mean events per session lands
+// near the configured mean (within 15% at 200 sessions).
+func TestGenerateMeanEvents(t *testing.T) {
+	cfg := testScheduleConfig()
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events int64
+	for _, sess := range s.Sessions {
+		events += sess.Events(cfg.BatchEvents)
+	}
+	mean := float64(events) / float64(len(s.Sessions))
+	want := float64(cfg.MeanEvents)
+	if mean < 0.85*want || mean > 1.15*want {
+		t.Fatalf("mean events per session %.0f, want within 15%% of %d", mean, cfg.MeanEvents)
+	}
+}
+
+// TestProfilesShapeArrivals: bursty concentrates arrivals (some slot
+// sees far more than the uniform share); ramp's second half outweighs
+// its first; diurnal's night is quieter than its midday.
+func TestProfilesShapeArrivals(t *testing.T) {
+	halves := func(p Profile) (first, second int) {
+		cfg := testScheduleConfig()
+		cfg.Profile = p
+		cfg.Sessions = 2000
+		s, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sess := range s.Sessions {
+			if sess.Start < cfg.Day/2 {
+				first++
+			} else {
+				second++
+			}
+		}
+		return
+	}
+	if f, s := halves(ProfileRamp); s <= f {
+		t.Fatalf("ramp: second half %d arrivals <= first half %d", s, f)
+	}
+
+	cfg := testScheduleConfig()
+	cfg.Profile = ProfileDiurnal
+	cfg.Sessions = 2000
+	sched, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	night, midday := 0, 0
+	for _, sess := range sched.Sessions {
+		h := int(sess.Start / time.Hour)
+		switch {
+		case h >= 1 && h < 5:
+			night++
+		case h >= 11 && h < 15:
+			midday++
+		}
+	}
+	if night >= midday {
+		t.Fatalf("diurnal: night arrivals %d >= midday %d", night, midday)
+	}
+}
+
+// TestRealOffset: compression is monotone, non-negative, and identity
+// at scale <= 1.
+func TestRealOffset(t *testing.T) {
+	if got := RealOffset(time.Hour, 1); got != time.Hour {
+		t.Fatalf("scale 1: %v", got)
+	}
+	if got := RealOffset(time.Hour, 0); got != time.Hour {
+		t.Fatalf("scale 0: %v", got)
+	}
+	if got := RealOffset(24*time.Hour, 120); got != 12*time.Minute {
+		t.Fatalf("24h at 120x = %v, want 12m", got)
+	}
+}
+
+// TestValidateRejects: each invalid knob is named in the error.
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"profile", func(c *Config) { c.Profile = "sinusoidal" }},
+		{"sessions", func(c *Config) { c.Sessions = 0 }},
+		{"day", func(c *Config) { c.Day = 0 }},
+		{"batch events", func(c *Config) { c.BatchEvents = 0 }},
+		{"mean events", func(c *Config) { c.MeanEvents = 10; c.BatchEvents = 100 }},
+		{"think", func(c *Config) { c.Think = 0 }},
+		{"predictors", func(c *Config) { c.Predictors = nil }},
+		{"traces", func(c *Config) { c.Traces = nil }},
+	}
+	for _, tc := range cases {
+		cfg := testScheduleConfig()
+		tc.mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+}

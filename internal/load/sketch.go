@@ -1,0 +1,101 @@
+package load
+
+// A fixed-layout log-bucketed latency sketch. Quantiles come back as a
+// bucket's upper bound, so two runs observing the same multiset of
+// durations render identical percentiles — the property the seeded
+// -determinism golden needs — and merging is plain addition, so the
+// engine's concurrent users can tally into shards and merge after the
+// pool drains without ordering sensitivity.
+
+import "time"
+
+const (
+	// sketchBuckets spans 1µs to ~1.4h at 25% resolution (bucket 0
+	// holds everything under 1µs).
+	sketchBuckets = 104
+	sketchBaseNS  = 1_000 // 1µs
+)
+
+// sketchBounds[i] is the exclusive upper bound (ns) of bucket i,
+// growing by 5/4 per bucket in integer arithmetic.
+var sketchBounds = func() [sketchBuckets]int64 {
+	var b [sketchBuckets]int64
+	bound := int64(sketchBaseNS)
+	for i := range b {
+		b[i] = bound
+		bound += bound / 4
+	}
+	return b
+}()
+
+// Sketch accumulates durations into log buckets. The zero value is
+// ready to use. Not safe for concurrent use; merge shards with Merge.
+type Sketch struct {
+	counts [sketchBuckets]int64
+	total  int64
+}
+
+// Observe records one duration.
+func (s *Sketch) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := bucketOf(ns)
+	s.counts[i]++
+	s.total++
+}
+
+// bucketOf finds the first bucket whose upper bound exceeds ns.
+func bucketOf(ns int64) int {
+	lo, hi := 0, sketchBuckets-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns < sketchBounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Merge adds o's observations into s.
+func (s *Sketch) Merge(o *Sketch) {
+	for i := range s.counts {
+		s.counts[i] += o.counts[i]
+	}
+	s.total += o.total
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() int64 { return s.total }
+
+// Quantile returns the q-quantile (0 < q <= 1) as the holding bucket's
+// upper bound — pessimistic by at most one bucket width (25%), exact in
+// rank. Zero observations yield zero.
+func (s *Sketch) Quantile(q float64) time.Duration {
+	if s.total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.total {
+		rank = s.total
+	}
+	var cum int64
+	for i, c := range s.counts {
+		cum += c
+		if cum >= rank {
+			return time.Duration(sketchBounds[i])
+		}
+	}
+	return time.Duration(sketchBounds[sketchBuckets-1])
+}
+
+// QuantileMS renders a quantile in milliseconds for reports.
+func (s *Sketch) QuantileMS(q float64) float64 {
+	return float64(s.Quantile(q).Nanoseconds()) / 1e6
+}

@@ -1,0 +1,83 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSketchQuantileRanks: quantiles are exact in rank and come back as
+// the holding bucket's upper bound.
+func TestSketchQuantileRanks(t *testing.T) {
+	var s Sketch
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("empty sketch p99 = %v, want 0", got)
+	}
+	// 99 observations at ~1ms, one at ~1s: p50 lands in the 1ms bucket,
+	// p99 still 1ms (rank 99), p100 in the 1s bucket.
+	for i := 0; i < 99; i++ {
+		s.Observe(time.Millisecond)
+	}
+	s.Observe(time.Second)
+	if s.Count() != 100 {
+		t.Fatalf("count = %d, want 100", s.Count())
+	}
+	p50, p100 := s.Quantile(0.50), s.Quantile(1.0)
+	if p50 < time.Millisecond || p50 > 2*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1ms (its bucket's upper bound)", p50)
+	}
+	if p100 < time.Second || p100 > 2*time.Second {
+		t.Fatalf("p100 = %v, want ~1s", p100)
+	}
+	if p99 := s.Quantile(0.99); p99 != p50 {
+		t.Fatalf("p99 = %v, want %v (rank 99 of 100 is still the 1ms bucket)", p99, p50)
+	}
+}
+
+// TestSketchMergeOrderInsensitive: merging shards in any order yields
+// the same sketch — the property the engine's drain-then-merge relies
+// on.
+func TestSketchMergeOrderInsensitive(t *testing.T) {
+	durations := []time.Duration{
+		0, time.Microsecond, 50 * time.Microsecond, time.Millisecond,
+		7 * time.Millisecond, 300 * time.Millisecond, 2 * time.Second, time.Hour,
+	}
+	var a, b, c Sketch
+	for i, d := range durations {
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		c.Observe(d)
+	}
+	var ab, ba Sketch
+	ab.Merge(&a)
+	ab.Merge(&b)
+	ba.Merge(&b)
+	ba.Merge(&a)
+	if ab != ba {
+		t.Fatal("merge order changed the sketch")
+	}
+	if ab != c {
+		t.Fatal("merged shards differ from a single sketch over the same observations")
+	}
+}
+
+// TestSketchBoundsMonotone: the bucket bounds strictly increase and
+// bucketOf is consistent with them.
+func TestSketchBoundsMonotone(t *testing.T) {
+	for i := 1; i < sketchBuckets; i++ {
+		if sketchBounds[i] <= sketchBounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %d <= %d", i, sketchBounds[i], sketchBounds[i-1])
+		}
+	}
+	for i := 0; i < sketchBuckets; i++ {
+		if got := bucketOf(sketchBounds[i] - 1); got != i {
+			t.Fatalf("bucketOf(bounds[%d]-1) = %d, want %d", i, got, i)
+		}
+	}
+	// Beyond the last bound everything lands in the final bucket.
+	if got := bucketOf(sketchBounds[sketchBuckets-1] * 2); got != sketchBuckets-1 {
+		t.Fatalf("overflow bucket = %d, want %d", got, sketchBuckets-1)
+	}
+}

@@ -1,0 +1,126 @@
+package load
+
+// The SLO gate: "-slo p99_batch_ms=50,reject_rate=0.01" turns the
+// report's measurements into pass/fail verdicts, so a CI soak can
+// enforce "the admission constants hold these latencies under this
+// overload" the same way benchsweep -gate enforces throughput and
+// capvet enforces determinism.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SLO is one objective: a named measurement must not exceed Limit.
+type SLO struct {
+	Key   string
+	Limit float64
+}
+
+// SLOResult is one evaluated objective.
+type SLOResult struct {
+	Key    string  `json:"key"`
+	Limit  float64 `json:"limit"`
+	Actual float64 `json:"actual"`
+	Pass   bool    `json:"pass"`
+}
+
+// sloKeys maps each supported objective onto its measurement. Rates are
+// fractions of the relevant attempt class; counts compare directly.
+var sloKeys = map[string]func(t Totals, lat LatencyMS) float64{
+	"p50_batch_ms": func(t Totals, lat LatencyMS) float64 { return lat.P50 },
+	"p95_batch_ms": func(t Totals, lat LatencyMS) float64 { return lat.P95 },
+	"p99_batch_ms": func(t Totals, lat LatencyMS) float64 { return lat.P99 },
+	// reject_rate: sessions that never got in / sessions planned.
+	"reject_rate": func(t Totals, lat LatencyMS) float64 {
+		return ratio(t.SessionsRejected, t.SessionsPlanned)
+	},
+	// drop_rate: event batches refused for budget / batches attempted.
+	"drop_rate": func(t Totals, lat LatencyMS) float64 {
+		return ratio(t.Budget429, t.PostsOK+t.Budget429)
+	},
+	// too_large_rate: 413 responses / successful posts (a measure of
+	// how often the body cap forces splits).
+	"too_large_rate": func(t Totals, lat LatencyMS) float64 {
+		return ratio(t.TooLarge413, t.PostsOK+t.TooLarge413)
+	},
+	// error_rate: transport failures / sessions planned.
+	"error_rate": func(t Totals, lat LatencyMS) float64 {
+		return ratio(t.Errors, t.SessionsPlanned)
+	},
+	// evicted_sessions: absolute count of sessions lost to eviction.
+	"evicted_sessions": func(t Totals, lat LatencyMS) float64 {
+		return float64(t.Evicted404)
+	},
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// SLOKeys lists the supported objective names, sorted.
+func SLOKeys() []string {
+	keys := make([]string, 0, len(sloKeys))
+	for k := range sloKeys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ParseSLOs parses "key=limit,key=limit". Unknown keys and malformed
+// limits are errors — a misspelled gate that silently passes is worse
+// than no gate.
+func ParseSLOs(spec string) ([]SLO, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []SLO
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, found := strings.Cut(part, "=")
+		if !found {
+			return nil, fmt.Errorf("load: SLO %q is not key=limit", part)
+		}
+		key = strings.TrimSpace(key)
+		if _, ok := sloKeys[key]; !ok {
+			return nil, fmt.Errorf("load: unknown SLO key %q (one of %s)", key, strings.Join(SLOKeys(), ", "))
+		}
+		limit, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || limit < 0 {
+			return nil, fmt.Errorf("load: SLO %s has malformed limit %q", key, val)
+		}
+		out = append(out, SLO{Key: key, Limit: limit})
+	}
+	return out, nil
+}
+
+// EvaluateSLOs renders verdicts against a run's measurements. An
+// objective passes when the measurement is at or below its limit.
+func EvaluateSLOs(slos []SLO, t Totals, lat LatencyMS) []SLOResult {
+	out := make([]SLOResult, len(slos))
+	for i, s := range slos {
+		actual := sloKeys[s.Key](t, lat)
+		out[i] = SLOResult{Key: s.Key, Limit: s.Limit, Actual: actual, Pass: actual <= s.Limit}
+	}
+	return out
+}
+
+// SLOViolations counts failing objectives.
+func SLOViolations(results []SLOResult) int {
+	n := 0
+	for _, r := range results {
+		if !r.Pass {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSLOs: the happy path round-trips, and every malformation is
+// a named error — a misspelled gate must not silently pass.
+func TestParseSLOs(t *testing.T) {
+	slos, err := ParseSLOs("p99_batch_ms=50, reject_rate=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slos) != 2 || slos[0].Key != "p99_batch_ms" || slos[0].Limit != 50 ||
+		slos[1].Key != "reject_rate" || slos[1].Limit != 0.01 {
+		t.Fatalf("parsed %+v", slos)
+	}
+
+	if slos, err := ParseSLOs("  "); err != nil || slos != nil {
+		t.Fatalf("empty spec: slos=%v err=%v, want nil,nil", slos, err)
+	}
+	for _, bad := range []string{
+		"p99_batch_ms",        // no limit
+		"p99_latency_ms=50",   // unknown key
+		"p99_batch_ms=fifty",  // malformed limit
+		"p99_batch_ms=-1",     // negative limit
+		"reject_rate=0.01=oo", // stray equals
+	} {
+		if _, err := ParseSLOs(bad); err == nil {
+			t.Errorf("ParseSLOs(%q) accepted a malformed spec", bad)
+		}
+	}
+	if _, err := ParseSLOs("p99_latency_ms=50"); !strings.Contains(err.Error(), "p99_batch_ms") {
+		t.Errorf("unknown-key error %q does not list the valid keys", err)
+	}
+}
+
+// TestEvaluateSLOs: at-limit passes, over-limit fails, and the derived
+// rates divide by the right denominators.
+func TestEvaluateSLOs(t *testing.T) {
+	totals := Totals{
+		SessionsPlanned:  200,
+		SessionsRejected: 10,
+		PostsOK:          900,
+		Budget429:        100,
+		TooLarge413:      100,
+		Errors:           2,
+		Evicted404:       3,
+	}
+	lat := LatencyMS{P50: 1, P95: 20, P99: 50}
+
+	slos, err := ParseSLOs("p99_batch_ms=50,reject_rate=0.04,drop_rate=0.2,too_large_rate=0.1,error_rate=0.01,evicted_sessions=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := EvaluateSLOs(slos, totals, lat)
+	want := map[string]struct {
+		actual float64
+		pass   bool
+	}{
+		"p99_batch_ms":     {50, true}, // at-limit passes
+		"reject_rate":      {0.05, false},
+		"drop_rate":        {0.1, true},
+		"too_large_rate":   {0.1, true},
+		"error_rate":       {0.01, true},
+		"evicted_sessions": {3, true},
+	}
+	for _, r := range res {
+		w, ok := want[r.Key]
+		if !ok {
+			t.Fatalf("unexpected key %q", r.Key)
+		}
+		if r.Actual != w.actual || r.Pass != w.pass {
+			t.Errorf("%s: actual=%g pass=%v, want actual=%g pass=%v", r.Key, r.Actual, r.Pass, w.actual, w.pass)
+		}
+	}
+	if n := SLOViolations(res); n != 1 {
+		t.Fatalf("violations = %d, want 1 (reject_rate)", n)
+	}
+
+	// Zero denominators are rates of zero, not NaN.
+	res = EvaluateSLOs(slos, Totals{}, LatencyMS{})
+	for _, r := range res {
+		if r.Actual != 0 && r.Key != "p99_batch_ms" {
+			t.Errorf("%s on empty totals = %g, want 0", r.Key, r.Actual)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package server
+
+// Boundary tests for every admission-control decision the server makes:
+// the event budgets at their exact edges, the session cap's 429 +
+// Retry-After contract, the body cap at exactly MaxBatchBytes, and the
+// finish/409 semantics under concurrent finishers. These are the edges
+// capload leans on — a load run's ledger only reconciles with /metrics
+// if each boundary rejects and accepts exactly where it claims to.
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+	"testing"
+
+	"capred/internal/trace"
+)
+
+// encodeTwoBatches renders 2n events as ONE v3 stream split at the
+// n-event boundary: the second chunk continues the first's delta state,
+// so posting them back to back is a legal stream.
+func encodeTwoBatches(t *testing.T, n int64) (first, second []byte) {
+	t.Helper()
+	evs := collectEvents(t, 0, 2*n)
+	var buf bytes.Buffer
+	mark := 0
+	w := trace.NewWriter(&buf)
+	for i, ev := range evs {
+		if err := w.Emit(ev); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if int64(i+1) == n {
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			mark = buf.Len()
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	return data[:mark], data[mark:]
+}
+
+// TestSessionBudgetBoundary: the per-session budget is a pre-check —
+// a batch is admitted while events < budget (overshoot bounded by the
+// body cap) and refused with 429 once events >= budget.
+func TestSessionBudgetBoundary(t *testing.T) {
+	const batch = 500
+	// One continuous stream cut at an event boundary: the second chunk
+	// continues the first's delta state (a fresh header mid-stream would
+	// be a decode error, not an admission decision).
+	first, second := encodeTwoBatches(t, batch)
+	cases := []struct {
+		name       string
+		budget     int64
+		wantSecond int // status of the second batch
+	}{
+		{"second batch under budget", 2*batch + 1, http.StatusOK},
+		{"exactly at budget after first", batch, http.StatusTooManyRequests},
+		{"one event short of budget", batch - 1, http.StatusTooManyRequests},
+		{"one event past first batch", batch + 1, http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, func(c *Config) { c.SessionEventBudget = tc.budget })
+			sess := openSession(t, ts.URL, SessionConfig{Predictor: "last"})
+			url := ts.URL + "/v1/sessions/" + sess.ID + "/events"
+
+			// The first batch always starts under budget, so it is admitted
+			// whole even when it overshoots the budget.
+			code, body, _ := do(t, "POST", url, first)
+			if code != http.StatusOK {
+				t.Fatalf("first batch: %d %s", code, body)
+			}
+			code, body, hdr := do(t, "POST", url, second)
+			if code != tc.wantSecond {
+				t.Fatalf("second batch: %d %s, want %d", code, body, tc.wantSecond)
+			}
+			if code == http.StatusTooManyRequests && hdr.Get("Retry-After") != "1" {
+				t.Fatalf("budget 429 carried Retry-After %q, want \"1\"", hdr.Get("Retry-After"))
+			}
+
+			// A budget rejection leaves the session closable: the decoder
+			// was never fed, so DELETE drains cleanly with the first
+			// batch's counters intact.
+			code, body, _ = do(t, "DELETE", ts.URL+"/v1/sessions/"+sess.ID, nil)
+			if code != http.StatusOK {
+				t.Fatalf("close after rejection: %d %s", code, body)
+			}
+		})
+	}
+}
+
+// TestGlobalBudgetBoundary: the whole-server budget admits while spent
+// < budget and refuses once spent >= budget — across sessions, which is
+// what distinguishes it from the per-session limit.
+func TestGlobalBudgetBoundary(t *testing.T) {
+	const batch = 500
+	data := encodeTrace(t, collectEvents(t, 0, batch))
+	_, ts := newTestServer(t, func(c *Config) { c.GlobalEventBudget = 2 * batch })
+
+	// Two sessions spend the budget exactly; a third session's batch must
+	// be refused even though that session has ingested nothing.
+	for i := 0; i < 2; i++ {
+		sess := openSession(t, ts.URL, SessionConfig{Predictor: "last"})
+		code, body, _ := do(t, "POST", ts.URL+"/v1/sessions/"+sess.ID+"/events", data)
+		if code != http.StatusOK {
+			t.Fatalf("batch %d within budget: %d %s", i, code, body)
+		}
+	}
+	fresh := openSession(t, ts.URL, SessionConfig{Predictor: "last"})
+	code, body, hdr := do(t, "POST", ts.URL+"/v1/sessions/"+fresh.ID+"/events", data)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("batch past global budget: %d %s, want 429", code, body)
+	}
+	if hdr.Get("Retry-After") != "1" {
+		t.Fatalf("global-budget 429 carried Retry-After %q, want \"1\"", hdr.Get("Retry-After"))
+	}
+}
+
+// TestMaxSessionsBoundary: opens succeed up to the cap exactly, the
+// next is 429 + Retry-After, and closing one session readmits.
+func TestMaxSessionsBoundary(t *testing.T) {
+	const cap = 3
+	_, ts := newTestServer(t, func(c *Config) { c.MaxSessions = cap })
+
+	prime := encodeTrace(t, collectEvents(t, 0, 100))
+	ids := make([]string, cap)
+	for i := range ids {
+		ids[i] = openSession(t, ts.URL, SessionConfig{Predictor: "last"}).ID
+		// Feed each session a batch so its eventual close drains cleanly
+		// (an empty stream reads as a truncated trace).
+		if code, b, _ := do(t, "POST", ts.URL+"/v1/sessions/"+ids[i]+"/events", prime); code != http.StatusOK {
+			t.Fatalf("prime %d: %d %s", i, code, b)
+		}
+	}
+	body := []byte(`{"predictor": "last"}`)
+	code, b, hdr := do(t, "POST", ts.URL+"/v1/sessions", body)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("open past cap: %d %s, want 429", code, b)
+	}
+	if hdr.Get("Retry-After") != "1" {
+		t.Fatalf("429 carried Retry-After %q, want \"1\"", hdr.Get("Retry-After"))
+	}
+
+	if code, b, _ := do(t, "DELETE", ts.URL+"/v1/sessions/"+ids[0], nil); code != http.StatusOK {
+		t.Fatalf("close: %d %s", code, b)
+	}
+	if code, b, _ := do(t, "POST", ts.URL+"/v1/sessions", body); code != http.StatusCreated {
+		t.Fatalf("open after a close: %d %s, want 201", code, b)
+	}
+}
+
+// TestMaxBatchBytesBoundary: a body of exactly MaxBatchBytes is served;
+// one byte over is 413, and the rejection consumes nothing — the same
+// bytes re-sent in two halves are then accepted in full.
+func TestMaxBatchBytesBoundary(t *testing.T) {
+	const n = 2_000
+	data := encodeTrace(t, collectEvents(t, 0, n))
+
+	t.Run("exactly at cap", func(t *testing.T) {
+		_, ts := newTestServer(t, func(c *Config) { c.MaxBatchBytes = int64(len(data)) })
+		sess := openSession(t, ts.URL, SessionConfig{Predictor: "last"})
+		code, body, _ := do(t, "POST", ts.URL+"/v1/sessions/"+sess.ID+"/events", data)
+		if code != http.StatusOK {
+			t.Fatalf("body at exactly the cap: %d %s, want 200", code, body)
+		}
+	})
+	t.Run("one byte over cap", func(t *testing.T) {
+		srv, ts := newTestServer(t, func(c *Config) { c.MaxBatchBytes = int64(len(data)) - 1 })
+		sess := openSession(t, ts.URL, SessionConfig{Predictor: "last"})
+		url := ts.URL + "/v1/sessions/" + sess.ID + "/events"
+		code, body, _ := do(t, "POST", url, data)
+		if code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("body one byte over the cap: %d %s, want 413", code, body)
+		}
+		if got := srv.mBatchTooLarge.Value(); got != 1 {
+			t.Fatalf("too-large counter = %d after one 413, want 1", got)
+		}
+
+		// Nothing was consumed: the same stream split at an arbitrary
+		// byte passes, and the session's totals equal the whole trace.
+		half := len(data) / 2
+		for _, part := range [][]byte{data[:half], data[half:]} {
+			if code, body, _ := do(t, "POST", url, part); code != http.StatusOK {
+				t.Fatalf("post after split: %d %s", code, body)
+			}
+		}
+		final := streamSession(t, ts.URL, sess.ID, nil, 1)
+		if final.Events != n {
+			t.Fatalf("events after split delivery = %d, want %d", final.Events, n)
+		}
+	})
+}
+
+// TestFinishIdempotentUnderConcurrency: many goroutines finishing one
+// session all succeed (finish is idempotent, first wins, rest no-op),
+// and a post to a finished-but-live session is 409, exactly once per
+// attempt.
+func TestFinishIdempotentUnderConcurrency(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	sess := openSession(t, ts.URL, SessionConfig{Predictor: "last"})
+	data := encodeTrace(t, collectEvents(t, 0, 100))
+	if code, body, _ := do(t, "POST", ts.URL+"/v1/sessions/"+sess.ID+"/events", data); code != http.StatusOK {
+		t.Fatalf("prime: %d %s", code, body)
+	}
+
+	// Race N direct finishers (the handler's DELETE path removes the
+	// session first; finishing without removal is what a janitor racing a
+	// slow client produces). Every call must return nil.
+	live, err := srv.store.get(sess.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const finishers = 16
+	errs := make([]error, finishers)
+	var wg sync.WaitGroup
+	for i := 0; i < finishers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = live.finish()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("finisher %d: %v (finish must be idempotent)", i, err)
+		}
+	}
+
+	// The session is finished but still in the store: every further batch
+	// is a 409 conflict, and each one ticks the conflict counter.
+	for i := 1; i <= 3; i++ {
+		code, body, _ := do(t, "POST", ts.URL+"/v1/sessions/"+sess.ID+"/events", data)
+		if code != http.StatusConflict {
+			t.Fatalf("post %d to finished session: %d %s, want 409", i, code, body)
+		}
+		if got := srv.mBatchConflict.Value(); got != int64(i) {
+			t.Fatalf("conflict counter = %d after %d conflicts", got, i)
+		}
+	}
+
+	// DELETE still works — the double-finish inside is the no-op branch —
+	// and returns the finished view.
+	code, body, _ := do(t, "DELETE", ts.URL+"/v1/sessions/"+sess.ID, nil)
+	if code != http.StatusOK {
+		t.Fatalf("delete finished session: %d %s", code, body)
+	}
+}

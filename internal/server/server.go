@@ -70,8 +70,17 @@ type Config struct {
 // DefaultConfig returns the production defaults.
 func DefaultConfig() Config {
 	return Config{
-		MaxSessions:        64,
-		SessionTTL:         5 * time.Minute,
+		// 64 is a measured choice, not headroom to grow: under a 2x-overload
+		// bursty day (capload, 2000 sessions / 512 users) the cap held p99
+		// batch latency at 56ms where 128 let it double to 109ms — the cap
+		// converts overload into brief Retry-After waits instead of queueing
+		// delay (EXPERIMENTS.md, load-soak SLO table).
+		MaxSessions: 64,
+		// The TTL must clear a streaming client's longest legitimate think
+		// gap (capload plans up to 1.5x its 5m mean, i.e. 7.5m). The old 5m
+		// default sat inside that distribution and evicted 306 of 500 live
+		// sessions in a compressed-day replay; 10m evicted none.
+		SessionTTL:         10 * time.Minute,
 		SweepInterval:      30 * time.Second,
 		SessionEventBudget: 200_000_000,
 		GlobalEventBudget:  2_000_000_000,
@@ -112,6 +121,8 @@ type Server struct {
 	mSessionsReject *Var
 	mBatches        *Var
 	mDroppedBudget  *Var
+	mBatchTooLarge  *Var
+	mBatchConflict  *Var
 	mJobsSubmitted  *Var
 	mJobsReject     *Var
 	mJobsDone       *Var
@@ -165,6 +176,8 @@ func (s *Server) registerMetrics() {
 		s.store.ingested)
 	s.mBatches = r.Counter("capserve_batches_served_total", "Event batches decoded, predicted and answered.", "")
 	s.mDroppedBudget = r.Counter("capserve_batches_dropped_budget_total", "Event batches rejected by a per-session or global event budget.", "")
+	s.mBatchTooLarge = r.Counter("capserve_batches_rejected_too_large_total", "Event batches rejected for exceeding the request body cap (HTTP 413).", "")
+	s.mBatchConflict = r.Counter("capserve_batches_conflict_total", "Event batches rejected because the session had already finished (HTTP 409).", "")
 	s.mJobsSubmitted = r.Counter("capserve_jobs_submitted_total", "Experiment jobs accepted into the queue.", "")
 	s.mJobsReject = r.Counter("capserve_jobs_rejected_total", "Experiment jobs rejected because the queue was full (HTTP 429).", "")
 	s.mJobsDone = r.Counter("capserve_jobs_completed_total", "Experiment jobs finished, by outcome.", `status="done"`)
@@ -398,6 +411,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
+			s.mBatchTooLarge.Inc()
 			writeErr(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("batch exceeds %d bytes; split the stream into smaller posts", tooBig.Limit))
 			return
@@ -412,6 +426,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, errFinished):
+		s.mBatchConflict.Inc()
 		writeErr(w, http.StatusConflict, err)
 		return
 	case err != nil:

@@ -85,4 +85,3 @@ func (l *Limit) NextBatch(dst []Event) (int, bool) {
 	}
 	return n, ok
 }
-

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Compressed-day load soak: builds capserve and capload, replays a full
+# simulated day of bursty session arrivals against the live server in
+# about a minute of wall time, and enforces the committed SLO table
+# (EXPERIMENTS.md §load-soak) plus the client/server /metrics
+# crosscheck. CI runs this with RACE=-race so the whole admission path
+# is race-checked under real overload.
+#
+# Usage: scripts/load_soak.sh   (from the repo root)
+set -euo pipefail
+
+RACE=${RACE:-}
+SEED=${SEED:-1}
+PROFILE=${PROFILE:-bursty}
+SESSIONS=${SESSIONS:-500}
+USERS=${USERS:-128}
+SCALE=${SCALE:-1440} # 24h replayed in one minute
+# The committed SLO table, measured on the tuned DefaultConfig
+# (DESIGN.md §15). reject_rate 0: the tuned session cap admits the
+# bursty day's peaks; error_rate 0: no transport failures tolerated.
+SLO=${SLO:-p99_batch_ms=50,reject_rate=0,drop_rate=0,error_rate=0,evicted_sessions=0}
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+say() { printf 'soak: %s\n' "$*"; }
+
+say "building binaries ${RACE:+($RACE)}"
+go build $RACE -o "$tmp/bin/" ./cmd/capserve ./cmd/capload
+
+say "starting capserve"
+"$tmp/bin/capserve" -addr 127.0.0.1:0 \
+  >"$tmp/out.log" 2>"$tmp/err.log" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^capserve: listening on //p' "$tmp/out.log")
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { cat "$tmp/err.log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { say "server never reported its address"; exit 1; }
+say "server up at http://$addr"
+
+say "replaying a ${PROFILE} day: $SESSIONS sessions, $USERS users, ${SCALE}x compression"
+say "SLO gate: $SLO"
+"$tmp/bin/capload" -addr "http://$addr" \
+  -seed "$SEED" -profile "$PROFILE" \
+  -sessions "$SESSIONS" -users "$USERS" -time-scale "$SCALE" \
+  -slo "$SLO" \
+  -report "$tmp/report.json" -timeline "$tmp/timeline.csv"
+rc=$?
+[ "$rc" -eq 0 ] || { say "capload exited $rc"; exit "$rc"; }
+
+python3 - "$tmp/report.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+t = rep["totals"]
+cc = rep["metrics_crosscheck"]
+assert cc["ok"], f"crosscheck failed: {cc}"
+assert t["sessions_completed"] == t["sessions_planned"], \
+    f'{t["sessions_completed"]}/{t["sessions_planned"]} sessions completed'
+lat = rep["batch_latency_ms"]
+print(f'soak: {t["sessions_completed"]}/{t["sessions_planned"]} sessions, '
+      f'{t["events_acked"]} events acked, '
+      f'p50/p95/p99 batch {lat["p50"]}/{lat["p95"]}/{lat["p99"]} ms, '
+      f'open_429={t["open_429"]} budget_429={t["budget_429"]}')
+EOF
+
+# --- Graceful drain under post-soak state. ---
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+pid=""
+[ "$rc" -eq 0 ] || { say "capserve exited $rc on SIGTERM"; cat "$tmp/err.log" >&2; exit 1; }
+grep -q "drained cleanly" "$tmp/err.log" || {
+  say "no clean-drain message"; cat "$tmp/err.log" >&2; exit 1; }
+say "graceful drain OK"
+say "PASS"
