@@ -38,6 +38,7 @@ import (
 	"capred/internal/metrics"
 	"capred/internal/pipeline"
 	"capred/internal/predictor"
+	"capred/internal/predictor/tournament"
 	"capred/internal/prefetch"
 	"capred/internal/sim"
 	"capred/internal/trace"
@@ -90,11 +91,15 @@ type (
 	UpdatePolicy = predictor.UpdatePolicy
 )
 
-// Hybrid components and selector states.
+// Predictor components and selector states.
 const (
-	CompNone   = predictor.CompNone
-	CompStride = predictor.CompStride
-	CompCAP    = predictor.CompCAP
+	CompNone     = predictor.CompNone
+	CompStride   = predictor.CompStride
+	CompCAP      = predictor.CompCAP
+	CompLast     = predictor.CompLast
+	CompMarkov   = predictor.CompMarkov
+	CompDelta2   = predictor.CompDelta2
+	CompCallPath = predictor.CompCallPath
 
 	SelStrongStride = predictor.SelStrongStride
 	SelWeakStride   = predictor.SelWeakStride
@@ -128,6 +133,49 @@ var (
 	DefaultHybridConfig  = predictor.DefaultHybridConfig
 	DefaultControlConfig = predictor.DefaultControlConfig
 	NoCF                 = predictor.NoCF
+)
+
+// Tournament meta-predictor: N-way component arbitration behind the
+// standard Predictor interface. A two-way stride+CAP tournament
+// (NewPaperPairTournament) is decision-identical to NewHybrid; the full
+// lineup (NewFullTournament) adds the Markov stride-history, delta-delta
+// and call-path-context components.
+type (
+	// Tournament is the N-way meta-predictor.
+	Tournament = tournament.Tournament
+	// TournamentConfig sizes the tournament's chooser.
+	TournamentConfig = tournament.Config
+	// TournamentComponent is one tournament entrant (Predict / Resolve /
+	// Squash with per-component opinions).
+	TournamentComponent = tournament.Component
+	// ComponentStat is one component's selection statistics.
+	ComponentStat = tournament.ComponentStat
+	// MarkovConfig configures the Markov stride-history component.
+	MarkovConfig = tournament.MarkovConfig
+	// Delta2Config configures the delta-delta (acceleration) component.
+	Delta2Config = tournament.Delta2Config
+	// CallPathConfig configures the call-path-context component.
+	CallPathConfig = tournament.CallPathConfig
+)
+
+// Tournament constructors.
+var (
+	NewTournament            = tournament.New
+	NewNamedTournament       = tournament.NewNamed
+	NewFullTournament        = tournament.NewFull
+	NewPaperPairTournament   = tournament.NewPaperPair
+	NewTournamentComponent   = tournament.NewComponent
+	TournamentComponentNames = tournament.ComponentNames
+	DefaultTournamentConfig  = tournament.DefaultConfig
+	NewStrideComponent       = predictor.NewStrideComponent
+	NewCAPComponent          = predictor.NewCAPComponent
+	NewLastComponent         = predictor.NewLastComponent
+	NewMarkov                = tournament.NewMarkov
+	NewDelta2                = tournament.NewDelta2
+	NewCallPath              = tournament.NewCallPath
+	DefaultMarkovConfig      = tournament.DefaultMarkovConfig
+	DefaultDelta2Config      = tournament.DefaultDelta2Config
+	DefaultCallPathConfig    = tournament.DefaultCallPathConfig
 )
 
 // Trace model.
@@ -315,6 +363,7 @@ var (
 	RunPrefetch             = sim.Prefetch
 	RunClassCoverage        = sim.ClassCoverage
 	RunWrongPath            = sim.WrongPath
+	RunTournament           = sim.Tournament
 )
 
 // Pipelined operation (§5).

@@ -73,9 +73,25 @@ type sweepReport struct {
 	CacheHits           int64   `json:"cache_hits"`
 }
 
+// predictReport measures end-to-end prediction throughput (RunTrace
+// over a warm replay cursor) for the hybrid and the 5-way tournament.
+// The tournament figure is gated: its per-event cost is the price of
+// the meta-predictor abstraction, and a regression here means the
+// component fan-out or the chooser grew a hot-path cost.
+type predictReport struct {
+	Traces         int     `json:"traces"`
+	EventsPerTrace int64   `json:"events_per_trace"`
+	HybridMEvS     float64 `json:"hybrid_mev_per_s"`
+	TournamentMEvS float64 `json:"tournament_mev_per_s"`
+	// TournamentVsHybrid is the throughput ratio — the slowdown of
+	// arbitrating five components instead of two hard-wired ones.
+	TournamentVsHybrid float64 `json:"tournament_vs_hybrid"`
+}
+
 type report struct {
-	Drain drainReport `json:"drain"`
-	Sweep sweepReport `json:"sweep"`
+	Drain   drainReport   `json:"drain"`
+	Predict predictReport `json:"predict"`
+	Sweep   sweepReport   `json:"sweep"`
 }
 
 func main() {
@@ -92,8 +108,9 @@ func main() {
 	}
 
 	rep := report{
-		Drain: drainBench(*events, *nTraces),
-		Sweep: sweepBench(*events),
+		Drain:   drainBench(*events, *nTraces),
+		Predict: predictBench(*events, *nTraces),
+		Sweep:   sweepBench(*events),
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -116,13 +133,14 @@ func main() {
 		rep.Sweep.ParallelWarmSeconds, rep.Sweep.Workers, rep.Sweep.SpeedupParallel, *out)
 }
 
-// gateDrain is the CI regression gate: it reruns the drain benchmark
-// (best of three, to shave scheduler noise) and fails when the fresh
-// warm-cursor number lands more than drop below the committed
-// baseline's. Only the warm figure gates — it is the one the sweeps
-// actually run at, and the one the SoA pipeline exists to protect; the
-// generator and cold figures move with workload-generation cost, which
-// is not a replay regression.
+// gateDrain is the CI regression gate: it reruns the drain and
+// prediction benchmarks (best of three, to shave scheduler noise) and
+// fails when a fresh number lands more than drop below the committed
+// baseline's. Two figures gate: the warm-cursor drain (the rate the
+// sweeps actually run at, which the SoA pipeline exists to protect) and
+// the tournament prediction throughput (the meta-predictor's hot-path
+// cost). The generator and cold figures move with workload-generation
+// cost, which is not a regression of either.
 func gateDrain(baselinePath string, drop float64, events int64, nTraces int) int {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -152,7 +170,69 @@ func gateDrain(baselinePath string, drop float64, events int64, nTraces int) int
 	}
 	fmt.Printf("benchsweep: gate ok: warm-cursor drain %.1f Mev/s vs baseline %.1f (floor %.1f)\n",
 		fresh, base.Drain.WarmCursorMEvS, floor)
+
+	// Baselines written before the prediction benchmark existed have no
+	// tournament figure; they gate on drain alone.
+	if base.Predict.TournamentMEvS > 0 {
+		var freshT float64
+		for i := 0; i < 3; i++ {
+			if r := predictBench(events, nTraces).TournamentMEvS; r > freshT {
+				freshT = r
+			}
+		}
+		floorT := base.Predict.TournamentMEvS * (1 - drop)
+		if freshT < floorT {
+			fmt.Fprintf(os.Stderr, "benchsweep: gate FAIL: tournament prediction %.1f Mev/s is below %.1f (baseline %.1f - %.0f%%)\n",
+				freshT, floorT, base.Predict.TournamentMEvS, drop*100)
+			return 1
+		}
+		fmt.Printf("benchsweep: gate ok: tournament prediction %.1f Mev/s vs baseline %.1f (floor %.1f)\n",
+			freshT, base.Predict.TournamentMEvS, floorT)
+	}
 	return 0
+}
+
+// predictBench measures RunTrace throughput over warm replay cursors:
+// the hybrid (the paper's configuration) and the full 5-way tournament.
+func predictBench(events int64, nTraces int) predictReport {
+	specs := capred.Traces()
+	if nTraces > 0 && nTraces < len(specs) {
+		specs = specs[:nTraces]
+	}
+	cache := capred.NewReplayCache(0)
+	open := func(s capred.TraceSpec) capred.Source {
+		return cache.Open(s.Name, func() capred.Source { return capred.Limit(s.Open(), events) })
+	}
+	var total int64
+	for _, s := range specs {
+		total += drain(open(s)) // warm the cache so both measurements replay
+	}
+
+	var hybridDur, tourDur time.Duration
+	for _, s := range specs {
+		t0 := time.Now()
+		_, err := capred.RunTrace(open(s), capred.NewHybrid(capred.DefaultHybridConfig()), 0)
+		hybridDur += time.Since(t0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep: predict:", err)
+			os.Exit(1)
+		}
+
+		t0 = time.Now()
+		if _, err := capred.RunTrace(open(s), capred.NewFullTournament(false), 0); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsweep: predict:", err)
+			os.Exit(1)
+		}
+		tourDur += time.Since(t0)
+	}
+	r := predictReport{
+		Traces:         len(specs),
+		EventsPerTrace: events,
+		HybridMEvS:     float64(total) / hybridDur.Seconds() / 1e6,
+		TournamentMEvS: float64(total) / tourDur.Seconds() / 1e6,
+	}
+	r.TournamentVsHybrid = r.TournamentMEvS / r.HybridMEvS
+	return r
 }
 
 // drain pulls every event out of src through the block interface,

@@ -21,6 +21,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"capred"
@@ -243,6 +244,52 @@ func main() {
 			final.Counters, want)
 	}
 	fmt.Println("served counters are bit-identical to offline RunTrace")
+
+	// Same protocol, bigger predictor: a tournament session puts all five
+	// components (stride, CAP, Markov, delta-delta, call-path) behind one
+	// meta-chooser. The wire contract is unchanged — and so is the
+	// bit-for-bit guarantee against the offline path.
+	body, _ = json.Marshal(map[string]any{"predictor": "tournament"})
+	var tsess sessionView
+	if err := c.call("POST", base+"/v1/sessions", body, &tsess); err != nil {
+		log.Fatal(err)
+	}
+	for off := 0; off < len(data); off += chunk {
+		end := min(off+chunk, len(data))
+		url := base + "/v1/sessions/" + tsess.ID + "/events"
+		if err := c.postEvents(url, data[off:end], &last); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var tfinal sessionView
+	if err := c.call("DELETE", base+"/v1/sessions/"+tsess.ID, nil, &tfinal); err != nil {
+		log.Fatal(err)
+	}
+	twant, err := capred.RunTrace(capred.Limit(spec.Open(), events), capred.NewFullTournament(false), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tfinal.Counters != twant {
+		log.Fatalf("tournament session counters diverge from offline RunTrace:\nserved  %+v\noffline %+v",
+			tfinal.Counters, twant)
+	}
+	fmt.Printf("\ntournament session: %6.2f%% correct (%d/%d), bit-identical to offline RunTrace\n",
+		100*float64(tfinal.Counters.Correct)/float64(tfinal.Counters.Loads),
+		tfinal.Counters.Correct, tfinal.Counters.Loads)
+
+	// Every speculative access the session made was attributed to exactly
+	// one winning component on /metrics; show where the chooser spent them.
+	resp0, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scrape, _ := io.ReadAll(resp0.Body)
+	resp0.Body.Close()
+	for _, line := range strings.Split(string(scrape), "\n") {
+		if strings.HasPrefix(line, "capserve_tournament_selected_total{") {
+			fmt.Println("  " + line)
+		}
+	}
 
 	// Now the job queue: submit a registry experiment, poll until done,
 	// fetch the rendered table.

@@ -154,6 +154,44 @@ func TestClientAcceptsHTTPDateRetryAfter(t *testing.T) {
 	}
 }
 
+// TestTournamentSessionMatchesOffline pins the example's tournament
+// claim: a tournament session streamed over the wire in client-sized
+// chunks ends with counters bit-identical to an offline RunTrace over
+// the same events with an identically built tournament.
+func TestTournamentSessionMatchesOffline(t *testing.T) {
+	const n = 20_000
+	base := startServer(t, server.DefaultConfig())
+
+	c := newClient()
+	body, _ := json.Marshal(map[string]any{"predictor": "tournament"})
+	var sess sessionView
+	if err := c.call("POST", base+"/v1/sessions", body, &sess); err != nil {
+		t.Fatal(err)
+	}
+	data := encodeTrace(traceName, n)
+	var last batchView
+	for off := 0; off < len(data); off += chunk {
+		end := min(off+chunk, len(data))
+		if err := c.postEvents(base+"/v1/sessions/"+sess.ID+"/events", data[off:end], &last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var final sessionView
+	if err := c.call("DELETE", base+"/v1/sessions/"+sess.ID, nil, &final); err != nil {
+		t.Fatal(err)
+	}
+
+	spec, _ := capred.TraceByName(traceName)
+	want, err := capred.RunTrace(capred.Limit(spec.Open(), n), capred.NewFullTournament(false), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Counters != want {
+		t.Fatalf("tournament session counters diverge from offline run:\nserved  %+v\noffline %+v",
+			final.Counters, want)
+	}
+}
+
 // TestClientSplitsOversizedBatch: a server with a tiny body bound
 // answers 413; the client must split the batch and deliver every
 // event, ending with counters bit-identical to the offline run.

@@ -19,7 +19,7 @@ import (
 var GoIsolate = &Analyzer{
 	Name:  "goisolate",
 	Doc:   "goroutines in sim/server/dist need panic isolation or a context",
-	Scope: underAny("internal/sim", "internal/server", "internal/dist", "internal/load"),
+	Scope: underAny("internal/sim", "internal/server", "internal/dist", "internal/load", "internal/predictor"),
 	Run:   runGoIsolate,
 }
 

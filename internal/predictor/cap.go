@@ -343,28 +343,73 @@ func (c *capCore) squash(cs *capState) {
 	}
 }
 
-// CAP is the stand-alone correlated context-based address predictor.
-type CAP struct {
+// CAPComponent is the CAP predictor packaged at component granularity
+// — per-load state in its own load buffer over the shared core and
+// global link table — for composition by the tournament meta-predictor.
+// Its Resolve always updates the link table (§4.3 UpdateAlways, the
+// paper's best policy); the cross-component update policies remain a
+// Hybrid-only refinement because they need the other component's
+// outcome.
+type CAPComponent struct {
 	core *capCore
-	lb   *lbTable[capState]
+	lb   *LBTable[capState]
+}
+
+// NewCAPComponent builds the CAP component.
+func NewCAPComponent(cfg CAPConfig) *CAPComponent {
+	return &CAPComponent{
+		core: newCAPCore(cfg),
+		lb:   NewLBTable[capState](cfg.LBEntries, cfg.LBWays),
+	}
+}
+
+// ID identifies the component in Prediction.Selected.
+func (c *CAPComponent) ID() Component { return CompCAP }
+
+// Name returns the component's display name.
+func (c *CAPComponent) Name() string { return "cap" }
+
+// Predict computes the component's opinion for the load, advancing
+// speculative state in speculative mode. The LB entry is allocated at
+// prediction time so in-flight instance counts are exact in pipelined
+// mode.
+func (c *CAPComponent) Predict(ref LoadRef) ComponentPrediction {
+	cs, _ := c.lb.Insert(ref.IP)
+	return c.core.predict(cs, ref)
+}
+
+// Resolve verifies the component's opinion and updates history,
+// confidence and the link table.
+func (c *CAPComponent) Resolve(ref LoadRef, cp ComponentPrediction, speculated bool, actual uint32) {
+	cs, _ := c.lb.Insert(ref.IP)
+	c.core.resolve(cs, cp, speculated, ref, actual, true)
+}
+
+// Squash undoes Predict's in-flight bookkeeping for a flushed
+// prediction (§5.4 wrong-path recovery).
+func (c *CAPComponent) Squash(ref LoadRef, cp ComponentPrediction) {
+	if cs := c.lb.Lookup(ref.IP); cs != nil {
+		c.core.squash(cs)
+	}
+}
+
+// CAP is the stand-alone correlated context-based address predictor:
+// the component wrapped as a full Predictor.
+type CAP struct {
+	comp *CAPComponent
 }
 
 // NewCAP builds a CAP predictor.
 func NewCAP(cfg CAPConfig) *CAP {
-	return &CAP{
-		core: newCAPCore(cfg),
-		lb:   newLBTable[capState](cfg.LBEntries, cfg.LBWays),
-	}
+	return &CAP{comp: NewCAPComponent(cfg)}
 }
 
 // Name implements Predictor.
 func (c *CAP) Name() string { return "cap" }
 
-// Predict implements Predictor. The LB entry is allocated at prediction
-// time so that in-flight instance counts are exact in pipelined mode.
+// Predict implements Predictor.
 func (c *CAP) Predict(ref LoadRef) Prediction {
-	cs, _ := c.lb.insert(ref.IP)
-	cp := c.core.predict(cs, ref)
+	cp := c.comp.Predict(ref)
 	return Prediction{
 		Addr:      cp.Addr,
 		Predicted: cp.Predicted,
@@ -376,16 +421,13 @@ func (c *CAP) Predict(ref LoadRef) Prediction {
 
 // Resolve implements Predictor.
 func (c *CAP) Resolve(ref LoadRef, p Prediction, actual uint32) {
-	cs, _ := c.lb.insert(ref.IP)
-	c.core.resolve(cs, p.CAP, p.Speculate, ref, actual, true)
+	c.comp.Resolve(ref, p.CAP, p.Speculate, actual)
 }
 
 // Squash implements Squasher: the prediction was made on a wrong path and
 // will never resolve.
 func (c *CAP) Squash(ref LoadRef, p Prediction) {
-	if cs := c.lb.lookup(ref.IP); cs != nil {
-		c.core.squash(cs)
-	}
+	c.comp.Squash(ref, p.CAP)
 }
 
 // PredictAhead follows the link-table chain n steps from the load's
@@ -397,22 +439,23 @@ func (c *CAP) Squash(ref LoadRef, p Prediction) {
 // first missing or tag-mismatching link. PredictAhead never mutates
 // predictor state.
 func (c *CAP) PredictAhead(ref LoadRef, n int) []uint32 {
-	cs := c.lb.lookup(ref.IP)
+	core := c.comp.core
+	cs := c.comp.lb.Lookup(ref.IP)
 	if cs == nil {
 		return nil
 	}
 	hist := cs.hist
-	if c.core.cfg.Speculative && cs.specValid {
+	if core.cfg.Speculative && cs.specValid {
 		hist = cs.specHist
 	}
 	out := make([]uint32, 0, n)
 	for i := 0; i < n; i++ {
-		link, ok, tagOK := c.core.ltLookup(hist)
+		link, ok, tagOK := core.ltLookup(hist)
 		if !ok || !tagOK {
 			break
 		}
-		out = append(out, link+c.core.offLow(ref.Offset))
-		hist = c.core.advance(hist, link)
+		out = append(out, link+core.offLow(ref.Offset))
+		hist = core.advance(hist, link)
 	}
 	return out
 }

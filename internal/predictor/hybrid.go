@@ -41,17 +41,25 @@ const (
 	SelStrongCAP
 )
 
-// SelStateName returns a display name for a selector state.
+// SelStateName returns a display name for a hybrid selector state.
 func SelStateName(s uint8) string {
+	return SelStateNameBetween(CompStride, CompCAP, s)
+}
+
+// SelStateNameBetween names a 2-bit selector state arbitrating lo (low
+// counter values prefer it) against hi. The names come from the
+// components' own name table rather than a closed stride/cap switch, so
+// any tournament pairing renders correctly in breakdowns.
+func SelStateNameBetween(lo, hi Component, s uint8) string {
 	switch s {
 	case SelStrongStride:
-		return "strong-stride"
+		return "strong-" + lo.String()
 	case SelWeakStride:
-		return "weak-stride"
+		return "weak-" + lo.String()
 	case SelWeakCAP:
-		return "weak-cap"
+		return "weak-" + hi.String()
 	case SelStrongCAP:
-		return "strong-cap"
+		return "strong-" + hi.String()
 	default:
 		return "invalid"
 	}
@@ -93,7 +101,7 @@ type Hybrid struct {
 	cfg        HybridConfig
 	strideCore strideCore
 	capCore    *capCore
-	lb         *lbTable[hybridEntry]
+	lb         *LBTable[hybridEntry]
 }
 
 // NewHybrid builds a hybrid predictor. The Speculative flag is propagated
@@ -105,7 +113,7 @@ func NewHybrid(cfg HybridConfig) *Hybrid {
 		cfg:        cfg,
 		strideCore: strideCore{cfg: cfg.Stride},
 		capCore:    newCAPCore(cfg.CAP),
-		lb:         newLBTable[hybridEntry](cfg.CAP.LBEntries, cfg.CAP.LBWays),
+		lb:         NewLBTable[hybridEntry](cfg.CAP.LBEntries, cfg.CAP.LBWays),
 	}
 }
 
@@ -115,7 +123,7 @@ func (h *Hybrid) Name() string { return "hybrid" }
 // Predict implements Predictor. The LB entry is allocated at prediction
 // time so that in-flight instance counts are exact in pipelined mode.
 func (h *Hybrid) Predict(ref LoadRef) Prediction {
-	e, existed := h.lb.insert(ref.IP)
+	e, existed := h.lb.Insert(ref.IP)
 	if !existed {
 		e.sel = SelWeakCAP // initial bias towards weak CAP (§4.2)
 	}
@@ -154,7 +162,7 @@ func (h *Hybrid) selectCAP(sel uint8) bool {
 
 // Resolve implements Predictor.
 func (h *Hybrid) Resolve(ref LoadRef, p Prediction, actual uint32) {
-	e, existed := h.lb.insert(ref.IP)
+	e, existed := h.lb.Insert(ref.IP)
 	if !existed {
 		e.sel = SelWeakCAP // initial bias towards weak CAP (§4.2)
 	}
@@ -189,7 +197,7 @@ func (h *Hybrid) Resolve(ref LoadRef, p Prediction, actual uint32) {
 // Squash implements Squasher: both components drop the flushed in-flight
 // prediction (§5.4 wrong-path recovery).
 func (h *Hybrid) Squash(ref LoadRef, p Prediction) {
-	e := h.lb.lookup(ref.IP)
+	e := h.lb.Lookup(ref.IP)
 	if e == nil {
 		return
 	}

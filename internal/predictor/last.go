@@ -21,37 +21,43 @@ type lastEntry struct {
 	conf uint8
 }
 
-// Last is the last-address predictor: it speculates that a static load's
-// next address equals its previous one.
-type Last struct {
+// LastComponent is the last-address predictor at component granularity
+// for composition by the tournament meta-predictor. Predict reads the
+// architectural last address without mutating table contents, so the
+// component is sound under a prediction gap as well: there is simply no
+// speculative state to maintain or squash.
+type LastComponent struct {
 	cfg LastConfig
-	lb  *lbTable[lastEntry]
+	lb  *LBTable[lastEntry]
 }
 
-// NewLast builds a last-address predictor.
-func NewLast(cfg LastConfig) *Last {
-	return &Last{cfg: cfg, lb: newLBTable[lastEntry](cfg.Entries, cfg.Ways)}
+// NewLastComponent builds the last-address component.
+func NewLastComponent(cfg LastConfig) *LastComponent {
+	return &LastComponent{cfg: cfg, lb: NewLBTable[lastEntry](cfg.Entries, cfg.Ways)}
 }
 
-// Name implements Predictor.
-func (l *Last) Name() string { return "last" }
+// ID identifies the component in Prediction.Selected.
+func (l *LastComponent) ID() Component { return CompLast }
 
-// Predict implements Predictor.
-func (l *Last) Predict(ref LoadRef) Prediction {
-	e := l.lb.lookup(ref.IP)
+// Name returns the component's display name.
+func (l *LastComponent) Name() string { return "last" }
+
+// Predict computes the component's opinion for the load.
+func (l *LastComponent) Predict(ref LoadRef) ComponentPrediction {
+	e := l.lb.Lookup(ref.IP)
 	if e == nil || !e.have {
-		return Prediction{}
+		return ComponentPrediction{}
 	}
-	return Prediction{
+	return ComponentPrediction{
 		Addr:      e.last,
 		Predicted: true,
-		Speculate: e.conf >= l.cfg.ConfThreshold,
+		Confident: e.conf >= l.cfg.ConfThreshold,
 	}
 }
 
-// Resolve implements Predictor.
-func (l *Last) Resolve(ref LoadRef, p Prediction, actual uint32) {
-	e, _ := l.lb.insert(ref.IP)
+// Resolve updates the last address and its confidence counter.
+func (l *LastComponent) Resolve(ref LoadRef, cp ComponentPrediction, speculated bool, actual uint32) {
+	e, _ := l.lb.Insert(ref.IP)
 	if e.have && e.last == actual {
 		e.conf = satInc(e.conf, l.cfg.ConfMax)
 	} else {
@@ -59,4 +65,40 @@ func (l *Last) Resolve(ref LoadRef, p Prediction, actual uint32) {
 	}
 	e.last = actual
 	e.have = true
+}
+
+// Squash is a no-op: Predict leaves no in-flight bookkeeping behind.
+func (l *LastComponent) Squash(ref LoadRef, cp ComponentPrediction) {}
+
+// Last is the last-address predictor: it speculates that a static load's
+// next address equals its previous one. It is the component wrapped as
+// a full Predictor.
+type Last struct {
+	comp *LastComponent
+}
+
+// NewLast builds a last-address predictor.
+func NewLast(cfg LastConfig) *Last {
+	return &Last{comp: NewLastComponent(cfg)}
+}
+
+// Name implements Predictor.
+func (l *Last) Name() string { return "last" }
+
+// Predict implements Predictor.
+func (l *Last) Predict(ref LoadRef) Prediction {
+	cp := l.comp.Predict(ref)
+	if !cp.Predicted {
+		return Prediction{}
+	}
+	return Prediction{
+		Addr:      cp.Addr,
+		Predicted: true,
+		Speculate: cp.Confident,
+	}
+}
+
+// Resolve implements Predictor.
+func (l *Last) Resolve(ref LoadRef, p Prediction, actual uint32) {
+	l.comp.Resolve(ref, ComponentPrediction{}, false, actual)
 }

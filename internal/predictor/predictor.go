@@ -27,27 +27,43 @@ type LoadRef struct {
 	Path   uint32 // snapshot of the call-path history register
 }
 
-// Component identifies which side of a hybrid predictor produced an
-// address.
+// Component identifies which component predictor produced an address.
+// The zero value means none; values beyond the paper's hybrid pair name
+// the tournament entrants (internal/predictor/tournament).
 type Component uint8
 
-// Components of the hybrid predictor.
+// Component predictors known to the package and its composers.
 const (
 	CompNone Component = iota
 	CompStride
 	CompCAP
+	CompLast
+	CompMarkov
+	CompDelta2
+	CompCallPath
+	numComponents // sentinel; keep last
 )
+
+// componentNames is the single open name table: every display surface —
+// classification breakdowns, selector-state names, /metrics labels —
+// derives component names from here (via the component's own ID) rather
+// than a closed stride/cap switch, so new entrants render correctly.
+var componentNames = [numComponents]string{
+	CompNone:     "none",
+	CompStride:   "stride",
+	CompCAP:      "cap",
+	CompLast:     "last",
+	CompMarkov:   "markov",
+	CompDelta2:   "delta2",
+	CompCallPath: "callpath",
+}
 
 // String returns the component name.
 func (c Component) String() string {
-	switch c {
-	case CompStride:
-		return "stride"
-	case CompCAP:
-		return "cap"
-	default:
-		return "none"
+	if int(c) < len(componentNames) {
+		return componentNames[c]
 	}
+	return "invalid"
 }
 
 // ComponentPrediction is one side's opinion inside a hybrid prediction.

@@ -179,33 +179,75 @@ func (c *strideCore) squash(st *strideState) {
 	}
 }
 
-// Stride is the stand-alone stride predictor.
-type Stride struct {
+// StrideComponent is the stride predictor packaged at component
+// granularity — per-load state in its own load buffer over the shared
+// core — for composition by the tournament meta-predictor
+// (internal/predictor/tournament). The stand-alone Stride predictor is
+// the same component wrapped as a full Predictor.
+type StrideComponent struct {
 	core strideCore
-	lb   *lbTable[strideState]
+	lb   *LBTable[strideState]
 }
 
-// NewStride builds a stride predictor.
-func NewStride(cfg StrideConfig) *Stride {
-	return &Stride{
+// NewStrideComponent builds the stride component.
+func NewStrideComponent(cfg StrideConfig) *StrideComponent {
+	return &StrideComponent{
 		core: strideCore{cfg: cfg},
-		lb:   newLBTable[strideState](cfg.Entries, cfg.Ways),
+		lb:   NewLBTable[strideState](cfg.Entries, cfg.Ways),
 	}
 }
 
-// Name implements Predictor.
-func (s *Stride) Name() string {
+// ID identifies the component in Prediction.Selected.
+func (s *StrideComponent) ID() Component { return CompStride }
+
+// Name returns the component's display name.
+func (s *StrideComponent) Name() string {
 	if s.core.cfg.Interval || s.core.cfg.CF.enabled() {
 		return "stride+"
 	}
 	return "stride"
 }
 
-// Predict implements Predictor. The LB entry is allocated at prediction
-// time so that in-flight instance counts are exact in pipelined mode.
+// Predict computes the component's opinion for the load, advancing
+// speculative state in speculative mode. The LB entry is allocated at
+// prediction time so in-flight instance counts are exact in pipelined
+// mode.
+func (s *StrideComponent) Predict(ref LoadRef) ComponentPrediction {
+	st, _ := s.lb.Insert(ref.IP)
+	return s.core.predict(st, ref)
+}
+
+// Resolve verifies the component's opinion and updates its tables.
+func (s *StrideComponent) Resolve(ref LoadRef, cp ComponentPrediction, speculated bool, actual uint32) {
+	st, _ := s.lb.Insert(ref.IP)
+	s.core.resolve(st, cp, speculated, ref, actual)
+}
+
+// Squash undoes Predict's in-flight bookkeeping for a flushed
+// prediction (§5.4 wrong-path recovery).
+func (s *StrideComponent) Squash(ref LoadRef, cp ComponentPrediction) {
+	if st := s.lb.Lookup(ref.IP); st != nil {
+		s.core.squash(st)
+	}
+}
+
+// Stride is the stand-alone stride predictor: the component wrapped as
+// a full Predictor.
+type Stride struct {
+	comp *StrideComponent
+}
+
+// NewStride builds a stride predictor.
+func NewStride(cfg StrideConfig) *Stride {
+	return &Stride{comp: NewStrideComponent(cfg)}
+}
+
+// Name implements Predictor.
+func (s *Stride) Name() string { return s.comp.Name() }
+
+// Predict implements Predictor.
 func (s *Stride) Predict(ref LoadRef) Prediction {
-	st, _ := s.lb.insert(ref.IP)
-	cp := s.core.predict(st, ref)
+	cp := s.comp.Predict(ref)
 	return Prediction{
 		Addr:      cp.Addr,
 		Predicted: cp.Predicted,
@@ -217,14 +259,11 @@ func (s *Stride) Predict(ref LoadRef) Prediction {
 
 // Resolve implements Predictor.
 func (s *Stride) Resolve(ref LoadRef, p Prediction, actual uint32) {
-	st, _ := s.lb.insert(ref.IP)
-	s.core.resolve(st, p.Stride, p.Speculate, ref, actual)
+	s.comp.Resolve(ref, p.Stride, p.Speculate, actual)
 }
 
 // Squash implements Squasher: the prediction was made on a wrong path and
 // will never resolve.
 func (s *Stride) Squash(ref LoadRef, p Prediction) {
-	if st := s.lb.lookup(ref.IP); st != nil {
-		s.core.squash(st)
-	}
+	s.comp.Squash(ref, p.Stride)
 }

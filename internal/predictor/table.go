@@ -1,10 +1,12 @@
 package predictor
 
-// lbTable is a generic set-associative table indexed and tagged by static
+// LBTable is a generic set-associative table indexed and tagged by static
 // instruction address, with true-LRU replacement inside each set. All the
 // load buffers in this package (last-address, stride, CAP, hybrid) are
-// instances of it.
-type lbTable[T any] struct {
+// instances of it. It is exported so composing packages — the tournament
+// meta-predictor's chooser table — share the exact allocation and LRU
+// discipline of the in-package load buffers.
+type LBTable[T any] struct {
 	sets     int
 	ways     int
 	setLow   uint // bits to shift IP before set selection
@@ -20,16 +22,16 @@ type lbSlot[T any] struct {
 	val   T
 }
 
-// newLBTable builds a table with the given total entry count and
+// NewLBTable builds a table with the given total entry count and
 // associativity; both must be powers of two with entries ≥ ways.
-func newLBTable[T any](entries, ways int) *lbTable[T] {
+func NewLBTable[T any](entries, ways int) *LBTable[T] {
 	checkPow2("LB entries", entries)
 	checkPow2("LB ways", ways)
 	if ways > entries {
 		panic("predictor: LB ways exceed entries")
 	}
 	sets := entries / ways
-	return &lbTable[T]{
+	return &LBTable[T]{
 		sets:     sets,
 		ways:     ways,
 		setLow:   2, // instructions are 4-byte aligned in our traces
@@ -39,16 +41,16 @@ func newLBTable[T any](entries, ways int) *lbTable[T] {
 	}
 }
 
-func (t *lbTable[T]) set(ip uint32) int {
+func (t *LBTable[T]) set(ip uint32) int {
 	return int((ip >> t.setLow) & t.setMask)
 }
 
-func (t *lbTable[T]) tag(ip uint32) uint32 {
+func (t *LBTable[T]) tag(ip uint32) uint32 {
 	return ip >> t.tagShift
 }
 
-// lookup returns the entry for ip, or nil on a miss. A hit refreshes LRU.
-func (t *lbTable[T]) lookup(ip uint32) *T {
+// Lookup returns the entry for ip, or nil on a miss. A hit refreshes LRU.
+func (t *LBTable[T]) Lookup(ip uint32) *T {
 	base := t.set(ip) * t.ways
 	tag := t.tag(ip)
 	for i := base; i < base+t.ways; i++ {
@@ -61,9 +63,9 @@ func (t *lbTable[T]) lookup(ip uint32) *T {
 	return nil
 }
 
-// insert returns the entry for ip, allocating (and evicting the LRU way)
+// Insert returns the entry for ip, allocating (and evicting the LRU way)
 // if absent. The second result is true when the entry already existed.
-func (t *lbTable[T]) insert(ip uint32) (*T, bool) {
+func (t *LBTable[T]) Insert(ip uint32) (*T, bool) {
 	base := t.set(ip) * t.ways
 	tag := t.tag(ip)
 	victim := base
@@ -89,7 +91,7 @@ func (t *lbTable[T]) insert(ip uint32) (*T, bool) {
 }
 
 // touch marks slot i most recently used within its set.
-func (t *lbTable[T]) touch(base, i int) {
+func (t *LBTable[T]) touch(base, i int) {
 	for j := base; j < base+t.ways; j++ {
 		if t.slots[j].valid {
 			t.slots[j].age++
@@ -99,4 +101,4 @@ func (t *lbTable[T]) touch(base, i int) {
 }
 
 // entries returns the table capacity.
-func (t *lbTable[T]) entries() int { return t.sets * t.ways }
+func (t *LBTable[T]) Entries() int { return t.sets * t.ways }

@@ -6,24 +6,24 @@ import (
 )
 
 func TestLBTableLookupMiss(t *testing.T) {
-	tb := newLBTable[int](16, 2)
-	if tb.lookup(0x1000) != nil {
+	tb := NewLBTable[int](16, 2)
+	if tb.Lookup(0x1000) != nil {
 		t.Error("lookup on empty table should miss")
 	}
 }
 
 func TestLBTableInsertAndLookup(t *testing.T) {
-	tb := newLBTable[int](16, 2)
-	v, existed := tb.insert(0x1000)
+	tb := NewLBTable[int](16, 2)
+	v, existed := tb.Insert(0x1000)
 	if existed {
 		t.Error("first insert should not report existing")
 	}
 	*v = 42
-	got := tb.lookup(0x1000)
+	got := tb.Lookup(0x1000)
 	if got == nil || *got != 42 {
 		t.Fatalf("lookup after insert = %v, want 42", got)
 	}
-	v2, existed := tb.insert(0x1000)
+	v2, existed := tb.Insert(0x1000)
 	if !existed || *v2 != 42 {
 		t.Error("second insert should find the existing entry")
 	}
@@ -32,36 +32,36 @@ func TestLBTableInsertAndLookup(t *testing.T) {
 func TestLBTableLRUEviction(t *testing.T) {
 	// 4 entries, 2 ways -> 2 sets. IPs in the same set: set bits are
 	// (ip>>2)&1, so ip=0, 8, 16 share set 0.
-	tb := newLBTable[int](4, 2)
-	a, _ := tb.insert(0)
+	tb := NewLBTable[int](4, 2)
+	a, _ := tb.Insert(0)
 	*a = 1
-	b, _ := tb.insert(8)
+	b, _ := tb.Insert(8)
 	*b = 2
 	// Touch 0 so 8 becomes LRU.
-	if tb.lookup(0) == nil {
+	if tb.Lookup(0) == nil {
 		t.Fatal("entry 0 vanished")
 	}
-	c, _ := tb.insert(16)
+	c, _ := tb.Insert(16)
 	*c = 3
-	if tb.lookup(8) != nil {
+	if tb.Lookup(8) != nil {
 		t.Error("LRU entry (ip 8) should have been evicted")
 	}
-	if got := tb.lookup(0); got == nil || *got != 1 {
+	if got := tb.Lookup(0); got == nil || *got != 1 {
 		t.Error("MRU entry (ip 0) should have survived")
 	}
-	if got := tb.lookup(16); got == nil || *got != 3 {
+	if got := tb.Lookup(16); got == nil || *got != 3 {
 		t.Error("new entry (ip 16) missing")
 	}
 }
 
 func TestLBTableEvictedEntryIsZeroed(t *testing.T) {
-	tb := newLBTable[int](2, 2)
-	a, _ := tb.insert(0)
+	tb := NewLBTable[int](2, 2)
+	a, _ := tb.Insert(0)
 	*a = 7
-	b, _ := tb.insert(8)
+	b, _ := tb.Insert(8)
 	*b = 8
 	// Set is full; inserting a third evicts LRU (ip 0).
-	c, existed := tb.insert(16)
+	c, existed := tb.Insert(16)
 	if existed {
 		t.Error("insert after eviction should report new entry")
 	}
@@ -71,13 +71,13 @@ func TestLBTableEvictedEntryIsZeroed(t *testing.T) {
 }
 
 func TestLBTableDirectMapped(t *testing.T) {
-	tb := newLBTable[int](4, 1)
-	v, _ := tb.insert(0x100)
+	tb := NewLBTable[int](4, 1)
+	v, _ := tb.Insert(0x100)
 	*v = 5
 	// 0x100>>2 = 0x40, set = 0x40 & 3 = 0; conflicting ip maps same set:
 	conflict := uint32(0x100 + 4*4) // next multiple landing in set 0
-	tb.insert(conflict)
-	if tb.lookup(0x100) != nil {
+	tb.Insert(conflict)
+	if tb.Lookup(0x100) != nil {
 		t.Error("direct-mapped conflict should evict")
 	}
 }
@@ -87,10 +87,10 @@ func TestLBTableGeometryPanics(t *testing.T) {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("newLBTable(%d,%d) did not panic", g.e, g.w)
+					t.Errorf("NewLBTable(%d,%d) did not panic", g.e, g.w)
 				}
 			}()
-			newLBTable[int](g.e, g.w)
+			NewLBTable[int](g.e, g.w)
 		}()
 	}
 }
@@ -99,16 +99,16 @@ func TestLBTableGeometryPanics(t *testing.T) {
 // by a conflicting insert), and distinct tags never alias.
 func TestLBTableNoFalseHits(t *testing.T) {
 	f := func(ips []uint32) bool {
-		tb := newLBTable[uint32](64, 2)
+		tb := NewLBTable[uint32](64, 2)
 		written := make(map[uint32]uint32)
 		for _, ip := range ips {
-			v, _ := tb.insert(ip)
+			v, _ := tb.Insert(ip)
 			*v = ip
 			written[ip] = ip
 		}
 		// Any hit must return the value written for exactly that IP.
 		for ip := range written {
-			if got := tb.lookup(ip); got != nil && *got != ip {
+			if got := tb.Lookup(ip); got != nil && *got != ip {
 				return false
 			}
 		}
@@ -120,7 +120,7 @@ func TestLBTableNoFalseHits(t *testing.T) {
 }
 
 func TestLBTableEntries(t *testing.T) {
-	if got := newLBTable[int](4096, 2).entries(); got != 4096 {
+	if got := NewLBTable[int](4096, 2).Entries(); got != 4096 {
 		t.Errorf("entries() = %d, want 4096", got)
 	}
 }

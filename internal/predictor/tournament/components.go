@@ -1,0 +1,98 @@
+package tournament
+
+import (
+	"fmt"
+
+	"capred/internal/predictor"
+)
+
+// ComponentNames lists every component NewComponent can build, in
+// canonical order. capserve validates session configs against this
+// list and pre-registers /metrics series from it.
+func ComponentNames() []string {
+	return []string{"stride", "cap", "last", "markov", "delta2", "callpath"}
+}
+
+// DefaultComponents is the full production lineup: the paper's hybrid
+// pair plus the three new entrants.
+func DefaultComponents() []string {
+	return []string{"stride", "cap", "markov", "delta2", "callpath"}
+}
+
+// NewComponent builds the named component with its default
+// configuration for the given discipline. The names are the components'
+// own Name() values — one open namespace shared with the
+// predictor.Component table, not a parallel enum.
+func NewComponent(name string, speculative bool) (Component, error) {
+	switch name {
+	case "stride":
+		cfg := predictor.DefaultStrideConfig()
+		cfg.Speculative = speculative
+		return predictor.NewStrideComponent(cfg), nil
+	case "cap":
+		cfg := predictor.DefaultCAPConfig()
+		cfg.Speculative = speculative
+		return predictor.NewCAPComponent(cfg), nil
+	case "last":
+		return predictor.NewLastComponent(predictor.DefaultLastConfig()), nil
+	case "markov":
+		cfg := DefaultMarkovConfig()
+		cfg.Speculative = speculative
+		return NewMarkov(cfg), nil
+	case "delta2":
+		cfg := DefaultDelta2Config()
+		cfg.Speculative = speculative
+		return NewDelta2(cfg), nil
+	case "callpath":
+		cfg := DefaultCallPathConfig()
+		cfg.Speculative = speculative
+		return NewCallPath(cfg), nil
+	}
+	return nil, fmt.Errorf("tournament: unknown component %q", name)
+}
+
+// NewNamed builds a tournament over the named components in order,
+// each with its default configuration.
+func NewNamed(cfg Config, speculative bool, names ...string) (*Tournament, error) {
+	cfg.Speculative = speculative
+	comps := make([]Component, 0, len(names))
+	for _, n := range names {
+		c, err := NewComponent(n, speculative)
+		if err != nil {
+			return nil, err
+		}
+		comps = append(comps, c)
+	}
+	return New(cfg, comps...), nil
+}
+
+// NewFull builds the default 5-way tournament (DefaultComponents over
+// the default chooser).
+func NewFull(speculative bool) *Tournament {
+	t, err := NewNamed(DefaultConfig(), speculative, DefaultComponents()...)
+	if err != nil {
+		panic(err) // unreachable: DefaultComponents are all known
+	}
+	return t
+}
+
+// NewPaperPair builds the two-way stride+CAP tournament that is
+// decision-identical to predictor.NewHybrid(DefaultHybridConfig()):
+// same component configurations, chooser geometry equal to the shared
+// load buffer, counter ceiling 3, and the (1,2) initial vector whose
+// constant sum maps the counter pair 1:1 onto the hybrid's 2-bit
+// selector. FuzzTournamentSelector holds this equivalence down to
+// selector state and chosen component.
+func NewPaperPair(speculative bool) *Tournament {
+	hc := predictor.DefaultHybridConfig()
+	cfg := Config{
+		Entries:    hc.CAP.LBEntries,
+		Ways:       hc.CAP.LBWays,
+		CounterMax: 3,
+	}
+	t, err := NewNamed(cfg, speculative, "stride", "cap")
+	if err != nil {
+		panic(err) // unreachable
+	}
+	return t
+}

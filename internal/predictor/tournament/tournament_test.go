@@ -1,0 +1,428 @@
+package tournament
+
+import (
+	"strings"
+	"testing"
+
+	"capred/internal/predictor"
+)
+
+// feed resolves one address through a component in immediate mode:
+// predict, then resolve with the actual, returning the prediction.
+func feed(c Component, ip, addr uint32) predictor.ComponentPrediction {
+	ref := predictor.LoadRef{IP: ip}
+	cp := c.Predict(ref)
+	c.Resolve(ref, cp, false, addr)
+	return cp
+}
+
+func TestMarkovWarmupAndPattern(t *testing.T) {
+	cfg := DefaultMarkovConfig()
+	m := NewMarkov(cfg)
+
+	// A repeating +8,+8,+120 stride pattern (array-of-structs walk).
+	strides := []uint32{8, 8, 120}
+	addr := uint32(0x1000)
+	var got []predictor.ComponentPrediction
+	for i := 0; i < 30; i++ {
+		got = append(got, feed(m, 0x40, addr))
+		addr += strides[i%len(strides)]
+	}
+
+	// Warm-up: the first occurrence establishes last, the next HistLen
+	// fill the history, and training starts only after that — so no
+	// table hit is possible before 2*HistLen+1 occurrences (the pattern
+	// period must also repeat once for the trained entry to be reused).
+	for i := 0; i <= 2*cfg.HistLen; i++ {
+		if got[i].Predicted {
+			t.Fatalf("occurrence %d: predicted during warm-up", i)
+		}
+	}
+	// Steady state: every stride in the period is predicted exactly.
+	// (The prediction at occurrence i is for a_i itself — the address
+	// the load is about to produce.)
+	addrCheck := uint32(0x1000)
+	for i := 0; i < 30; i++ {
+		if i >= 3*len(strides) {
+			if !got[i].Predicted || got[i].Addr != addrCheck {
+				t.Fatalf("occurrence %d: got %+v, want predicted addr %#x", i, got[i], addrCheck)
+			}
+		}
+		addrCheck += strides[i%len(strides)]
+	}
+	// Confidence saturates on the repeating pattern.
+	cp := m.Predict(predictor.LoadRef{IP: 0x40})
+	if !cp.Confident {
+		t.Fatalf("steady-state Markov prediction not confident: %+v", cp)
+	}
+}
+
+// TestMarkovTagRejectsAliases finds two single-stride histories that
+// collide on the table index but differ in tag, and checks that the
+// tag match turns cross-load pollution into a quiet miss.
+func TestMarkovTagRejectsAliases(t *testing.T) {
+	cfg := MarkovConfig{
+		Entries: 64, Ways: 2,
+		TableEntries: 16, TagBits: 8,
+		HistLen: 1, ConfMax: 3, ConfThreshold: 2,
+	}
+	m := NewMarkov(cfg)
+
+	// Search stride space for an index collision with distinct tags,
+	// using the component's own hash so the test tracks the geometry.
+	histOf := func(s int32) uint32 { return m.advance(0, s) }
+	var sA, sB int32 = -1, -1
+	idxA, tagA := m.split(histOf(64))
+outer:
+	for s := int32(68); s < 1<<20; s += 4 {
+		idx, tag := m.split(histOf(s))
+		if idx == idxA && tag != tagA {
+			sA, sB = 64, s
+			break outer
+		}
+	}
+	if sB < 0 {
+		t.Fatal("no colliding stride pair found; geometry changed?")
+	}
+
+	// Load A trains: history(sA) → next stride sA (constant stride).
+	addr := uint32(0x1000)
+	for i := 0; i < 8; i++ {
+		feed(m, 0x10, addr)
+		addr += uint32(sA)
+	}
+	if cp := m.Predict(predictor.LoadRef{IP: 0x10}); !cp.Predicted {
+		t.Fatalf("load A not predicting after training: %+v", cp)
+	}
+
+	// Load B reaches the same table index with a different tag. Two
+	// occurrences make B warm (one stride in its history) without yet
+	// training its own table entry, so the lookup lands on load A's
+	// entry — and must get a miss (no prediction), not load A's stride.
+	addr = uint32(0x8000)
+	for i := 0; i < 2; i++ {
+		feed(m, 0x20, addr)
+		addr += uint32(sB)
+	}
+	cp := m.Predict(predictor.LoadRef{IP: 0x20})
+	if cp.Predicted {
+		t.Fatalf("tag failed to reject alias: load B predicted %+v (load A's entry)", cp)
+	}
+
+	// With tagging disabled the same collision silently serves load A's
+	// stride to load B — the pollution the tag exists to stop.
+	cfg.TagBits = 0
+	m = NewMarkov(cfg)
+	// Geometry changed (tag bits folded out of the history); re-find a
+	// colliding pair by index only.
+	idxA, _ = m.split(m.advance(0, 64))
+	sB = -1
+	for s := int32(68); s < 1<<20; s += 4 {
+		if idx, _ := m.split(m.advance(0, s)); idx == idxA {
+			sB = s
+			break
+		}
+	}
+	if sB < 0 {
+		t.Fatal("no untagged collision found")
+	}
+	addr = 0x1000
+	for i := 0; i < 8; i++ {
+		feed(m, 0x10, addr)
+		addr += 64
+	}
+	addr = 0x8000
+	for i := 0; i < 2; i++ {
+		feed(m, 0x20, addr)
+		addr += uint32(sB)
+	}
+	cp = m.Predict(predictor.LoadRef{IP: 0x20})
+	if !cp.Predicted || cp.Addr != addr-uint32(sB)+64 {
+		t.Fatalf("untagged alias should serve load A's stride 64: %+v", cp)
+	}
+}
+
+func TestDelta2Quadratic(t *testing.T) {
+	d := NewDelta2(DefaultDelta2Config())
+
+	// addr(n) = 4n² + 100: first difference 4(2n-1), second difference
+	// constant 8. A stride predictor never converges on this stream; the
+	// acceleration predictor is exact from the third occurrence on.
+	addrAt := func(n uint32) uint32 { return 4*n*n + 100 }
+	for n := uint32(0); n < 20; n++ {
+		cp := feed(d, 0x80, addrAt(n))
+		switch {
+		case n < 3:
+			if cp.Predicted {
+				t.Fatalf("n=%d: predicted during warm-up: %+v", n, cp)
+			}
+		default:
+			if !cp.Predicted || cp.Addr != addrAt(n) {
+				t.Fatalf("n=%d: got %+v, want exact %#x", n, cp, addrAt(n))
+			}
+		}
+		if n == 19 && !cp.Confident {
+			t.Fatalf("n=%d: still not confident on exact stream", n)
+		}
+	}
+
+	// A discontinuity resets the difference chain; two further
+	// occurrences re-establish Δ and ΔΔ and the fourth is exact again.
+	jump := []uint32{0x9000_0000, 0x9000_0010, 0x9000_0030, 0x9000_0060, 0x9000_00a0}
+	for i, a := range jump {
+		cp := feed(d, 0x80, a)
+		if i == len(jump)-1 && (!cp.Predicted || cp.Addr != a) {
+			t.Fatalf("post-jump occurrence %d: got %+v, want exact %#x", i, cp, a)
+		}
+	}
+}
+
+// TestDelta2SpeculativeCatchUp drives the speculative discipline by
+// hand: predictions run GAP ahead of resolutions, and after the window
+// fills every prediction of the quadratic stream must still be exact —
+// the closed-form catch-up, not re-warm-up, keeps the chain aligned.
+func TestDelta2SpeculativeCatchUp(t *testing.T) {
+	cfg := DefaultDelta2Config()
+	cfg.Speculative = true
+	d := NewDelta2(cfg)
+	ref := predictor.LoadRef{IP: 0x80}
+	addrAt := func(n uint32) uint32 { return 8*n*n + 3*n }
+
+	const gap = 4
+	var q []predictor.ComponentPrediction
+	for n := uint32(0); n < 40; n++ {
+		if len(q) == gap {
+			d.Resolve(ref, q[0], false, addrAt(n-gap))
+			q = q[1:]
+		}
+		cp := d.Predict(ref)
+		if n >= 3+gap && (!cp.Predicted || cp.Addr != addrAt(n)) {
+			t.Fatalf("n=%d: speculative prediction %+v, want exact %#x", n, cp, addrAt(n))
+		}
+		q = append(q, cp)
+	}
+}
+
+func TestCallPathContexts(t *testing.T) {
+	cfg := CallPathConfig{TableEntries: 64, TagBits: 8, PathBits: 12, ConfMax: 3, ConfThreshold: 2}
+	c := NewCallPath(cfg)
+
+	// One static load reached through two call paths returns two
+	// different addresses; the context keeps the entries apart (the
+	// §3.6 win case), provided the two hashes land on distinct indices.
+	refA := predictor.LoadRef{IP: 0x40, Path: 0x111}
+	refB := predictor.LoadRef{IP: 0x40, Path: 0x222}
+	idxA, _ := c.split(c.hash(refA))
+	idxB, _ := c.split(c.hash(refB))
+	if idxA == idxB {
+		t.Fatalf("test paths collide (idx %d); pick different path values", idxA)
+	}
+	for i := 0; i < 4; i++ {
+		c.Resolve(refA, predictor.ComponentPrediction{}, false, 0xAAAA)
+		c.Resolve(refB, predictor.ComponentPrediction{}, false, 0xBBBB)
+	}
+	if cp := c.Predict(refA); !cp.Predicted || cp.Addr != 0xAAAA || !cp.Confident {
+		t.Fatalf("context A: %+v, want confident 0xAAAA", cp)
+	}
+	if cp := c.Predict(refB); !cp.Predicted || cp.Addr != 0xBBBB || !cp.Confident {
+		t.Fatalf("context B: %+v, want confident 0xBBBB", cp)
+	}
+}
+
+// TestCallPathHashCollisions constructs two contexts that share a table
+// index and checks both tag behaviors: distinct tags → miss, equal full
+// hash after takeover → confidence restarts from zero.
+func TestCallPathHashCollisions(t *testing.T) {
+	cfg := CallPathConfig{TableEntries: 16, TagBits: 8, PathBits: 12, ConfMax: 3, ConfThreshold: 2}
+	c := NewCallPath(cfg)
+
+	refA := predictor.LoadRef{IP: 0x40, Path: 0}
+	idxA, tagA := c.split(c.hash(refA))
+	var refB predictor.LoadRef
+	found := false
+	for p := uint32(1); p < 1<<uint(cfg.PathBits); p++ {
+		r := predictor.LoadRef{IP: 0x40, Path: p}
+		if idx, tag := c.split(c.hash(r)); idx == idxA && tag != tagA {
+			refB, found = r, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no tag-distinct index collision in path space; geometry changed?")
+	}
+
+	// Train context A to confidence.
+	for i := 0; i < 4; i++ {
+		c.Resolve(refA, predictor.ComponentPrediction{}, false, 0xAAAA)
+	}
+	// Context B collides on the index but not the tag: miss, not 0xAAAA.
+	if cp := c.Predict(refB); cp.Predicted {
+		t.Fatalf("tag failed to reject colliding context: %+v", cp)
+	}
+	// B resolves once: it takes the entry over with confidence reset...
+	c.Resolve(refB, predictor.ComponentPrediction{}, false, 0xBBBB)
+	if cp := c.Predict(refB); !cp.Predicted || cp.Addr != 0xBBBB || cp.Confident {
+		t.Fatalf("takeover: %+v, want unconfident 0xBBBB", cp)
+	}
+	// ...and A is now the one missing on the tag.
+	if cp := c.Predict(refA); cp.Predicted {
+		t.Fatalf("evicted context A still predicting: %+v", cp)
+	}
+}
+
+// scripted is a stub component for chooser unit tests: it replays a
+// fixed opinion and records what Resolve told it.
+type scripted struct {
+	id      predictor.Component
+	op      predictor.ComponentPrediction
+	gotSpec []bool
+}
+
+func (s *scripted) ID() predictor.Component { return s.id }
+func (s *scripted) Name() string            { return s.id.String() }
+func (s *scripted) Predict(predictor.LoadRef) predictor.ComponentPrediction {
+	return s.op
+}
+func (s *scripted) Resolve(_ predictor.LoadRef, cp predictor.ComponentPrediction, speculated bool, _ uint32) {
+	s.gotSpec = append(s.gotSpec, speculated)
+}
+func (s *scripted) Squash(predictor.LoadRef, predictor.ComponentPrediction) {}
+
+func TestChooserFallbackOrder(t *testing.T) {
+	// Three components, none confident: the chooser must fall back in
+	// descending-initial-counter order (markov init 3 outranks the
+	// others), and the prediction must not speculate.
+	a := &scripted{id: predictor.CompStride, op: predictor.ComponentPrediction{Addr: 1, Predicted: true}}
+	b := &scripted{id: predictor.CompMarkov, op: predictor.ComponentPrediction{Addr: 2, Predicted: true}}
+	c := &scripted{id: predictor.CompDelta2}
+	tour := New(Config{Entries: 16, Ways: 2, CounterMax: 7, Init: []uint8{1, 3, 2}}, a, b, c)
+
+	p := tour.Predict(predictor.LoadRef{IP: 0x10})
+	if p.Selected != predictor.CompMarkov || p.Addr != 2 || p.Speculate {
+		t.Fatalf("fallback pick = %+v, want markov addr 2 without speculation", p)
+	}
+
+	// Now only stride predicts: the fallback walks past markov.
+	b.op = predictor.ComponentPrediction{}
+	tour.Resolve(predictor.LoadRef{IP: 0x10}, p, 99)
+	p = tour.Predict(predictor.LoadRef{IP: 0x10})
+	if p.Selected != predictor.CompStride || p.Addr != 1 || p.Speculate {
+		t.Fatalf("fallback past non-predictor = %+v, want stride addr 1", p)
+	}
+	tour.Resolve(predictor.LoadRef{IP: 0x10}, p, 99)
+}
+
+func TestChooserCounterArbitration(t *testing.T) {
+	// Two confident components that disagree: resolutions move the
+	// counters toward whichever is correct, and the pick follows.
+	a := &scripted{id: predictor.CompStride, op: predictor.ComponentPrediction{Addr: 1, Predicted: true, Confident: true}}
+	b := &scripted{id: predictor.CompCAP, op: predictor.ComponentPrediction{Addr: 2, Predicted: true, Confident: true}}
+	tour := New(Config{Entries: 16, Ways: 2, CounterMax: 3, Speculative: true}, a, b)
+	ref := predictor.LoadRef{IP: 0x10}
+
+	// Default init biases CAP (1,2): first pick is CAP.
+	p := tour.Predict(ref)
+	if p.Selected != predictor.CompCAP || !p.Speculate {
+		t.Fatalf("initial pick = %+v, want speculative CAP", p)
+	}
+	// Stride is right, CAP wrong: one disagreement moves the counters
+	// (1,2) → (2,1) and the pick flips to stride — exactly the hybrid's
+	// weak-CAP → weak-stride transition.
+	tour.Resolve(ref, p, 1)
+	p = tour.Predict(ref)
+	if p.Selected != predictor.CompStride {
+		t.Fatalf("after stride wins once: pick = %+v, want stride", p)
+	}
+	tour.Resolve(ref, p, 1)
+
+	// Only the chosen component's Resolve saw speculated=true: CAP in
+	// round one, stride in round two.
+	if len(a.gotSpec) != 2 || a.gotSpec[0] || !a.gotSpec[1] {
+		t.Fatalf("stride speculated flags = %v, want [false true]", a.gotSpec)
+	}
+	if len(b.gotSpec) != 2 || !b.gotSpec[0] || b.gotSpec[1] {
+		t.Fatalf("cap speculated flags = %v, want [true false]", b.gotSpec)
+	}
+
+	// Selection stats attribute speculated picks to the chosen component.
+	stats := tour.ComponentStats()
+	if stats[1].Name != "cap" || stats[1].Selected != 1 || stats[1].Correct != 0 {
+		t.Fatalf("cap stats = %+v, want 1 selected 0 correct", stats[1])
+	}
+	if stats[0].Selected != 1 || stats[0].Correct != 1 {
+		t.Fatalf("stride stats = %+v, want 1 selected 1 correct", stats[0])
+	}
+}
+
+func TestChooserAgreementFreezesCounters(t *testing.T) {
+	// When all predicting components agree (all right or all wrong) the
+	// counter vector must not move — same rule as the hybrid selector.
+	a := &scripted{id: predictor.CompStride, op: predictor.ComponentPrediction{Addr: 5, Predicted: true, Confident: true}}
+	b := &scripted{id: predictor.CompCAP, op: predictor.ComponentPrediction{Addr: 5, Predicted: true, Confident: true}}
+	tour := New(Config{Entries: 16, Ways: 2, CounterMax: 3}, a, b)
+	ref := predictor.LoadRef{IP: 0x10}
+
+	for i := 0; i < 3; i++ { // both right
+		tour.Resolve(ref, tour.Predict(ref), 5)
+	}
+	for i := 0; i < 3; i++ { // both wrong
+		tour.Resolve(ref, tour.Predict(ref), 6)
+	}
+	if p := tour.Predict(ref); p.SelState != predictor.SelWeakCAP {
+		t.Fatalf("SelState = %d, want untouched init %d", p.SelState, predictor.SelWeakCAP)
+	}
+	tour.Resolve(ref, tour.Predict(ref), 5)
+}
+
+func TestNewValidation(t *testing.T) {
+	mk := func(id predictor.Component) Component { return &scripted{id: id} }
+	for name, fn := range map[string]func(){
+		"no components": func() { New(DefaultConfig()) },
+		"dup ids": func() {
+			New(DefaultConfig(), mk(predictor.CompStride), mk(predictor.CompStride))
+		},
+		"none id": func() { New(DefaultConfig(), mk(predictor.CompNone)) },
+		"init len": func() {
+			New(Config{Entries: 16, Ways: 2, CounterMax: 3, Init: []uint8{1}},
+				mk(predictor.CompStride), mk(predictor.CompCAP))
+		},
+		"init above max": func() {
+			New(Config{Entries: 16, Ways: 2, CounterMax: 3, Init: []uint8{4, 1}},
+				mk(predictor.CompStride), mk(predictor.CompCAP))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestComponentNamesResolve(t *testing.T) {
+	// Every buildable component must carry a distinct non-"none" ID whose
+	// String() matches its Name() — the open-namespace satellite: metrics
+	// labels and classification breakdowns must never print "none".
+	seen := map[predictor.Component]bool{}
+	for _, name := range ComponentNames() {
+		c, err := NewComponent(name, false)
+		if err != nil {
+			t.Fatalf("NewComponent(%q): %v", name, err)
+		}
+		if c.ID() == predictor.CompNone || seen[c.ID()] {
+			t.Fatalf("component %q: bad or duplicate ID %v", name, c.ID())
+		}
+		seen[c.ID()] = true
+		// Name() may carry a variant suffix (e.g. "stride+" for the
+		// enhanced stride), but must always extend the ID's label.
+		if s := c.ID().String(); !strings.HasPrefix(c.Name(), s) || s == "none" || s == "invalid" {
+			t.Fatalf("component %q: ID().String()=%q Name()=%q must agree", name, s, c.Name())
+		}
+	}
+	if _, err := NewComponent("bogus", false); err == nil {
+		t.Fatal("NewComponent(bogus) did not error")
+	}
+}

@@ -7,16 +7,18 @@ package server
 
 import (
 	"fmt"
+	"slices"
 
 	"capred/internal/predictor"
+	"capred/internal/predictor/tournament"
 )
 
 // SessionConfig is the body of POST /v1/sessions: the predictor kind, an
 // optional prediction gap, and optional knob overrides (nil keeps the
 // named configuration's default).
 type SessionConfig struct {
-	// Predictor names the configuration: last, stride, stride-basic, cap
-	// or hybrid.
+	// Predictor names the configuration: last, stride, stride-basic, cap,
+	// hybrid or tournament.
 	Predictor string `json:"predictor"`
 	// Gap, when positive, runs the session in the paper's pipelined mode:
 	// resolutions arrive Gap dynamic loads after their predictions.
@@ -29,12 +31,19 @@ type SessionConfig struct {
 	// UpdatePolicy selects the hybrid's LT update policy: "always",
 	// "unless-stride-correct" or "unless-stride-selected".
 	UpdatePolicy string `json:"update_policy,omitempty"`
+
+	// Components names the tournament's entrants, in preference order
+	// (tournament sessions only); empty selects the default 5-way lineup.
+	Components []string `json:"components,omitempty"`
+	// ChooserMax overrides the tournament chooser's saturating-counter
+	// ceiling (tournament sessions only).
+	ChooserMax *uint8 `json:"chooser_max,omitempty"`
 }
 
 // PredictorKinds lists the predictor configurations sessions can bind
 // to, in a stable order (it seeds the per-kind metric series).
 func PredictorKinds() []string {
-	return []string{"last", "stride", "stride-basic", "cap", "hybrid"}
+	return []string{"last", "stride", "stride-basic", "cap", "hybrid", "tournament"}
 }
 
 // updatePolicies maps the wire names onto the §4.3 policies.
@@ -48,7 +57,7 @@ var updatePolicies = map[string]predictor.UpdatePolicy{
 // for the HTTP 400 body.
 func (c SessionConfig) validate() error {
 	switch c.Predictor {
-	case "last", "stride", "stride-basic", "cap", "hybrid":
+	case "last", "stride", "stride-basic", "cap", "hybrid", "tournament":
 	case "":
 		return fmt.Errorf("predictor is required (one of %v)", PredictorKinds())
 	default:
@@ -80,6 +89,33 @@ func (c SessionConfig) validate() error {
 	hasCAP := c.Predictor == "cap" || c.Predictor == "hybrid"
 	if !hasCAP && (c.HistoryLen != nil || c.TagBits != nil || c.PFBits != nil) {
 		return fmt.Errorf("history_len, tag_bits and pf_bits apply to cap and hybrid only")
+	}
+	if c.Predictor == "tournament" {
+		// The tournament builds each entrant with its default config; the
+		// single-predictor knobs have no well-defined target and are
+		// rejected rather than silently ignored.
+		if c.ConfThreshold != nil {
+			return fmt.Errorf("conf_threshold does not apply to the tournament; components use their defaults")
+		}
+		known := tournament.ComponentNames()
+		for i, name := range c.Components {
+			if !slices.Contains(known, name) {
+				return fmt.Errorf("unknown component %q (one of %v)", name, known)
+			}
+			if slices.Contains(c.Components[:i], name) {
+				return fmt.Errorf("duplicate component %q", name)
+			}
+		}
+		if len(c.Components) > tournament.MaxComponents {
+			return fmt.Errorf("at most %d components, got %d", tournament.MaxComponents, len(c.Components))
+		}
+		if c.ChooserMax != nil && (*c.ChooserMax < 2 || *c.ChooserMax > 15) {
+			return fmt.Errorf("chooser_max must be in [2, 15], got %d", *c.ChooserMax)
+		}
+	} else {
+		if c.Components != nil || c.ChooserMax != nil {
+			return fmt.Errorf("components and chooser_max apply to the tournament predictor only")
+		}
 	}
 	return nil
 }
@@ -139,6 +175,35 @@ func (c SessionConfig) build() (predictor.Predictor, error) {
 		}
 		cfg.Speculative = speculative
 		return predictor.NewHybrid(cfg), nil
+	case "tournament":
+		names := c.Components
+		if len(names) == 0 {
+			names = tournament.DefaultComponents()
+		}
+		cfg := tournament.DefaultConfig()
+		if c.ChooserMax != nil {
+			cfg.CounterMax = *c.ChooserMax
+		}
+		return tournament.NewNamed(cfg, speculative, names...)
 	}
 	return nil, fmt.Errorf("unknown predictor %q", c.Predictor)
+}
+
+// tournamentComponentLabels lists the display names a tournament
+// session's components can report, in a stable order — the /metrics
+// per-component series are pre-registered from it so the scrape surface
+// is stable from the first request. Sessions build components with
+// their default configurations, so each buildable component contributes
+// exactly its default Name().
+func tournamentComponentLabels() []string {
+	names := tournament.ComponentNames()
+	out := make([]string, len(names))
+	for i, n := range names {
+		c, err := tournament.NewComponent(n, false)
+		if err != nil {
+			panic(err) // unreachable: ComponentNames lists buildable components
+		}
+		out[i] = c.Name()
+	}
+	return out
 }

@@ -132,6 +132,8 @@ type Server struct {
 	mKindLoads      map[string]*Var
 	mKindPredicted  map[string]*Var
 	mKindCorrect    map[string]*Var
+	mCompSelected   map[string]*Var
+	mCompCorrect    map[string]*Var
 }
 
 // New builds a Server from cfg. Call Serve (or use Handler in tests) to
@@ -195,6 +197,17 @@ func (s *Server) registerMetrics() {
 		s.mKindLoads[kind] = r.Counter("capserve_loads_total", "Loads stepped through sessions, by predictor kind.", labels)
 		s.mKindPredicted[kind] = r.Counter("capserve_predicted_total", "Confident predictions made in sessions, by predictor kind.", labels)
 		s.mKindCorrect[kind] = r.Counter("capserve_correct_total", "Correct confident predictions in sessions, by predictor kind.", labels)
+	}
+
+	// Tournament sessions additionally break speculative selections down
+	// by winning component; every buildable component's series exists
+	// from startup so scrapes never see labels appear mid-run.
+	s.mCompSelected = make(map[string]*Var)
+	s.mCompCorrect = make(map[string]*Var)
+	for _, name := range tournamentComponentLabels() {
+		labels := fmt.Sprintf("component=%q", name)
+		s.mCompSelected[name] = r.Counter("capserve_tournament_selected_total", "Speculative predictions won, by tournament component.", labels)
+		s.mCompCorrect[name] = r.Counter("capserve_tournament_selected_correct_total", "Correct speculative predictions among those won, by tournament component.", labels)
 	}
 }
 
@@ -438,6 +451,14 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	s.mKindLoads[kind].Add(res.DLoads)
 	s.mKindPredicted[kind].Add(res.DPredicted)
 	s.mKindCorrect[kind].Add(res.DCorrect)
+	for _, d := range res.DSel {
+		if v, ok := s.mCompSelected[d.Name]; ok {
+			v.Add(d.Selected)
+		}
+		if v, ok := s.mCompCorrect[d.Name]; ok {
+			v.Add(d.Correct)
+		}
+	}
 	writeJSON(w, http.StatusOK, batchResponse{
 		Session:  sess.ID,
 		Events:   res.Events,

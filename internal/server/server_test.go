@@ -115,6 +115,10 @@ func TestSessionStreamMatchesOffline(t *testing.T) {
 		{Predictor: "stride", Gap: 8},
 		{Predictor: "cap", Gap: 8},
 		{Predictor: "hybrid", Gap: 8},
+		{Predictor: "tournament"},
+		{Predictor: "tournament", Gap: 8},
+		{Predictor: "tournament", Components: []string{"stride", "cap"}},
+		{Predictor: "tournament", Components: []string{"markov", "delta2", "callpath"}, Gap: 8},
 	}
 	for i, cfg := range cases {
 		name := fmt.Sprintf("%s-gap%d", cfg.Predictor, cfg.Gap)

@@ -24,9 +24,17 @@ import (
 	"time"
 
 	"capred/internal/metrics"
+	"capred/internal/predictor/tournament"
 	"capred/internal/sim"
 	"capred/internal/trace"
 )
+
+// componentStater is implemented by predictors that arbitrate between
+// named components (the tournament); sessions surface their selection
+// statistics on /metrics.
+type componentStater interface {
+	ComponentStats() []tournament.ComponentStat
+}
 
 // session is one live prediction session.
 type session struct {
@@ -41,6 +49,10 @@ type session struct {
 	batches  int64
 	lastUsed time.Time
 	finished bool // Finish() ran (gap drained); terminal
+	// prevSel is the component-selection snapshot after the previous
+	// batch (tournament sessions only); ingest diffs against it to feed
+	// the per-component /metrics series.
+	prevSel []tournament.ComponentStat
 }
 
 // sessionSnapshot is a consistent view of a session's progress, taken
@@ -68,6 +80,9 @@ type ingestResult struct {
 	C       metrics.Counters
 
 	DLoads, DPredicted, DCorrect int64
+	// DSel is the batch's per-component selection delta (tournament
+	// sessions only; nil otherwise).
+	DSel []tournament.ComponentStat
 }
 
 // sessionStore owns every live session and enforces the capacity,
@@ -251,7 +266,7 @@ func (s *session) ingest(st *sessionStore, body []byte) (ingestResult, error) {
 	s.batches++
 	s.lastUsed = st.now()
 	st.chargeEvents(n)
-	return ingestResult{
+	res := ingestResult{
 		Events:     n,
 		Total:      s.events,
 		Batches:    s.batches,
@@ -259,7 +274,20 @@ func (s *session) ingest(st *sessionStore, body []byte) (ingestResult, error) {
 		DLoads:     s.st.C.Loads - before.Loads,
 		DPredicted: s.st.C.Predicted - before.Predicted,
 		DCorrect:   s.st.C.Correct - before.Correct,
-	}, nil
+	}
+	if cs, ok := s.st.Predictor().(componentStater); ok {
+		cur := cs.ComponentStats()
+		res.DSel = make([]tournament.ComponentStat, len(cur))
+		copy(res.DSel, cur)
+		for i := range res.DSel {
+			if i < len(s.prevSel) {
+				res.DSel[i].Selected -= s.prevSel[i].Selected
+				res.DSel[i].Correct -= s.prevSel[i].Correct
+			}
+		}
+		s.prevSel = cur
+	}
+	return res, nil
 }
 
 // finish drains the prediction gap (resolving in-flight predictions, as

@@ -63,6 +63,8 @@ func experimentList() []Experiment {
 			func(c Config) Result { return ClassCoverage(c) }},
 		{"wrong-path", "§5.4: wrong-path predictions with and without squash recovery",
 			func(c Config) Result { return WrongPath(c) }},
+		{"tournament", "N-way tournament meta-predictor vs the paper's hybrid",
+			func(c Config) Result { return Tournament(c) }},
 	}
 }
 

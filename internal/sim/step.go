@@ -32,6 +32,12 @@ func NewStepper(p predictor.Predictor, gapDepth int) *Stepper {
 	return s
 }
 
+// Predictor returns the wrapped predictor instance. The serving layer
+// and the tournament ablation use it to pull predictor-specific
+// statistics (e.g. per-component selection counts) after — or, under
+// the session lock, during — a run.
+func (s *Stepper) Predictor() predictor.Predictor { return s.sess.Predictor() }
+
 // Step processes one event.
 func (s *Stepper) Step(ev trace.Event) {
 	switch ev.Kind {

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"capred/internal/metrics"
+	"capred/internal/predictor"
+	"capred/internal/predictor/tournament"
+	"capred/internal/report"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// tournamentRow names one configuration of the ablation. A nil
+// component list selects the paper's hybrid (§3.7) as the reference;
+// otherwise the row runs a tournament over the named components.
+type tournamentRow struct {
+	name  string
+	comps []string
+}
+
+// tournamentRows fixes the ablation ladder: the paper's hybrid, the
+// two-way tournament that must reproduce it exactly, each new component
+// on its own (a 1-way tournament is the component plus confidence
+// gating), and the full 5-way lineup.
+func tournamentRows() []tournamentRow {
+	return []tournamentRow{
+		{"hybrid (§3.7)", nil},
+		{"tournament stride+cap", []string{"stride", "cap"}},
+		{"markov alone", []string{"markov"}},
+		{"delta2 alone", []string{"delta2"}},
+		{"callpath alone", []string{"callpath"}},
+		{"tournament 5-way", tournament.DefaultComponents()},
+	}
+}
+
+// tournamentPredictor builds the predictor for one ablation row.
+func tournamentPredictor(row tournamentRow, speculative bool) (predictor.Predictor, error) {
+	if row.comps == nil {
+		cfg := predictor.DefaultHybridConfig()
+		cfg.Speculative = speculative
+		return predictor.NewHybrid(cfg), nil
+	}
+	if len(row.comps) == 2 && row.comps[0] == "stride" && row.comps[1] == "cap" {
+		// The paper pair carries the chooser geometry and initial counter
+		// vector that make it decision-identical to the hybrid row.
+		return tournament.NewPaperPair(speculative), nil
+	}
+	return tournament.NewNamed(tournament.DefaultConfig(), speculative, row.comps...)
+}
+
+// tournamentTally is the per-trace leaf result: the standard counters
+// plus the tournament's per-component selection statistics (exported
+// fields so it survives the dist wire).
+type tournamentTally struct {
+	C   metrics.Counters
+	Sel []tournament.ComponentStat
+}
+
+// TournamentResult holds the ablation outcome: per-row aggregate rates
+// over all traces plus per-component selection statistics.
+type TournamentResult struct {
+	FailureSet
+	Rows []string
+	// Avg is the equal-weight per-trace mean of each row's rates — the
+	// same aggregation as the figures' "Average" rows.
+	Avg []metrics.Mean
+	// Pooled sums each row's counters across traces (for the selector
+	// statistics, which are counts, not rates).
+	Pooled []metrics.Counters
+	// Sel[row] sums the per-component selection stats across traces;
+	// empty for the hybrid reference row.
+	Sel [][]tournament.ComponentStat
+}
+
+// Tournament runs the meta-predictor ablation across every trace: the
+// paper's hybrid against the two-way tournament that provably equals it,
+// the three new component predictors alone, and the full 5-way
+// tournament. Immediate mode (§4), like Fig. 5.
+func Tournament(cfg Config) TournamentResult {
+	rows := tournamentRows()
+	specs := workload.Traces()
+
+	type cell struct {
+		t    tournamentTally
+		done bool
+	}
+	cells := make([][]cell, len(rows))
+	g := newGrid(cfg)
+	for ri, row := range rows {
+		row := row
+		cells[ri] = make([]cell, len(specs))
+		g.addPass(row.name, specs, func(i int) error {
+			spec := specs[i]
+			t, err := distLeaf(cfg, spec, func(ctx context.Context, open func() trace.Source) (tournamentTally, error) {
+				f := cfg.factoryFor(spec, func() predictor.Predictor {
+					p, err := tournamentPredictor(row, false)
+					if err != nil {
+						panic(err) // unreachable: rows name known components only
+					}
+					return p
+				})
+				st := NewStepper(f(), 0)
+				err := forEachBlock(ctx, open(), st.StepBlock)
+				st.Finish()
+				out := tournamentTally{C: st.C}
+				if tp, ok := st.Predictor().(*tournament.Tournament); ok {
+					out.Sel = tp.ComponentStats()
+				}
+				return out, err
+			})
+			if err != nil {
+				return err
+			}
+			cells[ri][i] = cell{t: t, done: true}
+			return nil
+		})
+	}
+	fails := g.run()
+
+	out := TournamentResult{
+		Rows:   make([]string, len(rows)),
+		Avg:    make([]metrics.Mean, len(rows)),
+		Pooled: make([]metrics.Counters, len(rows)),
+		Sel:    make([][]tournament.ComponentStat, len(rows)),
+	}
+	out.absorb(g.size(), fails)
+	for ri, row := range rows {
+		out.Rows[ri] = row.name
+		for _, c := range cells[ri] {
+			if !c.done {
+				continue
+			}
+			out.Avg[ri].Add(c.t.C)
+			out.Pooled[ri].Merge(c.t.C)
+			if c.t.Sel != nil {
+				if out.Sel[ri] == nil {
+					out.Sel[ri] = make([]tournament.ComponentStat, len(c.t.Sel))
+					for si := range c.t.Sel {
+						out.Sel[ri][si].Name = c.t.Sel[si].Name
+					}
+				}
+				for si := range c.t.Sel {
+					out.Sel[ri][si].Selected += c.t.Sel[si].Selected
+					out.Sel[ri][si].Correct += c.t.Sel[si].Correct
+				}
+			}
+		}
+	}
+	return out
+}
+
+// selShares renders one row's per-component selection breakdown:
+// share of speculative accesses attributed to each component, with the
+// component's own accuracy on the loads it won.
+func selShares(stats []tournament.ComponentStat) string {
+	if len(stats) == 0 {
+		return "—"
+	}
+	var total int64
+	for _, s := range stats {
+		total += s.Selected
+	}
+	parts := make([]string, 0, len(stats))
+	for _, s := range stats {
+		if total == 0 {
+			parts = append(parts, s.Name+" 0%")
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s %s@%s", s.Name,
+			report.Pct(float64(s.Selected)/float64(total)),
+			report.Pct(safeDiv(float64(s.Correct), float64(s.Selected)))))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Table renders the ablation.
+func (r TournamentResult) Table() *report.Table {
+	t := report.New("tournament meta-predictor vs the paper's hybrid (average over traces)",
+		"configuration", "pred rate", "accuracy", "correct spec", "mispred/loads",
+		"selection share@accuracy")
+	for i, name := range r.Rows {
+		a := r.Avg[i]
+		t.Add(name,
+			naPct(a, a.PredRate()),
+			naPct(a, a.Accuracy()),
+			naPct(a, a.CorrectSpecRate()),
+			naPct2(a, a.MispredOfLoads()),
+			selShares(r.Sel[i]))
+	}
+	t.SetFooter(r.Footer())
+	return t
+}

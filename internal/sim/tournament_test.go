@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"capred/internal/predictor"
+	"capred/internal/predictor/tournament"
+	"capred/internal/trace"
+	"capred/internal/workload"
+)
+
+// TestTournamentStepBlockEquivalence pins the block-path contract for
+// the tournament: StepBlock over SoA blocks and Step over individual
+// events must produce bit-identical counters AND per-component
+// selection statistics, in immediate mode and under a prediction gap.
+func TestTournamentStepBlockEquivalence(t *testing.T) {
+	spec, ok := workload.ByName("INT_xli")
+	if !ok {
+		t.Fatal("INT_xli missing from roster")
+	}
+	const events = 40_000
+	for _, gap := range []int{0, 4} {
+		stepSt := NewStepper(tournament.NewFull(gap > 0), gap)
+		src := trace.NewLimit(spec.Open(), events)
+		for {
+			ev, ok := src.Next()
+			if !ok {
+				break
+			}
+			stepSt.Step(ev)
+		}
+		if err := src.Err(); err != nil {
+			t.Fatalf("gap %d: step source: %v", gap, err)
+		}
+		stepSt.Finish()
+
+		blockSt := NewStepper(tournament.NewFull(gap > 0), gap)
+		if err := forEachBlock(nil, trace.NewLimit(spec.Open(), events), blockSt.StepBlock); err != nil {
+			t.Fatalf("gap %d: block source: %v", gap, err)
+		}
+		blockSt.Finish()
+
+		if stepSt.C != blockSt.C {
+			t.Errorf("gap %d: counters diverge:\n  step  %+v\n  block %+v", gap, stepSt.C, blockSt.C)
+		}
+		ss := stepSt.Predictor().(*tournament.Tournament).ComponentStats()
+		bs := blockSt.Predictor().(*tournament.Tournament).ComponentStats()
+		if !reflect.DeepEqual(ss, bs) {
+			t.Errorf("gap %d: component stats diverge:\n  step  %+v\n  block %+v", gap, ss, bs)
+		}
+	}
+}
+
+// TestTournamentPairMatchesHybridOnTrace runs the two-way stride+CAP
+// tournament and the paper's hybrid over a real trace — immediate and
+// gap 8 — and requires identical counters: the experiment-level face of
+// the decision-identity that FuzzTournamentSelector pins per step.
+func TestTournamentPairMatchesHybridOnTrace(t *testing.T) {
+	spec, ok := workload.ByName("TPC_t23")
+	if !ok {
+		t.Fatal("TPC_t23 missing from roster")
+	}
+	const events = 60_000
+	for _, gap := range []int{0, 8} {
+		speculative := gap > 0
+		hcfg := predictor.DefaultHybridConfig()
+		hcfg.Speculative = speculative
+		want, err := RunTrace(trace.NewLimit(spec.Open(), events), predictor.NewHybrid(hcfg), gap)
+		if err != nil {
+			t.Fatalf("gap %d: hybrid: %v", gap, err)
+		}
+		got, err := RunTrace(trace.NewLimit(spec.Open(), events), tournament.NewPaperPair(speculative), gap)
+		if err != nil {
+			t.Fatalf("gap %d: tournament: %v", gap, err)
+		}
+		if got != want {
+			t.Errorf("gap %d: counters diverge:\n  hybrid     %+v\n  tournament %+v", gap, want, got)
+		}
+	}
+}
