@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	capvet [-json] [-list] [package patterns...]
+//	capvet [-json] [-list] [-ignores] [package patterns...]
 //
 // Patterns are interpreted against the enclosing module: "./..."
 // (the default) vets every package, "./internal/..." a subtree,
@@ -16,6 +16,11 @@
 // mandatory reason:
 //
 //	// capvet:ignore <analyzer> <reason>
+//
+// A directive whose analyzer no longer reports anything at that line
+// is stale and becomes a finding itself. -ignores audits the
+// suppression surface: it lists every directive with its file,
+// analyzer and reason instead of running the analyzers.
 //
 // Exit codes: 0 clean, 1 findings, 2 load/usage error.
 package main
@@ -47,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		jsonOut = fs.Bool("json", false, "emit findings as JSON")
 		list    = fs.Bool("list", false, "list analyzers and exit")
+		ignores = fs.Bool("ignores", false, "list every capvet:ignore directive instead of running the analyzers")
 		version = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +89,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "capvet: %v\n", err)
 		return 2
+	}
+
+	if *ignores {
+		dirs := analysis.Directives(loader, pkgs)
+		if *jsonOut {
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(dirs); err != nil {
+				fmt.Fprintf(stderr, "capvet: %v\n", err)
+				return 2
+			}
+			return 0
+		}
+		for _, d := range dirs {
+			status := ""
+			if d.Malformed {
+				status = " [malformed]"
+			}
+			fmt.Fprintf(stdout, "%s:%d: %s: %s%s\n", d.File, d.Line, d.Analyzer, d.Reason, status)
+		}
+		return 0
 	}
 
 	diags := analysis.Run(loader, pkgs, analyzers)

@@ -156,12 +156,147 @@ func TestBadFlagExitsTwo(t *testing.T) {
 	}
 }
 
+// TestJSONSortDeterministic pins the -json ordering contract: findings
+// sort by (file, line, column, analyzer) regardless of package walk
+// order, so diffing two runs never churns on ordering.
+func TestJSONSortDeterministic(t *testing.T) {
+	loud := `package %s
+
+import "fmt"
+
+func A() { fmt.Println("a"); fmt.Print("b") }
+
+func B() { fmt.Println("c") }
+`
+	root := writeModule(t, map[string]string{
+		"go.mod":               "module tmpmod\n\ngo 1.22\n",
+		"internal/zebra/z.go":  "package zebra\n\nimport \"fmt\"\n\nfunc Z() { fmt.Println(\"z\") }\n",
+		"internal/alpha/a.go":  strings.ReplaceAll(loud, "%s", "alpha"),
+		"internal/middle/m.go": "package middle\n\nimport \"fmt\"\n\nfunc M() { fmt.Print(\"m\") }\n",
+	})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	var rep struct {
+		Findings []analysis.Diagnostic `json:"findings"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(rep.Findings) < 4 {
+		t.Fatalf("want at least 4 findings across packages, got %d", len(rep.Findings))
+	}
+	for i := 1; i < len(rep.Findings); i++ {
+		a, b := rep.Findings[i-1], rep.Findings[i]
+		ka := [3]any{a.File, a.Line, a.Col}
+		kb := [3]any{b.File, b.Line, b.Col}
+		inOrder := a.File < b.File ||
+			(a.File == b.File && (a.Line < b.Line ||
+				(a.Line == b.Line && (a.Col < b.Col ||
+					(a.Col == b.Col && a.Analyzer <= b.Analyzer)))))
+		if !inOrder {
+			t.Errorf("findings out of order at %d: %v then %v", i, ka, kb)
+		}
+	}
+}
+
+// TestStaleIgnoreFinding: a well-formed directive whose analyzer
+// reports nothing at that line is itself a finding.
+func TestStaleIgnoreFinding(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"internal/foo/foo.go": `package foo
+
+// capvet:ignore noprint historical suppression kept after the fix
+func Quiet() int { return 2 }
+`,
+	})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "stale capvet:ignore directive") {
+		t.Errorf("stale directive not reported:\n%s", &stdout)
+	}
+}
+
+// TestIgnoresAudit: -ignores lists every directive with file, analyzer
+// and reason instead of running the analyzers.
+func TestIgnoresAudit(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"internal/foo/foo.go": `package foo
+
+import "fmt"
+
+func Loud() {
+	fmt.Println("hi") // capvet:ignore noprint demo output is part of the CLI contract
+}
+`,
+	})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-ignores", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-ignores: exit %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "internal/foo/foo.go:6") || !strings.Contains(out, "noprint") ||
+		!strings.Contains(out, "demo output is part of the CLI contract") {
+		t.Errorf("-ignores output missing file/analyzer/reason:\n%s", out)
+	}
+	stdout.Reset()
+	if code := run([]string{"-ignores", "-json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-ignores -json: exit %d, want 0\nstderr:\n%s", code, &stderr)
+	}
+	var dirs []analysis.DirectiveInfo
+	if err := json.Unmarshal(stdout.Bytes(), &dirs); err != nil {
+		t.Fatalf("-ignores -json is not a DirectiveInfo list: %v\n%s", err, &stdout)
+	}
+	if len(dirs) != 1 || dirs[0].Analyzer != "noprint" || dirs[0].Malformed {
+		t.Errorf("unexpected audit entries: %+v", dirs)
+	}
+}
+
+// TestHotAllocTripsOnStepBlock is the acceptance check for the
+// hotalloc contract: deliberately adding an allocation to a StepBlock
+// hot loop in a throwaway module trips the analyzer.
+func TestHotAllocTripsOnStepBlock(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"internal/sim/step.go": `package sim
+
+type Stepper struct {
+	out []int
+}
+
+func (s *Stepper) StepBlock(n int) {
+	for i := 0; i < n; i++ {
+		s.out = append(s.out, i) // the deliberate allocation
+	}
+}
+`,
+	})
+	chdir(t, root)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "hotalloc") || !strings.Contains(out, "append") ||
+		!strings.Contains(out, "internal/sim/step.go:9") {
+		t.Errorf("hotalloc did not flag the StepBlock allocation:\n%s", out)
+	}
+}
+
 func TestListAndVersion(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list: exit %d, want 0\nstderr:\n%s", code, &stderr)
 	}
-	for _, name := range []string{"determinism", "drain", "goisolate", "atomicfield", "noprint"} {
+	for _, name := range []string{"determinism", "drain", "goisolate", "atomicfield", "noprint", "blockown", "hotalloc", "ctxflow"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, &stdout)
 		}

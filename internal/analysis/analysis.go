@@ -60,9 +60,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the full analyzer suite, in reporting order.
+// All returns the full analyzer suite, in reporting order. The first
+// five are the syntax-level passes from PR 5; blockown, hotalloc and
+// ctxflow are the flow-sensitive passes over the CFG/dataflow engine.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Drain, GoIsolate, AtomicField, NoPrint}
+	return []*Analyzer{Determinism, Drain, GoIsolate, AtomicField, NoPrint, BlockOwn, HotAlloc, CtxFlow}
 }
 
 // underAny builds a Scope accepting packages at or under any of the
@@ -152,12 +154,21 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 
-	// Collect directives, validate them, and filter the findings.
+	// Collect directives, validate them, and filter the findings. A
+	// well-formed directive that suppresses nothing is stale — the
+	// invariant it excused either moved or was fixed — and is itself a
+	// finding, so dead suppressions can't mask a future regression.
 	type lineKey struct {
 		file string
 		line int
 	}
-	suppress := make(map[lineKey]map[string]bool)
+	type wellFormed struct {
+		directive
+		file string
+		used bool
+	}
+	var formed []*wellFormed
+	suppress := make(map[lineKey]map[string][]*wellFormed)
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, d := range directivesIn(l.Fset, f) {
@@ -173,26 +184,51 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 					})
 					continue
 				}
-				file := relFile(d.pos.Filename)
+				wf := &wellFormed{directive: d, file: relFile(d.pos.Filename)}
+				formed = append(formed, wf)
 				for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
-					k := lineKey{file, line}
+					k := lineKey{wf.file, line}
 					if suppress[k] == nil {
-						suppress[k] = make(map[string]bool)
+						suppress[k] = make(map[string][]*wellFormed)
 					}
-					suppress[k][d.analyzer] = true
+					suppress[k][d.analyzer] = append(suppress[k][d.analyzer], wf)
 				}
 			}
 		}
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if s := suppress[lineKey{d.File, d.Line}]; s != nil && s[d.Analyzer] {
+		if ds := suppress[lineKey{d.File, d.Line}][d.Analyzer]; len(ds) > 0 {
+			for _, wf := range ds {
+				wf.used = true
+			}
 			continue
 		}
 		kept = append(kept, d)
 	}
 	diags = kept
+	for _, wf := range formed {
+		if wf.used {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Analyzer: "capvet",
+			Pos:      wf.pos,
+			File:     wf.file,
+			Line:     wf.pos.Line,
+			Col:      wf.pos.Column,
+			Message: fmt.Sprintf("stale %s directive: %s reports nothing here; remove it or re-justify it",
+				IgnorePrefix, wf.analyzer),
+		})
+	}
 
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders findings by (file, line, column, analyzer,
+// message) so output is deterministic regardless of package walk order.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -204,7 +240,51 @@ func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags
+}
+
+// DirectiveInfo is one capvet:ignore directive for the -ignores audit
+// listing.
+type DirectiveInfo struct {
+	File     string `json:"file"` // module-relative
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	// Malformed marks a directive missing its analyzer name or reason.
+	Malformed bool `json:"malformed,omitempty"`
+}
+
+// Directives lists every capvet:ignore directive in pkgs, sorted by
+// file and line, for the capvet -ignores audit mode.
+func Directives(l *Loader, pkgs []*Package) []DirectiveInfo {
+	var out []DirectiveInfo
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range directivesIn(l.Fset, f) {
+				file := d.pos.Filename
+				if rel, err := filepathRel(l.ModuleRoot, file); err == nil {
+					file = rel
+				}
+				out = append(out, DirectiveInfo{
+					File:      file,
+					Line:      d.pos.Line,
+					Analyzer:  d.analyzer,
+					Reason:    d.reason,
+					Malformed: d.analyzer == "" || d.reason == "",
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return out
 }

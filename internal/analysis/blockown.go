@@ -1,0 +1,586 @@
+package analysis
+
+// BlockOwn enforces the trace.Block lifecycle contract from PR 7
+// (DESIGN.md §14) with a flow-sensitive pass over each function's CFG:
+//
+//   - a block released with PutBlock must not be used again, and must
+//     not be released twice (the pool would hand one block to two
+//     drain loops);
+//   - a delivered or freshly pooled block may be a zero-copy view over
+//     shared replay storage: its column elements must not be written
+//     (SetEvent, b.Col[i] = …, copy into a column) unless Own() or
+//     Resize() dominates the write;
+//   - a pool-owned block (GetBlock) must stay inside its drain scope:
+//     returning it, storing it into a field/global/map/slice, sending
+//     it on a channel, or handing it to a goroutine leaks pool-owned
+//     memory past PutBlock.
+//
+// The analysis is intraprocedural and deliberately conservative:
+// passing a block to another function makes its view state unknown
+// (the callee may Resize or Own it), and only must-facts are reported
+// — a variable released on every path, pooled on every path — so a
+// finding is a real contract violation, not a may-alias guess.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var BlockOwn = &Analyzer{
+	Name: "blockown",
+	Doc:  "trace.Block lifecycle: no use-after-Release, no shared-view writes without Own, no pooled-block escape",
+	Run:  runBlockOwn,
+}
+
+// View states, ordered by join precedence: shared dominates (a write
+// is flagged if any path delivers a shared view), then unknown (a
+// callee may have taken ownership — stay silent), then owned.
+const (
+	viewOwned uint8 = iota
+	viewUnknown
+	viewShared
+)
+
+// Pool states; join of differing states is poolTop (unknown), so
+// escape and release findings need the fact to hold on every path.
+const (
+	poolNone uint8 = iota
+	poolPooled
+	poolReleased
+	poolTop
+)
+
+type blockVarState struct{ view, pool uint8 }
+
+// blockFact maps tracked *trace.Block variables to their state.
+type blockFact map[types.Object]blockVarState
+
+func (f blockFact) clone() blockFact {
+	out := make(blockFact, len(f)+1)
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func runBlockOwn(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		eachFuncBody(file, func(fn ast.Node, body *ast.BlockStmt, _ []ast.Node) {
+			prob := &blockOwnProblem{pass: pass, fn: fn}
+			if !prob.anyBlocks(body) {
+				return
+			}
+			runFlow(buildCFG(body), prob, pass.Reportf)
+		})
+	}
+}
+
+type blockOwnProblem struct {
+	pass *Pass
+	fn   ast.Node // *ast.FuncDecl or *ast.FuncLit
+}
+
+// anyBlocks reports whether the body mentions any *trace.Block-typed
+// identifier at all, skipping graph construction for the vast majority
+// of functions.
+func (p *blockOwnProblem) anyBlocks(body *ast.BlockStmt) bool {
+	found := false
+	info := p.pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := identObj(info, id); obj != nil && p.pass.Facts.isBlockPtr(obj.Type()) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (p *blockOwnProblem) entry() flowFact {
+	// Parameters of *trace.Block type start unknown: the caller's
+	// view/pool state is out of scope for an intraprocedural pass.
+	st := make(blockFact)
+	var ft *ast.FuncType
+	switch fn := p.fn.(type) {
+	case *ast.FuncDecl:
+		ft = fn.Type
+	case *ast.FuncLit:
+		ft = fn.Type
+	}
+	if ft != nil && ft.Params != nil {
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if obj := p.pass.Pkg.Info.Defs[name]; obj != nil && p.pass.Facts.isBlockPtr(obj.Type()) {
+					st[obj] = blockVarState{view: viewUnknown, pool: poolNone}
+				}
+			}
+		}
+	}
+	return st
+}
+
+func (p *blockOwnProblem) join(a, b flowFact) flowFact {
+	fa, fb := a.(blockFact), b.(blockFact)
+	out := fa.clone()
+	for obj, sb := range fb {
+		sa, ok := out[obj]
+		if !ok {
+			// Declared on one path only: its scope is ending anyway;
+			// keep the state we have.
+			out[obj] = sb
+			continue
+		}
+		m := sa
+		if sb.view > m.view {
+			m.view = sb.view
+		}
+		if sa.pool != sb.pool {
+			m.pool = poolTop
+		}
+		out[obj] = m
+	}
+	return out
+}
+
+func (p *blockOwnProblem) equal(a, b flowFact) bool {
+	fa, fb := a.(blockFact), b.(blockFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k, v := range fa {
+		if w, ok := fb[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *blockOwnProblem) branch(f flowFact, cond ast.Expr, takeTrue bool) flowFact {
+	return f
+}
+
+// transfer interprets one straight-line node: checks (use-after-
+// release, shared writes, pooled escapes) first against the incoming
+// state, then applies the node's effects (release, own, share,
+// rebinding).
+func (p *blockOwnProblem) transfer(f flowFact, n ast.Node, rep reporter) flowFact {
+	st := f.(blockFact)
+	info := p.pass.Pkg.Info
+
+	if rep != nil {
+		p.check(st, n, rep)
+	}
+
+	set := func(obj types.Object, s blockVarState) {
+		st = st.clone()
+		st[obj] = s
+	}
+
+	// Effects from calls anywhere in the node (function literals are
+	// opaque — they get their own graph). A deferred call's effects
+	// apply at exit (atExit replays them), not at registration; only
+	// its argument expressions are evaluated here.
+	var deferredCall *ast.CallExpr
+	if d, ok := n.(*ast.DeferStmt); ok {
+		deferredCall = d.Call
+	}
+	inspectNoFuncLit(n, func(m ast.Node) {
+		call, ok := m.(*ast.CallExpr)
+		if !ok || call == deferredCall {
+			return
+		}
+		switch kind, obj := p.blockCall(call); kind {
+		case "PutBlock":
+			if obj == nil {
+				return
+			}
+			s, tracked := st[obj]
+			if tracked && s.pool == poolReleased && rep != nil {
+				rep(call.Pos(), "double release: %s was already returned to the pool by PutBlock", obj.Name())
+			}
+			if !tracked {
+				s = blockVarState{view: viewUnknown}
+			}
+			s.pool = poolReleased
+			set(obj, s)
+		case "Own", "Resize":
+			if s, ok := st[obj]; ok {
+				s.view = viewOwned
+				set(obj, s)
+			}
+		case "NextBlock":
+			if obj == nil {
+				return
+			}
+			s, ok := st[obj]
+			if !ok {
+				s = blockVarState{pool: poolNone}
+			}
+			s.view = viewShared
+			set(obj, s)
+		default:
+			// Any other call taking a tracked block as a direct
+			// argument may Resize/Own it: view becomes unknown.
+			for _, arg := range call.Args {
+				if obj := trackedIdent(info, st, arg); obj != nil {
+					s := st[obj]
+					s.view = viewUnknown
+					set(obj, s)
+				}
+			}
+		}
+	})
+
+	// Rebindings: b := GetBlock() / NewBlock() / &Block{} / alias.
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := identObj(info, id)
+			if obj == nil {
+				continue
+			}
+			if ns, ok := p.rhsState(st, as.Rhs[i]); ok {
+				set(obj, ns)
+			} else if _, tracked := st[obj]; tracked {
+				// Rebound to something we cannot classify: drop it.
+				st = st.clone()
+				delete(st, obj)
+			}
+		}
+	}
+	return st
+}
+
+// rhsState classifies an assignment RHS that produces a block.
+func (p *blockOwnProblem) rhsState(st blockFact, rhs ast.Expr) (blockVarState, bool) {
+	info := p.pass.Pkg.Info
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		switch kind, _ := p.blockCall(e); kind {
+		case "GetBlock":
+			// A pooled block's columns may still alias the shared
+			// storage its previous user delivered views over: the
+			// contract requires Resize (or Own) before element writes.
+			return blockVarState{view: viewShared, pool: poolPooled}, true
+		case "NewBlock":
+			return blockVarState{view: viewOwned, pool: poolNone}, true
+		}
+		if tv, ok := info.Types[rhs]; ok && p.pass.Facts.isBlockPtr(tv.Type) {
+			return blockVarState{view: viewUnknown, pool: poolNone}, true
+		}
+	case *ast.Ident:
+		if obj := identObj(info, e); obj != nil {
+			if s, ok := st[obj]; ok {
+				return s, true // alias copies the state at copy time
+			}
+		}
+	case *ast.UnaryExpr:
+		if lit, ok := e.X.(*ast.CompositeLit); ok {
+			if tv, ok := info.Types[lit]; ok && p.pass.Facts.isBlockNamed(tv.Type) {
+				return blockVarState{view: viewOwned, pool: poolNone}, true
+			}
+		}
+	}
+	return blockVarState{}, false
+}
+
+// check reports contract violations visible at this node under the
+// incoming state.
+func (p *blockOwnProblem) check(st blockFact, n ast.Node, rep reporter) {
+	info := p.pass.Pkg.Info
+
+	// Identifier positions excluded from the use-after-release scan:
+	// plain assignment targets (rebinding is not a use) and PutBlock
+	// arguments (reported as double release instead).
+	excluded := make(map[*ast.Ident]bool)
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				excluded[id] = true
+			}
+		}
+	}
+	inspectNoFuncLit(n, func(m ast.Node) {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if kind, _ := p.blockCall(call); kind == "PutBlock" {
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+					excluded[id] = true
+				}
+			}
+		}
+	})
+
+	// Use after release.
+	inspectNoFuncLit(n, func(m ast.Node) {
+		id, ok := m.(*ast.Ident)
+		if !ok || excluded[id] {
+			return
+		}
+		obj := identObj(info, id)
+		if obj == nil {
+			return
+		}
+		if s, tracked := st[obj]; tracked && s.pool == poolReleased {
+			rep(id.Pos(), "use of %s after PutBlock returned it to the pool: another drain loop may already own it", obj.Name())
+		}
+	})
+
+	// Column writes on shared views.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if obj, colPos := p.columnElementWrite(lhs); obj != nil {
+				if s, tracked := st[obj]; tracked && s.view == viewShared {
+					rep(colPos.Pos(), "column write on %s, which may be a zero-copy view over shared replay storage: call Own() or Resize() first", obj.Name())
+				}
+			}
+		}
+	}
+	inspectNoFuncLit(n, func(m ast.Node) {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		// b.SetEvent(...) scatters into the columns.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "SetEvent" {
+			if obj := trackedIdent(info, st, sel.X); obj != nil && st[obj].view == viewShared {
+				rep(call.Pos(), "SetEvent on %s, which may be a zero-copy view over shared replay storage: call Own() or Resize() first", obj.Name())
+			}
+		}
+		// copy(b.Col, ...) writes into a column.
+		if isBuiltin(info, call.Fun, "copy") && len(call.Args) == 2 {
+			if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+				if obj := trackedIdent(info, st, sel.X); obj != nil && st[obj].view == viewShared {
+					rep(call.Pos(), "copy into a column of %s, which may be a zero-copy view over shared replay storage: call Own() or Resize() first", obj.Name())
+				}
+			}
+		}
+	})
+
+	// Pooled-block escapes: reported only when pool-owned on every
+	// path.
+	pooled := func(e ast.Expr) types.Object {
+		obj := trackedIdent(info, st, e)
+		if obj != nil && st[obj].pool == poolPooled {
+			return obj
+		}
+		return nil
+	}
+	escape := func(pos ast.Node, obj types.Object, how string) {
+		rep(pos.Pos(), "pooled block %s %s while still pool-owned: it escapes its drain scope and outlives PutBlock", obj.Name(), how)
+	}
+	switch s := n.(type) {
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if obj := pooled(res); obj != nil {
+				escape(s, obj, "is returned")
+			}
+		}
+	case *ast.SendStmt:
+		if obj := pooled(s.Value); obj != nil {
+			escape(s, obj, "is sent on a channel")
+		}
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			if obj := pooled(arg); obj != nil {
+				escape(s, obj, "is handed to a goroutine")
+			}
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := pooled(id); obj != nil {
+						escape(s, obj, "is captured by a goroutine")
+						return false
+					}
+				}
+				return true
+			})
+		}
+	case *ast.AssignStmt:
+		if len(s.Lhs) != len(s.Rhs) {
+			break
+		}
+		for i, rhs := range s.Rhs {
+			obj := pooled(rhs)
+			if obj == nil {
+				continue
+			}
+			switch lhs := s.Lhs[i].(type) {
+			case *ast.Ident:
+				// A local alias is tracked, not an escape; a
+				// package-level variable outlives the drain scope.
+				if tgt, ok := identObj(info, lhs).(*types.Var); ok && tgt.Parent() == tgt.Pkg().Scope() {
+					escape(s, obj, "is stored outside the local scope")
+				}
+			default:
+				// Field, index, or dereference store.
+				escape(s, obj, "is stored outside the local scope")
+			}
+		}
+	}
+	inspectNoFuncLit(n, func(m ast.Node) {
+		switch m := m.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range m.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if obj := pooled(e); obj != nil {
+					escape(m, obj, "is stored in a composite literal")
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, m.Fun, "append") {
+				for _, arg := range m.Args[1:] {
+					if obj := pooled(arg); obj != nil {
+						escape(m, obj, "is appended to a slice")
+					}
+				}
+			}
+		}
+	})
+}
+
+// atExit replays the deferred calls in reverse registration order:
+// a deferred PutBlock releasing an already-released block is the
+// defer-plus-explicit-release double free.
+func (p *blockOwnProblem) atExit(f flowFact, defers []*ast.DeferStmt, rep reporter) {
+	st := f.(blockFact)
+	released := make(map[types.Object]bool)
+	for i := len(defers) - 1; i >= 0; i-- {
+		d := defers[i]
+		kind, obj := p.blockCall(d.Call)
+		if kind != "PutBlock" || obj == nil {
+			continue
+		}
+		s, tracked := st[obj]
+		if (tracked && s.pool == poolReleased) || released[obj] {
+			rep(d.Pos(), "deferred PutBlock releases %s twice: it was already returned to the pool", obj.Name())
+		}
+		released[obj] = true
+	}
+}
+
+// blockCall classifies a call against the block lifecycle API:
+// "GetBlock"/"NewBlock" (allocators), "PutBlock" (release, obj = the
+// released variable), "Own"/"Resize" (un-sharing methods, obj = the
+// receiver variable), "NextBlock" (delivery, obj = the filled block
+// argument). Returns "" for anything else.
+func (p *blockOwnProblem) blockCall(call *ast.CallExpr) (string, types.Object) {
+	info := p.pass.Pkg.Info
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if recv := identObjTyped(p.pass.Facts, info, sel.X); recv != nil {
+			switch sel.Sel.Name {
+			case "Own", "Resize":
+				return sel.Sel.Name, recv
+			}
+		}
+		if sel.Sel.Name == "NextBlock" && len(call.Args) >= 1 {
+			if obj := identObjTyped(p.pass.Facts, info, call.Args[0]); obj != nil {
+				return "NextBlock", obj
+			}
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !p.pass.Facts.moduleLocal(fn.Pkg()) {
+		return "", nil
+	}
+	switch fn.Name() {
+	case "GetBlock", "NewBlock":
+		sig := fn.Type().(*types.Signature)
+		if sig.Results().Len() == 1 && p.pass.Facts.isBlockPtr(sig.Results().At(0).Type()) {
+			return fn.Name(), nil
+		}
+	case "PutBlock":
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() == 1 && p.pass.Facts.isBlockPtr(sig.Params().At(0).Type()) {
+			var obj types.Object
+			if len(call.Args) == 1 {
+				obj = identObjTyped(p.pass.Facts, info, call.Args[0])
+			}
+			return "PutBlock", obj
+		}
+	}
+	return "", nil
+}
+
+// columnElementWrite matches b.Col[i] as an assignment target,
+// returning the block variable and the write position.
+func (p *blockOwnProblem) columnElementWrite(lhs ast.Expr) (types.Object, ast.Node) {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(ix.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	obj := identObjTyped(p.pass.Facts, p.pass.Pkg.Info, sel.X)
+	if obj == nil {
+		return nil, nil
+	}
+	return obj, ix
+}
+
+// identObj resolves an identifier to its object (def or use).
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// identObjTyped resolves expr to a *trace.Block-typed variable object.
+func identObjTyped(f *Facts, info *types.Info, expr ast.Expr) types.Object {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := identObj(info, id)
+	if obj == nil || !f.isBlockPtr(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// trackedIdent resolves expr to a variable currently in the fact map.
+func trackedIdent(info *types.Info, st blockFact, expr ast.Expr) types.Object {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := identObj(info, id)
+	if obj == nil {
+		return nil
+	}
+	if _, ok := st[obj]; !ok {
+		return nil
+	}
+	return obj
+}
+
+// inspectNoFuncLit walks a node's subtree without descending into
+// function literals (their bodies are separate flow graphs).
+func inspectNoFuncLit(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m != nil {
+			fn(m)
+		}
+		return true
+	})
+}

@@ -1,0 +1,441 @@
+package analysis
+
+// Intraprocedural control-flow graphs over go/ast, for the
+// flow-sensitive analyzers (blockown, ctxflow). The builder decomposes
+// a function body into basic blocks connected by edges, with:
+//
+//   - short-circuit conditions split so every && / || operand is its
+//     own branch block (condition refinement sees each leaf);
+//   - loops (for, range), switches (expr and type), select, labeled
+//     break/continue, goto and fallthrough wired structurally;
+//   - defer recorded in registration order on the graph; deferred
+//     calls run at the function exit, so the dataflow engine replays
+//     them against the exit state rather than inline.
+//
+// Only "simple" statements land in a block's node list (assignments,
+// expression statements, sends, declarations, returns, defers, go
+// statements, inc/dec); control statements are decomposed into edges
+// and never appear as nodes, so an analyzer walking a node's subtree
+// never re-enters flow the graph already models. Function literals
+// inside a node are opaque: they get their own graph via funcCFGs.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgBlock is one basic block: straight-line nodes, then either an
+// unconditional edge set or a two-way branch on cond.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	// cond, when non-nil, is the branch condition: succs[0] is the
+	// true edge, succs[1] the false edge. When nil, succs are
+	// unordered alternatives (join points, loop heads, select/switch
+	// dispatch).
+	cond  ast.Expr
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	// exit is the single synthetic exit block every return (and the
+	// fall-off-the-end path) reaches. It holds no nodes; deferred
+	// calls conceptually run here.
+	exit *cfgBlock
+	// defers lists every defer statement in registration order.
+	// Execution order at exit is the reverse.
+	defers []*ast.DeferStmt
+}
+
+// cfgTarget is one enclosing breakable/continuable construct.
+type cfgTarget struct {
+	label    string
+	isLoop   bool
+	breakTo  *cfgBlock
+	contTo   *cfgBlock // loops only
+	nextCase *cfgBlock // switch clauses: fallthrough destination
+}
+
+type cfgBuilder struct {
+	g       *funcCFG
+	cur     *cfgBlock
+	targets []cfgTarget
+	labels  map[string]*cfgBlock // goto targets, created on demand
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{g: &funcCFG{}, labels: make(map[string]*cfgBlock)}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+	b.cur = b.g.entry
+	b.stmtList(body.List)
+	// Falling off the end of the body reaches the exit.
+	b.edge(b.cur, b.g.exit)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+// edge appends an unconditional successor. A nil from (dead code after
+// return/break) is a no-op.
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+// add appends a node to the current block, resurrecting a dangling
+// block for statically dead code so its nodes still exist in the graph
+// (the engine simply never reaches them).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt lowers one statement. label is the pending label when the
+// statement was wrapped in `label: ...`.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// The label binds break/continue on the construct itself.
+			b.stmt(s.Stmt, s.Label.Name)
+		default:
+			// A goto target: seal the current block into the label's
+			// block and continue there.
+			lb := b.labelBlock(s.Label.Name)
+			b.edge(b.cur, lb)
+			b.cur = lb
+			b.stmt(s.Stmt, "")
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		then, done := b.newBlock(), b.newBlock()
+		els := done
+		if s.Else != nil {
+			els = b.newBlock()
+		}
+		b.condExpr(s.Cond, then, els)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, done)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else, "")
+			b.edge(b.cur, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		body, done := b.newBlock(), b.newBlock()
+		if s.Cond != nil {
+			b.cur = head
+			b.condExpr(s.Cond, body, done)
+		} else {
+			head.succs = append(head.succs, body)
+		}
+		cont := head
+		var post *cfgBlock
+		if s.Post != nil {
+			post = b.newBlock()
+			cont = post
+		}
+		b.pushTarget(cfgTarget{label: label, isLoop: true, breakTo: done, contTo: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popTarget()
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post, "")
+			b.edge(b.cur, head)
+		} else {
+			b.edge(b.cur, head)
+		}
+		b.cur = done
+
+	case *ast.RangeStmt:
+		// The range operand is evaluated once, before the loop.
+		b.add(s.X)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		body, done := b.newBlock(), b.newBlock()
+		head.succs = append(head.succs, body, done)
+		b.pushTarget(cfgTarget{label: label, isLoop: true, breakTo: done, contTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popTarget()
+		b.edge(b.cur, head)
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List, label, func(cc *ast.CaseClause, blk *cfgBlock) {
+			for _, e := range cc.List {
+				blk.nodes = append(blk.nodes, e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		// The subject expression (x := y.(type) or y.(type)) is
+		// evaluated once at the head.
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, label, nil)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		done := b.newBlock()
+		b.pushTarget(cfgTarget{label: label, breakTo: done})
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if comm.Comm != nil {
+				b.stmt(comm.Comm, "")
+			}
+			b.stmtList(comm.Body)
+			b.edge(b.cur, done)
+		}
+		b.popTarget()
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: done is unreachable.
+			b.cur = nil
+		}
+		b.cur = done
+
+	case *ast.DeferStmt:
+		// Arguments are evaluated at registration; the call itself
+		// runs at exit (the engine replays g.defers there).
+		b.add(s)
+		b.g.defers = append(b.g.defers, s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, Decl, Expr, Go, IncDec, Send — straight-line.
+		b.add(s)
+	}
+}
+
+// switchClauses lowers the clause list shared by expr and type
+// switches. addExprs, when non-nil, records a clause's case
+// expressions into its block.
+func (b *cfgBuilder) switchClauses(list []ast.Stmt, label string, addExprs func(*ast.CaseClause, *cfgBlock)) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	done := b.newBlock()
+	// Pre-create clause blocks so fallthrough can resolve forward.
+	blocks := make([]*cfgBlock, len(list))
+	hasDefault := false
+	for i, cl := range list {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if len(cl.(*ast.CaseClause).List) == 0 {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	for i, cl := range list {
+		cc := cl.(*ast.CaseClause)
+		if addExprs != nil {
+			addExprs(cc, blocks[i])
+		}
+		next := done
+		if i+1 < len(list) {
+			next = blocks[i+1]
+		}
+		b.pushTarget(cfgTarget{label: label, breakTo: done, nextCase: next})
+		b.cur = blocks[i]
+		b.stmtList(cc.Body)
+		b.popTarget()
+		b.edge(b.cur, done)
+	}
+	b.cur = done
+}
+
+// branchStmt wires break/continue/goto/fallthrough.
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if name == "" || t.label == name {
+				b.edge(b.cur, t.breakTo)
+				b.cur = nil
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.isLoop && (name == "" || t.label == name) {
+				b.edge(b.cur, t.contTo)
+				b.cur = nil
+				return
+			}
+		}
+	case token.GOTO:
+		b.edge(b.cur, b.labelBlock(name))
+		b.cur = nil
+	case token.FALLTHROUGH:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			if t := b.targets[i]; t.nextCase != nil {
+				b.edge(b.cur, t.nextCase)
+				b.cur = nil
+				return
+			}
+		}
+	}
+	// Malformed code (the type-checker rejects it); drop the edge.
+	b.cur = nil
+}
+
+// labelBlock returns (creating on demand) the block a label names.
+func (b *cfgBuilder) labelBlock(name string) *cfgBlock {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) pushTarget(t cfgTarget) { b.targets = append(b.targets, t) }
+func (b *cfgBuilder) popTarget()             { b.targets = b.targets[:len(b.targets)-1] }
+
+// condExpr lowers a branch condition with short-circuit decomposition:
+// every && / || operand becomes its own leaf block whose cond the
+// dataflow engine can refine per edge; ! swaps the edges.
+func (b *cfgBuilder) condExpr(e ast.Expr, t, f *cfgBlock) {
+	switch ex := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch ex.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.condExpr(ex.X, mid, f)
+			b.cur = mid
+			b.condExpr(ex.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.condExpr(ex.X, t, mid)
+			b.cur = mid
+			b.condExpr(ex.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if ex.Op == token.NOT {
+			b.condExpr(ex.X, f, t)
+			return
+		}
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	// The leaf is both evaluated (a node, so nested calls are seen)
+	// and branched on.
+	b.cur.nodes = append(b.cur.nodes, e)
+	b.cur.cond = e
+	b.cur.succs = append(b.cur.succs, t, f)
+	b.cur = nil
+}
+
+// eachFuncBody invokes fn for every function body in a file: the
+// declarations and every function literal, each of which gets its own
+// graph. enclosing is the chain of enclosing function nodes
+// (outermost first) for literals.
+func eachFuncBody(file *ast.File, fn func(node ast.Node, body *ast.BlockStmt, enclosing []ast.Node)) {
+	var walk func(n ast.Node, chain []ast.Node)
+	walk = func(n ast.Node, chain []ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncDecl:
+				if m.Body == nil {
+					return false
+				}
+				fn(m, m.Body, chain)
+				walkInner(m.Body, append(chain, ast.Node(m)), fn)
+				return false
+			case *ast.FuncLit:
+				fn(m, m.Body, chain)
+				walkInner(m.Body, append(chain, ast.Node(m)), fn)
+				return false
+			}
+			return true
+		})
+	}
+	walk(file, nil)
+}
+
+// walkInner continues eachFuncBody's traversal inside a function body,
+// yielding nested literals with the extended enclosing chain.
+func walkInner(body *ast.BlockStmt, chain []ast.Node, fn func(ast.Node, *ast.BlockStmt, []ast.Node)) {
+	ast.Inspect(body, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok {
+			fn(lit, lit.Body, chain)
+			walkInner(lit.Body, append(chain, ast.Node(lit)), fn)
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses a single function declaration and builds its CFG.
+func buildTestCFG(t *testing.T, fn string) (*token.FileSet, *funcCFG) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", "package p\n\n"+fn, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			return fset, buildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("no function declaration in %q", fn)
+	return nil, nil
+}
+
+// cfgString renders a graph into one line per block, in creation
+// order: nodes in brackets, the branch condition after ?, successor
+// indexes after ->.
+func cfgString(fset *token.FileSet, g *funcCFG) string {
+	render := func(n ast.Node) string {
+		var sb strings.Builder
+		if err := printer.Fprint(&sb, fset, n); err != nil {
+			return "<err>"
+		}
+		return strings.Join(strings.Fields(sb.String()), " ")
+	}
+	var sb strings.Builder
+	for _, blk := range g.blocks {
+		fmt.Fprintf(&sb, "b%d:", blk.index)
+		for _, n := range blk.nodes {
+			fmt.Fprintf(&sb, " [%s]", render(n))
+		}
+		if blk.cond != nil {
+			fmt.Fprintf(&sb, " ?%s", render(blk.cond))
+		}
+		if len(blk.succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.succs {
+				fmt.Fprintf(&sb, " %d", s.index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func checkCFG(t *testing.T, fn, want string) *funcCFG {
+	t.Helper()
+	fset, g := buildTestCFG(t, fn)
+	got := cfgString(fset, g)
+	want = strings.TrimLeft(want, "\n")
+	if got != want {
+		t.Errorf("graph mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if g.entry.index != 0 || g.exit.index != 1 {
+		t.Errorf("entry/exit = b%d/b%d, want b0/b1", g.entry.index, g.exit.index)
+	}
+	return g
+}
+
+// Short-circuit conditions decompose into one leaf block per operand,
+// with ! swapping the edge order: `a && !b` branches through a's block
+// into b's block, whose TRUE edge goes to the else path.
+func TestCFGShortCircuit(t *testing.T) {
+	checkCFG(t, `
+func f(a, b bool) {
+	if a && !b {
+		println(1)
+	} else {
+		println(2)
+	}
+	println(3)
+}`, `
+b0: [a] ?a -> 5 4
+b1:
+b2: [println(1)] -> 3
+b3: [println(3)] -> 1
+b4: [println(2)] -> 3
+b5: [b] ?b -> 4 2
+`)
+}
+
+// A labeled break from a nested range loop jumps to the OUTER loop's
+// done block (b4), not the inner one's (b7).
+func TestCFGLabeledBreak(t *testing.T) {
+	checkCFG(t, `
+func f(xs [][]int) int {
+	sum := 0
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+			sum += v
+		}
+	}
+	return sum
+}`, `
+b0: [sum := 0] [xs] -> 2
+b1:
+b2: -> 3 4
+b3: [row] -> 5
+b4: [return sum] -> 1
+b5: -> 6 7
+b6: [v < 0] ?v < 0 -> 8 9
+b7: -> 2
+b8: -> 4
+b9: [sum += v] -> 5
+`)
+}
+
+// The for-select drain-loop idiom: the infinite loop's head feeds the
+// select dispatch, each comm clause is its own block (comm statement
+// first), the return clause edges straight to exit, and the loop's
+// done block is unreachable (no plain break).
+func TestCFGForSelectDrain(t *testing.T) {
+	g := checkCFG(t, `
+func f(ch chan int, done chan struct{}) {
+	for {
+		select {
+		case v := <-ch:
+			consume(v)
+		case <-done:
+			return
+		}
+	}
+}`, `
+b0: -> 2
+b1:
+b2: -> 3
+b3: -> 6 7
+b4: -> 1
+b5: -> 2
+b6: [v := <-ch] [consume(v)] -> 5
+b7: [<-done] [return] -> 1
+`)
+	// b4 (the for's done block) must have no predecessors: nothing
+	// breaks out of the loop.
+	for _, blk := range g.blocks {
+		for _, s := range blk.succs {
+			if s.index == 4 {
+				t.Errorf("b%d -> b4: loop done block should be unreachable", blk.index)
+			}
+		}
+	}
+}
+
+// defer in a loop body: the statement is a node where its arguments
+// are evaluated, and it is recorded once in g.defers for exit replay.
+func TestCFGDeferInLoop(t *testing.T) {
+	g := checkCFG(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		defer cleanup(i)
+	}
+}`, `
+b0: [i := 0] -> 2
+b1:
+b2: [i < n] ?i < n -> 3 4
+b3: [defer cleanup(i)] -> 5
+b4: -> 1
+b5: [i++] -> 2
+`)
+	if len(g.defers) != 1 {
+		t.Fatalf("len(defers) = %d, want 1", len(g.defers))
+	}
+}
+
+// Expression switches: the tag is evaluated at the head, every clause
+// gets its case expressions as nodes, fallthrough edges into the next
+// clause, and a missing default adds a head->done edge.
+func TestCFGSwitchFallthrough(t *testing.T) {
+	checkCFG(t, `
+func f(x int) {
+	switch x {
+	case 1:
+		println(1)
+		fallthrough
+	case 2:
+		println(2)
+	}
+	println(3)
+}`, `
+b0: [x] -> 3 4 2
+b1:
+b2: [println(3)] -> 1
+b3: [1] [println(1)] -> 4
+b4: [2] [println(2)] -> 2
+`)
+}
+
+// goto wires an edge to the label's block; the labeled statement opens
+// that block.
+func TestCFGGoto(t *testing.T) {
+	checkCFG(t, `
+func f(n int) {
+	if n > 0 {
+		goto out
+	}
+	println(0)
+out:
+	println(1)
+}`, `
+b0: [n > 0] ?n > 0 -> 2 3
+b1:
+b2: -> 4
+b3: [println(0)] -> 4
+b4: [println(1)] -> 1
+`)
+}

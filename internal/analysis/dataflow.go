@@ -1,0 +1,106 @@
+package analysis
+
+// A small forward-dataflow framework over funcCFG: an analyzer
+// supplies a flowProblem (lattice + transfer), the engine iterates a
+// worklist to a fixpoint, then replays every reachable block once
+// against its fixed in-state with reporting enabled. Deferred calls
+// are replayed against the exit state (in reverse registration order)
+// through the problem's atExit hook, so release/close obligations
+// discharged by defer are honoured on every path.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// flowFact is one analyzer-defined abstract state. Facts must be
+// treated as immutable by transfer/branch/join: return a fresh value
+// when anything changes.
+type flowFact any
+
+// reporter emits one diagnostic during the reporting sweep. It is nil
+// during fixpoint iteration — transfer must be side-effect free then.
+type reporter func(pos token.Pos, format string, args ...any)
+
+// flowProblem is one analyzer's dataflow specification.
+type flowProblem interface {
+	// entry returns the fact at the function entry.
+	entry() flowFact
+	// transfer applies one straight-line node.
+	transfer(f flowFact, n ast.Node, rep reporter) flowFact
+	// branch refines the fact along one edge of a two-way branch on
+	// cond (the leaf conditions short-circuit decomposition produces).
+	branch(f flowFact, cond ast.Expr, takeTrue bool) flowFact
+	// join merges facts at a control-flow merge point.
+	join(a, b flowFact) flowFact
+	// equal reports fact equality, bounding the fixpoint.
+	equal(a, b flowFact) bool
+	// atExit observes the exit fact with the function's defers (in
+	// registration order; execution order is the reverse). Called
+	// only during the reporting sweep.
+	atExit(f flowFact, defers []*ast.DeferStmt, rep reporter)
+}
+
+// maxFlowVisits bounds the fixpoint per function; a lattice bug must
+// degrade to silence, never to a hang. The bound is generous: real
+// lattices here stabilise in a handful of passes.
+const maxFlowVisits = 64
+
+// runFlow solves the problem over g and, when rep is non-nil, replays
+// the solution with reporting enabled.
+func runFlow(g *funcCFG, p flowProblem, rep reporter) {
+	in := make(map[*cfgBlock]flowFact, len(g.blocks))
+	visits := make(map[*cfgBlock]int, len(g.blocks))
+	in[g.entry] = p.entry()
+
+	work := []*cfgBlock{g.entry}
+	queued := map[*cfgBlock]bool{g.entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		if visits[blk]++; visits[blk] > maxFlowVisits {
+			return // lattice failed to stabilise; stay silent
+		}
+		out := in[blk]
+		for _, n := range blk.nodes {
+			out = p.transfer(out, n, nil)
+		}
+		for i, succ := range blk.succs {
+			next := out
+			if blk.cond != nil && i < 2 {
+				next = p.branch(out, blk.cond, i == 0)
+			}
+			prev, ok := in[succ]
+			merged := next
+			if ok {
+				merged = p.join(prev, next)
+			}
+			if !ok || !p.equal(prev, merged) {
+				in[succ] = merged
+				if !queued[succ] {
+					queued[succ] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+
+	if rep == nil {
+		return
+	}
+	// Reporting sweep: each reachable block once, in creation order,
+	// against its fixed in-state — deterministic and duplicate-free.
+	for _, blk := range g.blocks {
+		st, ok := in[blk]
+		if !ok {
+			continue
+		}
+		for _, n := range blk.nodes {
+			st = p.transfer(st, n, rep)
+		}
+	}
+	if exitSt, ok := in[g.exit]; ok {
+		p.atExit(exitSt, g.defers, rep)
+	}
+}

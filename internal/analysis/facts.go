@@ -37,6 +37,14 @@ type Facts struct {
 	sourceIface *types.Interface
 	sinkIface   *types.Interface
 
+	// hotFuncs is the declared hot set for the hotalloc analyzer: the
+	// named warm-drain entry points plus every function carrying a
+	// capvet:hot directive. hotCallees holds the one-level call-graph
+	// propagation: module-local functions called from a hot function's
+	// loops, whose full bodies are hot regions too.
+	hotFuncs   map[types.Object]bool
+	hotCallees map[types.Object]bool
+
 	modulePath string
 }
 
@@ -73,6 +81,8 @@ func BuildFacts(l *Loader, pkgs []*Package) *Facts {
 		recoverersWhenDeferred: make(map[types.Object]bool),
 		atomicFields:           make(map[*types.Var]token.Position),
 		atomicUses:             make(map[token.Pos]bool),
+		hotFuncs:               make(map[types.Object]bool),
+		hotCallees:             make(map[types.Object]bool),
 		modulePath:             l.ModulePath,
 	}
 	for _, pkg := range pkgs {
@@ -90,7 +100,133 @@ func BuildFacts(l *Loader, pkgs []*Package) *Facts {
 			f.lookupTraceIfaces(p)
 		}
 	}
+	f.collectHotSet(pkgs)
 	return f
+}
+
+// HotDirective marks a function as part of the zero-alloc hot set when
+// it appears in the function's doc comment:
+//
+//	// capvet:hot
+//	func (s *Stepper) stepFast(...) { ... }
+const HotDirective = "capvet:hot"
+
+// hotByContract reports whether a declaration belongs to the declared
+// hot set: the warm-drain entry points whose zero-alloc behaviour the
+// AllocsPerRun guards pin.
+func hotByContract(relPath, recv, name string) bool {
+	switch relPath {
+	case "internal/sim":
+		return name == "StepBlock" || name == "forEachBlock"
+	case "internal/trace":
+		return name == "decodeColumns" || (recv == "memReader" && name == "NextBatch")
+	case "internal/cpu":
+		return name == "Run"
+	}
+	return false
+}
+
+// recvTypeName extracts a receiver's type name syntactically.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// collectHotSet resolves the hot set and its one-level propagation
+// over the analyzed packages.
+func (f *Facts) collectHotSet(pkgs []*Package) {
+	type declSite struct {
+		fd  *ast.FuncDecl
+		pkg *Package
+	}
+	decls := make(map[types.Object]declSite)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pkg.Info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				decls[obj] = declSite{fd, pkg}
+				if hotByContract(pkg.RelPath, recvTypeName(fd), fd.Name.Name) || hasHotDirective(fd) {
+					f.hotFuncs[obj] = true
+				}
+			}
+		}
+	}
+	// One level of propagation: a module-local function called from a
+	// hot function's loops is checked over its full body — a helper
+	// extracted out of (or added to) a hot loop stays covered.
+	for obj := range f.hotFuncs {
+		site := decls[obj]
+		if site.fd == nil {
+			continue
+		}
+		eachLoopBody(site.fd.Body, func(body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeObject(site.pkg.Info, call)
+				if callee == nil || f.hotFuncs[callee] {
+					return true
+				}
+				if _, local := decls[callee]; local {
+					f.hotCallees[callee] = true
+				}
+				return true
+			})
+		})
+	}
+}
+
+// hasHotDirective reports whether the declaration's doc comment carries
+// the capvet:hot directive.
+func hasHotDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == HotDirective || strings.HasPrefix(text, HotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// eachLoopBody invokes fn for every for/range body under root,
+// including loops inside function literals (a closure called from the
+// function still iterates).
+func eachLoopBody(root ast.Node, fn func(*ast.BlockStmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			fn(n.Body)
+		case *ast.RangeStmt:
+			fn(n.Body)
+		}
+		return true
+	})
 }
 
 // lookupTraceIfaces captures trace.Source / trace.Sink when pkg is the
@@ -305,6 +441,30 @@ func isBuiltin(info *types.Info, expr ast.Expr, name string) bool {
 	return ok
 }
 
+// moduleLocal reports whether pkg belongs to the analyzed module.
+func (f *Facts) moduleLocal(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == f.modulePath || strings.HasPrefix(pkg.Path(), f.modulePath+"/")
+}
+
+// isBlockNamed reports whether t is the module's internal/trace Block
+// type (the SoA event batch whose ownership lifecycle blockown tracks).
+func (f *Facts) isBlockNamed(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != "Block" {
+		return false
+	}
+	return f.relPkgPath(n.Obj().Pkg()) == "internal/trace"
+}
+
+// isBlockPtr reports whether t is *trace.Block.
+func (f *Facts) isBlockPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	return ok && f.isBlockNamed(p.Elem())
+}
+
 // DrainProtected reports whether fn's error result is part of the
 // drain contract — the call sites that silently truncated streams
 // before PR 1 made them all return and check errors:
@@ -313,6 +473,10 @@ func isBuiltin(info *types.Info, expr ast.Expr, name string) bool {
 //   - any Stepper method with an error result;
 //   - every error-returning function or method of internal/trace (the
 //     encoder/decoder layer);
+//   - every error-returning load.Client method — the capload surfaces
+//     (session RPCs and the /metrics scraper) report transport and SLO
+//     failures only through the error result, so dropping one hides a
+//     dead or throttled server from the soak report;
 //   - any method with an error result implementing trace.Source or
 //     trace.Sink, wherever the implementation lives.
 func (f *Facts) DrainProtected(fn *types.Func) bool {
@@ -333,6 +497,10 @@ func (f *Facts) DrainProtected(fn *types.Func) bool {
 			return true
 		}
 		if recvNamed(sig) == "Stepper" {
+			return true
+		}
+	case "internal/load":
+		if recvNamed(sig) == "Client" {
 			return true
 		}
 	}

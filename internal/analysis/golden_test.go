@@ -154,6 +154,18 @@ func TestNoPrintGolden(t *testing.T) {
 	runGolden(t, "noprint", "internal/sim", NoPrint)
 }
 
+func TestBlockOwnGolden(t *testing.T) {
+	runGolden(t, "blockown", "x", BlockOwn)
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	runGolden(t, "hotalloc", "internal/sim", HotAlloc)
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, "ctxflow", "internal/load", CtxFlow)
+}
+
 // TestDistFleetGolden pins the fleet package's analyzer coverage:
 // internal/dist sits in both the determinism and goisolate scopes, and
 // the dist testdata encodes the package's specific failure modes —

@@ -1,0 +1,44 @@
+package analysis
+
+import "testing"
+
+// TestSelfCheckCleanTree runs the full analyzer suite over the real
+// module tree — the same run CI and scripts/capvet.sh do — and asserts
+// it stays clean. Under `go test -race` this also exercises the whole
+// load/typecheck/flow pipeline with the race detector on.
+func TestSelfCheckCleanTree(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags := Run(l, pkgs, All())
+	for _, d := range diags {
+		t.Errorf("self-check finding: %s", d)
+	}
+}
+
+// TestRealTreeHotSetResolved pins the hotalloc contract to the real
+// tree: the declared hot set must resolve to actual declarations (a
+// rename would otherwise silently shrink the checked surface), and the
+// one-level propagation must pick up callees of the hot loops.
+func TestRealTreeHotSetResolved(t *testing.T) {
+	l := sharedLoader(t)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	facts := BuildFacts(l, pkgs)
+	names := make(map[string]bool)
+	for obj := range facts.hotFuncs {
+		names[obj.Name()] = true
+	}
+	for _, want := range []string{"StepBlock", "forEachBlock", "decodeColumns", "NextBatch", "Run"} {
+		if !names[want] {
+			t.Errorf("declared hot function %s did not resolve; hot set: %v", want, names)
+		}
+	}
+	if len(facts.hotCallees) == 0 {
+		t.Error("one-level propagation resolved no hot callees")
+	}
+}

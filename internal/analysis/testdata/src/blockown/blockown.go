@@ -1,0 +1,137 @@
+// Golden testdata for the blockown analyzer: every way the
+// trace.Block lifecycle contract can be broken — use-after-Release,
+// double-Release, column writes on shared views, pooled blocks
+// escaping their drain scope — next to the sanctioned idioms from the
+// real tree that must stay clean.
+package blockown
+
+import "capred/internal/trace"
+
+func process(b *trace.Block) {}
+
+type holder struct {
+	b *trace.Block
+}
+
+var sink *trace.Block
+
+func useAfterRelease(src trace.BlockSource) {
+	b := trace.GetBlock()
+	n, ok := src.NextBlock(b, trace.BlockLen)
+	_, _ = n, ok
+	trace.PutBlock(b)
+	_ = b.Len() // want `use of b after PutBlock returned it to the pool`
+}
+
+func doubleRelease() {
+	b := trace.GetBlock()
+	trace.PutBlock(b)
+	trace.PutBlock(b) // want `double release: b was already returned to the pool`
+}
+
+func deferredDouble() {
+	b := trace.GetBlock()
+	defer trace.PutBlock(b) // want `deferred PutBlock releases b twice`
+	b.Resize(1)
+	trace.PutBlock(b)
+}
+
+func sharedWrite(src trace.BlockSource) {
+	b := trace.NewBlock(trace.BlockLen)
+	n, ok := src.NextBlock(b, trace.BlockLen)
+	_, _ = n, ok
+	b.IP[0] = 1                  // want `column write on b, which may be a zero-copy view`
+	b.SetEvent(0, trace.Event{}) // want `SetEvent on b, which may be a zero-copy view`
+}
+
+func sharedCopy(src trace.BlockSource, scratch []uint32) {
+	b := trace.NewBlock(trace.BlockLen)
+	n, ok := src.NextBlock(b, trace.BlockLen)
+	_, _ = n, ok
+	copy(b.Addr, scratch) // want `copy into a column of b`
+}
+
+func pooledWriteNoResize() {
+	b := trace.GetBlock()
+	defer trace.PutBlock(b)
+	b.KindTaken[0] = 0 // want `column write on b, which may be a zero-copy view`
+}
+
+// The faultsrc.Corrupt idiom: Own dominates the mutation, so the
+// writes land on private columns.
+func ownedWrite(src trace.BlockSource, b *trace.Block) {
+	n, _ := src.NextBlock(b, 64)
+	b.Own()
+	for i := 0; i < n; i++ {
+		ev := b.Event(i)
+		b.SetEvent(i, ev) // clean: Own() dominates
+	}
+}
+
+// The stream.FeedBlocks idiom: Resize reallocates shared columns
+// before any write can land there.
+func resizeThenWrite() {
+	b := trace.GetBlock()
+	defer trace.PutBlock(b)
+	b.Resize(16)
+	b.KindTaken[0] = 0 // clean: Resize() dominates
+}
+
+func escapes(ch chan *trace.Block, blocks []*trace.Block) *trace.Block {
+	a := trace.GetBlock()
+	sink = a // want `pooled block a is stored outside the local scope`
+	b := trace.GetBlock()
+	ch <- b // want `pooled block b is sent on a channel`
+	c := trace.GetBlock()
+	go process(c) // want `pooled block c is handed to a goroutine`
+	d := trace.GetBlock()
+	go func() { _ = d.Len() }() // want `pooled block d is captured by a goroutine`
+	e := trace.GetBlock()
+	blocks = append(blocks, e) // want `pooled block e is appended to a slice`
+	f := trace.GetBlock()
+	_ = holder{b: f} // want `pooled block f is stored in a composite literal`
+	g := trace.GetBlock()
+	return g // want `pooled block g is returned while still pool-owned`
+}
+
+func cleanReturn() *trace.Block {
+	b := trace.NewBlock(8)
+	return b // clean: NewBlock is caller-owned, not pooled
+}
+
+// The forEachBlock / cpu.Run drain idiom: one pooled block, deferred
+// release, zero-copy deliveries read but never written.
+func drainLoop(src trace.BlockSource) int {
+	b := trace.GetBlock()
+	defer trace.PutBlock(b)
+	total := 0
+	for {
+		n, ok := src.NextBlock(b, trace.BlockLen)
+		if !ok {
+			break
+		}
+		total += n
+	}
+	return total
+}
+
+// Released on one path only: the must-direction analysis stays silent
+// rather than guess (conservative by design).
+func mayRelease(cond bool) {
+	b := trace.GetBlock()
+	if cond {
+		trace.PutBlock(b)
+	}
+	_ = b.Len() // clean for the analyzer: released on one path only
+}
+
+// Each path releases exactly once: no double release.
+func branchRelease(cond bool) {
+	b := trace.GetBlock()
+	if cond {
+		b.Resize(4)
+		trace.PutBlock(b)
+		return
+	}
+	trace.PutBlock(b) // clean: the other path returned already
+}

@@ -5,10 +5,43 @@
 package drain
 
 import (
+	"capred/internal/load"
 	"capred/internal/predictor"
 	"capred/internal/sim"
 	"capred/internal/trace"
 )
+
+// The capload surfaces: every error-returning load.Client method —
+// session RPCs and the /metrics scraper — reports transport and SLO
+// failures only through its error result.
+
+func loadClientDiscards(c *load.Client) {
+	c.CloseSession("s1")                // want `call discards the error from Client\.CloseSession`
+	id, _ := c.OpenSession("markov", 8) // want `error from Client\.OpenSession assigned to _`
+	_ = id
+}
+
+func scraperDiscards(c *load.Client) {
+	c.Scrape() // want `call discards the error from Client\.Scrape`
+}
+
+func loadClientChecked(c *load.Client) error {
+	id, err := c.OpenSession("markov", 8) // clean: error checked
+	if err != nil {
+		return err
+	}
+	acked, posts, err := c.PostEvents(id, nil) // clean: error checked
+	_, _ = acked, posts
+	if err != nil {
+		return err
+	}
+	m, err := c.Scrape() // clean: error checked
+	_ = m
+	if err != nil {
+		return err
+	}
+	return c.CloseSession(id) // clean: error returned to the caller
+}
 
 func discarded(src trace.Source, p predictor.Predictor) {
 	sim.RunTrace(src, p, 0) // want `call discards the error from sim\.RunTrace`

@@ -6,6 +6,11 @@
 # call this script.
 #
 # Usage: scripts/capvet.sh [package patterns...]   (default ./...)
+#
+# CAPVET_BUDGET_SECS, when set, caps the wall-clock of the tree run:
+# analysis time is part of the build contract (DESIGN.md §17), so CI
+# fails the job if a full-tree vet blows the budget instead of letting
+# the suite quietly get slower.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,6 +18,16 @@ cd "$(dirname "$0")/.."
 echo "== capvet self-check (golden diagnostics + exit-code contract)"
 go test ./internal/analysis/ ./cmd/capvet/
 
+# Build once so the budget below times analysis, not compilation.
+go build -o /tmp/capvet.bin ./cmd/capvet
+
 echo "== capvet ${*:-./...}"
-go run ./cmd/capvet "${@:-./...}"
-echo "capvet: clean"
+start=$(date +%s)
+/tmp/capvet.bin "${@:-./...}"
+elapsed=$(( $(date +%s) - start ))
+echo "capvet: clean (${elapsed}s)"
+
+if [[ -n "${CAPVET_BUDGET_SECS:-}" && "$elapsed" -gt "$CAPVET_BUDGET_SECS" ]]; then
+    echo "capvet: tree run took ${elapsed}s, over the ${CAPVET_BUDGET_SECS}s budget" >&2
+    exit 1
+fi
